@@ -1,0 +1,46 @@
+//! Ablation A6 — launch-skew sensitivity.
+//!
+//! Real clusters never start jobs in lockstep, and NAS's synchronous
+//! cross-server fetching makes its schedule *couple* neighboring
+//! servers. The measured result is a scheduling subtlety: the fetch
+//! dependences form a ring convoy that re-synchronizes whatever the
+//! initial skew, so NAS's steady-state cost barely moves (large skew
+//! can even help by overlapping one server's fetch phase with its
+//! neighbor's compute), while DAS and TS — with no cross-server
+//! coupling — degrade only by the one-time launch offset.
+
+use das_bench::FIG_SEED;
+use das_runtime::{size_sweep, ClusterConfig, SchemeKind};
+use das_sim::SimDuration;
+
+fn main() {
+    println!("\n================================================================");
+    println!("Ablation A6 — launch skew sensitivity (flow-routing, 24 MiB)");
+    println!("================================================================");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14}",
+        "skew (ms)", "NAS (s)", "DAS (s)", "TS (s)", "NAS penalty (%)"
+    );
+
+    let mut nas_base = None;
+    for skew_ms in [0u64, 1, 2, 4, 8] {
+        let mut cfg = ClusterConfig::paper_default();
+        cfg.start_skew = SimDuration::from_millis(skew_ms);
+        let nas = &size_sweep(&cfg, SchemeKind::Nas, "flow-routing", &[24], FIG_SEED)[0].report;
+        let das = &size_sweep(&cfg, SchemeKind::Das, "flow-routing", &[24], FIG_SEED)[0].report;
+        let ts = &size_sweep(&cfg, SchemeKind::Ts, "flow-routing", &[24], FIG_SEED)[0].report;
+        let base = *nas_base.get_or_insert(nas.exec_secs());
+        println!(
+            "{:<10} {:>12.4} {:>12.4} {:>12.4} {:>14.1}",
+            skew_ms,
+            nas.exec_secs(),
+            das.exec_secs(),
+            ts.exec_secs(),
+            (nas.exec_secs() / base - 1.0) * 100.0,
+        );
+    }
+    println!("\nobservation: the NAS fetch ring re-synchronizes into a convoy, so");
+    println!("its steady-state cost is nearly skew-independent (large skew can even");
+    println!("overlap fetch phases with neighbor compute); DAS and TS pay the");
+    println!("launch offset exactly once.");
+}

@@ -1,0 +1,41 @@
+//! Fig. 10 — Comparison of Execution Time for NAS and TS Schemes.
+//!
+//! The paper's first experiment (24 nodes, 12 storage + 12 compute;
+//! data 24–60 GB, here 24–60 MiB): existing active storage (NAS) is
+//! *slower* than traditional storage on dependence-heavy kernels,
+//! because of strip re-fetching and request-service load.
+
+use das_bench::{header, improvement_pct, row, FIG_SEED, PAPER_SIZES, TABLE1_KERNELS};
+use das_runtime::{size_sweep, ClusterConfig, SchemeKind};
+
+fn main() {
+    let cfg = ClusterConfig::paper_default(); // 12 + 12 nodes
+    header(
+        "Fig. 10 — execution time, NAS vs TS (24 nodes, 12 storage)",
+        "size (MiB)",
+    );
+
+    let mut nas_slower_everywhere = true;
+    for kernel in TABLE1_KERNELS {
+        for &mib in &PAPER_SIZES {
+            let nas = &size_sweep(&cfg, SchemeKind::Nas, kernel, &[mib], FIG_SEED)[0].report;
+            let ts = &size_sweep(&cfg, SchemeKind::Ts, kernel, &[mib], FIG_SEED)[0].report;
+            row(mib, nas);
+            row(mib, ts);
+            let pct = improvement_pct(nas.exec_secs(), ts.exec_secs());
+            println!(
+                "{:<14} -> TS faster than NAS by {pct:.1}% (paper: NAS \"much lower than TS\")",
+                ""
+            );
+            if ts.exec_secs() >= nas.exec_secs() {
+                nas_slower_everywhere = false;
+            }
+        }
+        println!();
+    }
+    assert!(
+        nas_slower_everywhere,
+        "paper shape violated: NAS must be slower than TS at every point"
+    );
+    println!("shape check: NAS slower than TS at every (kernel, size) point ✔");
+}

@@ -1,0 +1,37 @@
+//! Fig. 11 — Comparison of Execution Time for NAS, DAS and TS Schemes.
+//!
+//! 24 size units (GB→MiB), 24 nodes (12 storage + 12 compute). The
+//! paper's headline: DAS achieves the best performance, with over 30%
+//! improvement over TS and 60% over NAS.
+
+use das_bench::{header, improvement_pct, row, FIG_SEED, TABLE1_KERNELS};
+use das_runtime::{size_sweep, ClusterConfig, SchemeKind};
+
+fn main() {
+    let cfg = ClusterConfig::paper_default();
+    let mib = 24;
+    header("Fig. 11 — execution time, NAS / DAS / TS (24 MiB, 24 nodes)", "");
+
+    for kernel in TABLE1_KERNELS {
+        let nas = &size_sweep(&cfg, SchemeKind::Nas, kernel, &[mib], FIG_SEED)[0].report;
+        let das = &size_sweep(&cfg, SchemeKind::Das, kernel, &[mib], FIG_SEED)[0].report;
+        let ts = &size_sweep(&cfg, SchemeKind::Ts, kernel, &[mib], FIG_SEED)[0].report;
+        row("", nas);
+        row("", das);
+        row("", ts);
+        assert_eq!(nas.output_fingerprint, das.output_fingerprint);
+        assert_eq!(ts.output_fingerprint, das.output_fingerprint);
+
+        let vs_ts = improvement_pct(ts.exec_secs(), das.exec_secs());
+        let vs_nas = improvement_pct(nas.exec_secs(), das.exec_secs());
+        println!(
+            "  -> DAS improvement: {vs_ts:.1}% over TS (paper: >30%), \
+             {vs_nas:.1}% over NAS (paper: ~60%)\n"
+        );
+        assert!(
+            das.exec_secs() < ts.exec_secs() && ts.exec_secs() < nas.exec_secs(),
+            "{kernel}: expected DAS < TS < NAS"
+        );
+    }
+    println!("shape check: DAS fastest, NAS slowest, on every kernel ✔");
+}

@@ -1,0 +1,50 @@
+//! Fig. 12 — Execution time of NAS, TS and DAS as data size increases.
+//!
+//! All three schemes × the Table I kernels over 24–60 size units,
+//! 24 nodes. The paper's claim: DAS has "the lowest increase of
+//! execution time when the data size was increased".
+
+use das_bench::{header, row, FIG_SEED, PAPER_SIZES, TABLE1_KERNELS};
+use das_runtime::{size_sweep, ClusterConfig, SchemeKind, SweepPoint};
+
+fn growth_per_step(points: &[SweepPoint]) -> Vec<f64> {
+    points
+        .windows(2)
+        .map(|w| (w[1].report.exec_secs() / w[0].report.exec_secs() - 1.0) * 100.0)
+        .collect()
+}
+
+fn main() {
+    let cfg = ClusterConfig::paper_default();
+    header("Fig. 12 — scalability with data size (24 nodes)", "size (MiB)");
+
+    for kernel in TABLE1_KERNELS {
+        let mut per_scheme = Vec::new();
+        for scheme in [SchemeKind::Nas, SchemeKind::Das, SchemeKind::Ts] {
+            let points = size_sweep(&cfg, scheme, kernel, &PAPER_SIZES, FIG_SEED);
+            for p in &points {
+                row(p.axis, &p.report);
+            }
+            let growth = growth_per_step(&points);
+            let avg = growth.iter().sum::<f64>() / growth.len() as f64;
+            println!(
+                "  -> {} avg growth per +12 MiB: {avg:.1}% (paper: DAS ~15%, NAS/TS >30%)\n",
+                scheme.name()
+            );
+            per_scheme.push((scheme, points, avg));
+        }
+
+        // Shape: DAS pays the least *additional* time per step.
+        let delta = |points: &[SweepPoint]| {
+            points.last().unwrap().report.exec_secs() - points[0].report.exec_secs()
+        };
+        let d_nas = delta(&per_scheme[0].1);
+        let d_das = delta(&per_scheme[1].1);
+        let d_ts = delta(&per_scheme[2].1);
+        assert!(
+            d_das <= d_ts && d_das <= d_nas,
+            "{kernel}: DAS Δt {d_das:.4}s must be the smallest (NAS {d_nas:.4}s, TS {d_ts:.4}s)"
+        );
+        println!("  shape check ({kernel}): DAS absolute growth smallest ✔\n");
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 13 — Execution time as the number of nodes increases.
+//!
+//! DAS and TS at a fixed 60 size units over 24–60 total nodes (half
+//! storage, half compute). The paper: "both DAS and TS schemes are
+//! scalable … execution time reduced by about 15% when the number of
+//! nodes was increased with 12 nodes", with DAS below TS throughout.
+
+use das_bench::{header, row, FIG_SEED, PAPER_NODES};
+use das_runtime::{node_sweep, ClusterConfig, SchemeKind};
+
+fn main() {
+    let cfg = ClusterConfig::paper_default();
+    let mib = 60;
+    header("Fig. 13 — scalability with node count (60 MiB)", "nodes");
+
+    for scheme in [SchemeKind::Das, SchemeKind::Ts] {
+        let points = node_sweep(&cfg, scheme, "flow-routing", mib, &PAPER_NODES, FIG_SEED);
+        for p in &points {
+            row(p.axis, &p.report);
+        }
+        for w in points.windows(2) {
+            let drop = (1.0 - w[1].report.exec_secs() / w[0].report.exec_secs()) * 100.0;
+            println!(
+                "  -> {} {} → {} nodes: {drop:.1}% faster (paper: ~15% per +12 nodes)",
+                scheme.name(),
+                w[0].axis,
+                w[1].axis
+            );
+            assert!(
+                w[1].report.exec_secs() < w[0].report.exec_secs(),
+                "{}: adding nodes must not slow the run",
+                scheme.name()
+            );
+        }
+        println!();
+    }
+
+    // DAS below TS at every node count.
+    let das = node_sweep(&cfg, SchemeKind::Das, "flow-routing", mib, &PAPER_NODES, FIG_SEED);
+    let ts = node_sweep(&cfg, SchemeKind::Ts, "flow-routing", mib, &PAPER_NODES, FIG_SEED);
+    for (d, t) in das.iter().zip(&ts) {
+        assert!(
+            d.report.exec_secs() < t.report.exec_secs(),
+            "DAS must beat TS at {} nodes",
+            d.axis
+        );
+    }
+    println!("shape check: both schemes scale; DAS below TS at every point ✔");
+}

@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks of the building blocks: the bandwidth
+//! predictor, the distribution planner, layout mapping, descriptor
+//! parsing, the analysis kernels, and the discrete-event engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use das_core::{plan_distribution, KernelFeatures, OffsetExpr, PlanOptions, StripingParams};
+use das_kernels::{workload, FlowRouting, GaussianFilter, Kernel};
+use das_pfs::{Layout, LayoutPolicy, StripId};
+use das_sim::{OpKind, OpSpec, SimDuration, Simulator};
+
+fn eight(w: i64) -> Vec<i64> {
+    vec![-w + 1, -w, -w - 1, -1, 1, w - 1, w, w + 1]
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let params = StripingParams {
+        element_size: 4,
+        strip_size: 64 * 1024,
+        layout: Layout::new(LayoutPolicy::GroupedReplicated { group: 8 }, 12),
+    };
+    let offsets = eight(2048);
+    // 60 MiB file: the largest figure size.
+    c.bench_function("predict_file_60MiB", |b| {
+        b.iter(|| black_box(params.predict_file(black_box(&offsets), 60 << 20)))
+    });
+    c.bench_function("predict_nas_fetches_60MiB", |b| {
+        b.iter(|| black_box(params.predict_nas_fetches(black_box(&offsets), 60 << 20)))
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let offsets = eight(2048);
+    c.bench_function("plan_distribution_60MiB", |b| {
+        b.iter(|| {
+            black_box(plan_distribution(
+                black_box(&offsets),
+                4,
+                64 * 1024,
+                12,
+                60 << 20,
+                PlanOptions::default(),
+            ))
+        })
+    });
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let layout = Layout::new(LayoutPolicy::GroupedReplicated { group: 8 }, 12);
+    c.bench_function("layout_holders_1k_strips", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for s in 0..1_000u64 {
+                acc += layout.holders(StripId(s)).len() as u64;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_descriptors(c: &mut Criterion) {
+    let text = "Name:flow-routing\nDependence: -imgWidth+1, -imgWidth, -imgWidth-1, -1, 1, imgWidth-1, imgWidth, imgWidth+1";
+    c.bench_function("parse_descriptor_record", |b| {
+        b.iter(|| black_box(KernelFeatures::parse_text(black_box(text)).unwrap()))
+    });
+    let expr = "-(2*imgWidth+1)-imgWidth*3";
+    c.bench_function("parse_offset_expression", |b| {
+        b.iter(|| black_box(OffsetExpr::parse(black_box(expr)).unwrap()))
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let dem = workload::fbm_dem(256, 256, 42);
+    c.bench_function("flow_routing_256sq", |b| {
+        b.iter(|| black_box(FlowRouting.apply(black_box(&dem))))
+    });
+    c.bench_function("gaussian_256sq", |b| {
+        b.iter(|| black_box(GaussianFilter.apply(black_box(&dem))))
+    });
+    c.bench_function("fbm_dem_256sq", |b| {
+        b.iter(|| black_box(workload::fbm_dem(256, 256, black_box(42))))
+    });
+}
+
+fn bench_pfs(c: &mut Criterion) {
+    use das_pfs::{PfsCluster, StripeSpec};
+    let data: Vec<u8> = (0..1usize << 20).map(|i| (i % 251) as u8).collect(); // 1 MiB
+
+    c.bench_function("pfs_create_1MiB_replicated", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |data| {
+                let mut pfs = PfsCluster::new(8);
+                black_box(
+                    pfs.create(
+                        "f",
+                        &data,
+                        StripeSpec::new(64 * 1024),
+                        LayoutPolicy::GroupedReplicated { group: 8 },
+                    )
+                    .unwrap(),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("pfs_redistribute_1MiB", |b| {
+        b.iter_batched(
+            || {
+                let mut pfs = PfsCluster::new(8);
+                let f = pfs
+                    .create("f", &data, StripeSpec::new(64 * 1024), LayoutPolicy::RoundRobin)
+                    .unwrap();
+                (pfs, f)
+            },
+            |(mut pfs, f)| {
+                black_box(
+                    pfs.redistribute(f, LayoutPolicy::GroupedReplicated { group: 8 }).unwrap(),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut pfs = PfsCluster::new(8);
+    let f = pfs
+        .create("f", &data, StripeSpec::new(64 * 1024), LayoutPolicy::RoundRobin)
+        .unwrap();
+    c.bench_function("pfs_read_256KiB", |b| {
+        b.iter(|| black_box(pfs.read(f, 123_456, 256 * 1024).unwrap()))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // 10k-op pipeline over 32 contended resources.
+    c.bench_function("des_engine_10k_ops", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new();
+                let res: Vec<_> = (0..32).map(|i| sim.add_resource(format!("r{i}"), 1)).collect();
+                let mut prev = None;
+                for i in 0..10_000u32 {
+                    let mut spec = OpSpec::new(OpKind::Compute { node: i % 32, units: 1 })
+                        .duration(SimDuration::from_nanos(u64::from(i % 97) + 1))
+                        .uses(res[(i % 32) as usize]);
+                    if let Some(p) = prev {
+                        if i % 3 == 0 {
+                            spec = spec.after(p);
+                        }
+                    }
+                    prev = Some(sim.add_op(spec));
+                }
+                sim
+            },
+            |sim| black_box(sim.run().unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_predictor,
+    bench_planner,
+    bench_layout,
+    bench_descriptors,
+    bench_kernels,
+    bench_pfs,
+    bench_engine
+);
+criterion_main!(benches);

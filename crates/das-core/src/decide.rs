@@ -1,0 +1,451 @@
+//! The offload decision workflow (paper Fig. 3).
+//!
+//! For every active-storage request the DAS client walks the paper's
+//! flow chart:
+//!
+//! 1. get the dependence pattern from the Kernel Features registry;
+//! 2. get the file's distribution information from the parallel file
+//!    system;
+//! 3. **if a successive operation will reuse the data** (e.g.
+//!    flow-accumulation always follows flow-routing, paper Section I):
+//!    find a reasonable distribution method, reconfigure, accept;
+//! 4. otherwise predict the bandwidth cost of offloading on the
+//!    *current* layout and compare it with serving the request as
+//!    normal I/O; accept only when offloading is cheaper.
+//!
+//! The cost comparison: offloading on the current layout pays the
+//! strip-granular dependence fetching between servers
+//! ([`StripingParams::predict_nas_fetches`]); normal I/O pays moving
+//! the input to the compute nodes and the result back.
+
+use das_pfs::DistributionInfo;
+
+use crate::features::KernelFeatures;
+use crate::plan::{plan_distribution, LayoutPlan, PlanOptions};
+use crate::predict::{DependencePrediction, NasFetchPrediction, StripingParams};
+
+/// Why an offload request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Offloading on the current layout would move more bytes between
+    /// storage servers than normal I/O moves to the clients (the
+    /// paper's "if the operation requires more bandwidth than
+    /// servicing it as a normal I/O operation").
+    CostExceedsNormal,
+}
+
+/// Everything the decision workflow inspects.
+#[derive(Debug, Clone)]
+pub struct DecisionInput<'a> {
+    /// The operator's dependence descriptor.
+    pub features: &'a KernelFeatures,
+    /// The file's distribution, as queried from the file system.
+    pub dist: DistributionInfo,
+    /// Element size `E` in bytes.
+    pub element_size: u64,
+    /// Image width in elements (instantiates symbolic offsets).
+    pub img_width: u64,
+    /// Bytes the operation's result occupies (what normal I/O must
+    /// ship back; stencil kernels produce input-sized output).
+    pub output_bytes: u64,
+    /// Whether a successive operation shares this dependence pattern
+    /// (the paper's Fig. 3 branch that triggers reconfiguration).
+    pub successive: bool,
+    /// Planner bounds used when reconfiguring.
+    pub plan_opts: PlanOptions,
+}
+
+/// The quantities the decision was based on (reported for
+/// explainability and asserted against measurements in tests).
+#[derive(Debug, Clone, Copy)]
+pub struct OffloadPrediction {
+    /// Per-element dependence summary on the current layout.
+    pub dependence: DependencePrediction,
+    /// Strip-granular server↔server traffic offloading would cause on
+    /// the current layout.
+    pub nas: NasFetchPrediction,
+    /// Bytes normal I/O moves over client links (input + output).
+    pub ts_client_bytes: u64,
+}
+
+/// The outcome of the Fig. 3 workflow.
+#[derive(Debug, Clone)]
+pub enum Decision {
+    /// Serve as an active-storage request.
+    Offload {
+        /// `Some` when the workflow chose to reconfigure the layout
+        /// first (successive-operation branch) and the plan differs
+        /// from the current layout.
+        replan: Option<LayoutPlan>,
+        /// The numbers behind the decision.
+        predicted: OffloadPrediction,
+    },
+    /// Serve as normal I/O instead.
+    Reject {
+        /// Why.
+        reason: RejectReason,
+        /// The numbers behind the decision.
+        predicted: OffloadPrediction,
+    },
+}
+
+impl std::fmt::Display for Decision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Decision::Offload { replan, predicted } => {
+                write!(
+                    f,
+                    "OFFLOAD (dependence: {} remote of {} lookups; strip-fetch {} B vs normal {} B",
+                    predicted.dependence.remote_fetches,
+                    predicted.dependence.remote_fetches + predicted.dependence.local_fetches,
+                    predicted.nas.bytes,
+                    predicted.ts_client_bytes
+                )?;
+                match replan {
+                    Some(plan) => write!(
+                        f,
+                        "; reconfigure to {:?}, overhead {:.3})",
+                        plan.policy, plan.capacity_overhead
+                    ),
+                    None => write!(f, "; layout kept)"),
+                }
+            }
+            Decision::Reject { reason, predicted } => write!(
+                f,
+                "REJECT ({reason:?}: strip-fetch {} B would exceed normal service {} B)",
+                predicted.nas.bytes, predicted.ts_client_bytes
+            ),
+        }
+    }
+}
+
+impl Decision {
+    /// Whether the request will be offloaded.
+    pub fn is_offload(&self) -> bool {
+        matches!(self, Decision::Offload { .. })
+    }
+
+    /// The prediction snapshot, whichever way the decision went.
+    pub fn predicted(&self) -> &OffloadPrediction {
+        match self {
+            Decision::Offload { predicted, .. } | Decision::Reject { predicted, .. } => predicted,
+        }
+    }
+}
+
+/// Link parameters for the latency-aware decision extension
+/// ([`decide_timed`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkCost {
+    /// Sustained network throughput per node, bytes/second.
+    pub bytes_per_sec: f64,
+    /// Fixed cost of one synchronous strip fetch (request latency +
+    /// service overhead + response latency), seconds.
+    pub per_request_secs: f64,
+    /// Fixed cost of one client I/O message (per-strip latency on the
+    /// normal path), seconds.
+    pub per_message_secs: f64,
+    /// Compute (client) nodes available to the normal-I/O path.
+    pub compute_nodes: u32,
+}
+
+/// Latency-aware variant of the Fig. 3 decision — an **extension**
+/// beyond the paper.
+///
+/// The paper's criterion compares *bytes* (Eq. 5 / strip fetches vs
+/// normal I/O volume). That model has a blind spot the ablation
+/// benches expose: when dependence fetches are synchronous per-strip
+/// RPCs, their cost is dominated by per-request latency and service
+/// serialization, and an offload can lose badly while moving *fewer*
+/// bytes than TS. This variant estimates wall time on each side:
+///
+/// * offload: the per-server fetch chain,
+///   `fetches/D · per_request + (bytes/D) / bw`;
+/// * normal I/O: the parallel client transfer plus its per-strip
+///   message costs, `ts_bytes / (C · bw) + (2 · strips / C) · per_message`;
+///
+/// (kernel compute time is identical on both sides under the paper's
+/// 1:1 node configuration and cancels). Everything else — prediction,
+/// replanning for successive operations — is unchanged.
+pub fn decide_timed(input: &DecisionInput<'_>, link: &LinkCost) -> Decision {
+    let decision = decide(input);
+    match decision {
+        // The byte criterion only matters on the non-successive branch;
+        // re-examine accepted offloads with the time model.
+        Decision::Offload { replan: None, predicted } => {
+            let d = f64::from(input.dist.servers.max(1));
+            let c = f64::from(link.compute_nodes.max(1));
+            let strips = input.dist.file_len.div_ceil(input.dist.strip_size as u64) as f64;
+            let offload_time = predicted.nas.fetches as f64 / d * link.per_request_secs
+                + predicted.nas.bytes as f64 / d / link.bytes_per_sec;
+            let normal_time = predicted.ts_client_bytes as f64 / (c * link.bytes_per_sec)
+                + 2.0 * strips / c * link.per_message_secs;
+            if offload_time > normal_time {
+                Decision::Reject { reason: RejectReason::CostExceedsNormal, predicted }
+            } else {
+                Decision::Offload { replan: None, predicted }
+            }
+        }
+        other => other,
+    }
+}
+
+/// Run the paper's Fig. 3 decision workflow.
+pub fn decide(input: &DecisionInput<'_>) -> Decision {
+    let offsets = input.features.offsets(input.img_width);
+    let params = StripingParams::from_distribution(&input.dist, input.element_size);
+    let dependence = params.predict_file(&offsets, input.dist.file_len);
+    let nas = params.predict_nas_fetches(&offsets, input.dist.file_len);
+    let ts_client_bytes = input.dist.file_len + input.output_bytes;
+    let predicted = OffloadPrediction { dependence, nas, ts_client_bytes };
+
+    if input.successive {
+        // Fig. 3, "yes" branch: find a reasonable distribution method,
+        // reconfigure, accept.
+        let plan = plan_distribution(
+            &offsets,
+            input.element_size,
+            input.dist.strip_size as u64,
+            input.dist.servers,
+            input.dist.file_len,
+            input.plan_opts,
+        );
+        let replan = plan.requires_change(input.dist.policy).then_some(plan);
+        return Decision::Offload { replan, predicted };
+    }
+
+    // Fig. 3, "no" branch: predict the bandwidth cost; reject when it
+    // exceeds normal service.
+    if nas.bytes > ts_client_bytes {
+        Decision::Reject { reason: RejectReason::CostExceedsNormal, predicted }
+    } else {
+        Decision::Offload { replan: None, predicted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureRegistry;
+    use das_pfs::LayoutPolicy;
+
+    fn input<'a>(
+        features: &'a KernelFeatures,
+        strip_size: usize,
+        servers: u32,
+        policy: LayoutPolicy,
+        img_width: u64,
+        rows: u64,
+        successive: bool,
+    ) -> DecisionInput<'a> {
+        let file_len = img_width * rows * 4;
+        DecisionInput {
+            features,
+            dist: DistributionInfo { strip_size, servers, policy, file_len },
+            element_size: 4,
+            img_width,
+            output_bytes: file_len,
+            successive,
+            plan_opts: PlanOptions::default(),
+        }
+    }
+
+    #[test]
+    fn decisions_explain_themselves() {
+        let reg = FeatureRegistry::with_builtin();
+        let f = reg.get("flow-routing").unwrap();
+        let accept = decide(&input(
+            f,
+            2 * 64 * 4,
+            4,
+            LayoutPolicy::GroupedReplicated { group: 8 },
+            64,
+            512,
+            false,
+        ));
+        let text = accept.to_string();
+        assert!(text.starts_with("OFFLOAD"), "{text}");
+        assert!(text.contains("layout kept"));
+
+        let replanned = decide(&input(f, 2 * 64 * 4, 4, LayoutPolicy::RoundRobin, 64, 512, true));
+        assert!(replanned.to_string().contains("reconfigure to"));
+
+        let wide = KernelFeatures::parse_text(
+            "Name:wide\nDependence: -5*imgWidth, 5*imgWidth, -3*imgWidth, 3*imgWidth, -7*imgWidth, 7*imgWidth",
+        )
+        .unwrap()
+        .remove(0);
+        let reject = decide(&input(&wide, 64 * 4, 8, LayoutPolicy::RoundRobin, 64, 2048, false));
+        assert!(reject.to_string().starts_with("REJECT"), "{reject}");
+    }
+
+    #[test]
+    fn friendly_layout_offloads_without_replanning() {
+        // Grouped+replicated already in place: zero dependence traffic
+        // predicted, offload accepted as-is.
+        let reg = FeatureRegistry::with_builtin();
+        let f = reg.get("flow-routing").unwrap();
+        let d = input(
+            f,
+            2 * 64 * 4,
+            4,
+            LayoutPolicy::GroupedReplicated { group: 8 },
+            64,
+            512,
+            false,
+        );
+        let decision = decide(&d);
+        assert!(decision.is_offload());
+        assert_eq!(decision.predicted().nas.bytes, 0);
+        match decision {
+            Decision::Offload { replan, .. } => assert!(replan.is_none()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn hostile_layout_with_huge_dependence_rejects() {
+        // A long-stride operator on round-robin: per-strip fetching
+        // would pull many strips repeatedly, exceeding 2× file size.
+        let features = KernelFeatures::parse_text(
+            "Name:wide\nDependence: -5*imgWidth, -3*imgWidth, -imgWidth, imgWidth, 3*imgWidth, 5*imgWidth",
+        )
+        .unwrap()
+        .remove(0);
+        let d = input(&features, 64 * 4, 8, LayoutPolicy::RoundRobin, 64, 2048, false);
+        let decision = decide(&d);
+        assert!(!decision.is_offload(), "predicted: {:?}", decision.predicted());
+        match decision {
+            Decision::Reject { reason, predicted } => {
+                assert_eq!(reason, RejectReason::CostExceedsNormal);
+                assert!(predicted.nas.bytes > predicted.ts_client_bytes);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn successive_operation_triggers_replanning() {
+        let reg = FeatureRegistry::with_builtin();
+        let f = reg.get("flow-routing").unwrap();
+        let d = input(f, 2 * 64 * 4, 4, LayoutPolicy::RoundRobin, 64, 512, true);
+        let decision = decide(&d);
+        match decision {
+            Decision::Offload { replan: Some(plan), .. } => {
+                assert!(plan.satisfied);
+                assert!(matches!(plan.policy, LayoutPolicy::GroupedReplicated { .. }));
+            }
+            other => panic!("expected offload with replan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn successive_operation_on_good_layout_needs_no_replan() {
+        // Already on the planner's preferred layout → no change needed.
+        let reg = FeatureRegistry::with_builtin();
+        let f = reg.get("gaussian-filter").unwrap();
+        let strip = 2 * 64 * 4;
+        let rows = 512u64;
+        let first = decide(&input(f, strip, 4, LayoutPolicy::RoundRobin, 64, rows, true));
+        let planned_policy = match first {
+            Decision::Offload { replan: Some(p), .. } => p.policy,
+            other => panic!("expected replan, got {other:?}"),
+        };
+        let second = decide(&input(f, strip, 4, planned_policy, 64, rows, true));
+        match second {
+            Decision::Offload { replan, .. } => assert!(replan.is_none()),
+            other => panic!("expected plain offload, got {other:?}"),
+        }
+    }
+
+    fn test_link(compute_nodes: u32) -> LinkCost {
+        LinkCost {
+            bytes_per_sec: 100.0 * 1024.0 * 1024.0,
+            per_request_secs: 800e-6,
+            per_message_secs: 50e-6,
+            compute_nodes,
+        }
+    }
+
+    #[test]
+    fn timed_decision_agrees_when_no_fetches() {
+        // Zero dependence traffic → offload under both rules.
+        let reg = FeatureRegistry::with_builtin();
+        let f = reg.get("flow-routing").unwrap();
+        let d = input(
+            f,
+            2 * 64 * 4,
+            4,
+            LayoutPolicy::GroupedReplicated { group: 8 },
+            64,
+            512,
+            false,
+        );
+        let byte = decide(&d);
+        let timed = decide_timed(&d, &test_link(4));
+        assert!(byte.is_offload() && timed.is_offload());
+    }
+
+    #[test]
+    fn timed_decision_rejects_latency_bound_offloads() {
+        // A moderate-byte but request-heavy pattern: the byte rule
+        // accepts, the timed rule must reject once per-request costs
+        // dominate. One-row strips, ±1-row stride → every strip task
+        // fetches two whole strips.
+        let features = KernelFeatures::parse_text("Name:op\nDependence: -imgWidth, imgWidth")
+            .unwrap()
+            .remove(0);
+        let d = input(&features, 64 * 4, 8, LayoutPolicy::RoundRobin, 64, 4096, false);
+        let byte = decide(&d);
+        assert!(byte.is_offload(), "fetch bytes ≈ 2×S ≤ ts bytes = 2×S");
+        let slow_requests = LinkCost { per_request_secs: 5e-3, ..test_link(8) };
+        let timed = decide_timed(&d, &slow_requests);
+        assert!(!timed.is_offload(), "5 ms per fetch must tip the decision");
+        // With negligible request cost the timed rule agrees with the
+        // byte rule again.
+        let fast_requests = LinkCost { per_request_secs: 1e-9, ..test_link(8) };
+        assert!(decide_timed(&d, &fast_requests).is_offload());
+    }
+
+    #[test]
+    fn timed_decision_preserves_byte_rule_rejections() {
+        // Whatever the link parameters, a byte-rule rejection stands.
+        let features = KernelFeatures::parse_text(
+            "Name:wide\nDependence: -5*imgWidth, -3*imgWidth, -imgWidth, imgWidth, 3*imgWidth, 5*imgWidth",
+        )
+        .unwrap()
+        .remove(0);
+        let d = input(&features, 64 * 4, 8, LayoutPolicy::RoundRobin, 64, 2048, false);
+        assert!(!decide(&d).is_offload());
+        let generous = LinkCost { per_request_secs: 0.0, per_message_secs: 1.0, ..test_link(8) };
+        assert!(!decide_timed(&d, &generous).is_offload());
+    }
+
+    #[test]
+    fn timed_decision_keeps_successive_replanning() {
+        let reg = FeatureRegistry::with_builtin();
+        let f = reg.get("flow-routing").unwrap();
+        let d = input(f, 2 * 64 * 4, 4, LayoutPolicy::RoundRobin, 64, 512, true);
+        match decide_timed(&d, &test_link(4)) {
+            Decision::Offload { replan: Some(plan), .. } => assert!(plan.satisfied),
+            other => panic!("expected replanned offload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn moderate_dependence_on_round_robin_still_offloads() {
+        // The paper's kernels fetch ~2 whole strips per strip task —
+        // under 2× file size, while TS pays input + output = 2× file
+        // size over client links. Offload wins, matching the paper's
+        // observation that NAS still beats nothing (it just loses to
+        // TS in *time* because of serialization, not raw bytes).
+        let reg = FeatureRegistry::with_builtin();
+        let f = reg.get("flow-accumulation").unwrap();
+        let d = input(f, 2 * 64 * 4, 4, LayoutPolicy::RoundRobin, 64, 512, false);
+        let decision = decide(&d);
+        assert!(decision.is_offload());
+        let p = decision.predicted();
+        assert!(p.nas.bytes > 0);
+        assert!(p.nas.bytes <= p.ts_client_bytes);
+    }
+}

@@ -1,0 +1,465 @@
+//! Bandwidth analysis and prediction (paper Section III-C).
+//!
+//! The DAS client predicts, *before* offloading, how many bytes an
+//! operation's data dependence will drag between storage servers. The
+//! paper's model:
+//!
+//! * **Eq. 1** `strip(i) = i·E / strip_size` — the strip of the `i`-th
+//!   element, for element size `E`;
+//! * **Eq. 2** `location(i) = strip(i) mod D` — its server under
+//!   round-robin striping over `D` servers;
+//! * **Eqs. 3–4** the same for each dependent element `i + offsetₙ`;
+//! * **Eq. 5** `bwcost = E · Σ aj` with `aj = 1` iff dependent element
+//!   `j` lives on a *different* server — the per-element bandwidth
+//!   cost;
+//! * **Eqs. 8–13** specialize to a symmetric stride: all three of
+//!   `l − stride, l, l + stride` co-locate iff
+//!   `stride·E / strip_size mod D = 0`;
+//! * **Eqs. 14–16** generalize location to the grouped layout
+//!   (`location = (i·E / (r·strip_size)) mod D`), and **Eq. 17** gives
+//!   the offload criterion `stride·E / (r·strip_size) mod D = 0`.
+//!
+//! [`StripingParams`] implements the per-element equations literally,
+//! and adds what the equations alone can't see: with the
+//! grouped+replicated layout a dependent element on a *neighboring*
+//! strip may be locally available as a **replica**, so locality is
+//! decided against the full holder set of the dependent strip
+//! ([`das_pfs::Layout::holds`]). Whole-file sums are computed exactly
+//! in `O(strips × offsets)` rather than `O(elements × offsets)` by
+//! aggregating runs of elements whose dependence lands in the same
+//! strip.
+
+use das_pfs::{DistributionInfo, Layout, LayoutPolicy, ServerId, StripId};
+
+/// The inputs of the prediction model: element size `E` plus the
+/// striping/distribution of the file (strip size, server count `D`,
+/// layout policy with group size `r`).
+#[derive(Debug, Clone, Copy)]
+pub struct StripingParams {
+    /// Element size `E` in bytes.
+    pub element_size: u64,
+    /// Strip size in bytes.
+    pub strip_size: u64,
+    /// The bound layout (policy + server count `D`).
+    pub layout: Layout,
+}
+
+impl StripingParams {
+    /// Build from a file's [`DistributionInfo`] (as queried from the
+    /// parallel file system) and the application's element size.
+    ///
+    /// # Panics
+    /// Panics unless `element_size > 0` and the strip size is a
+    /// multiple of the element size (elements must not straddle strip
+    /// boundaries; PVFS2-style systems guarantee this for power-of-two
+    /// sizes).
+    pub fn from_distribution(info: &DistributionInfo, element_size: u64) -> Self {
+        assert!(element_size > 0, "element size must be positive");
+        assert_eq!(
+            info.strip_size as u64 % element_size,
+            0,
+            "strip size must be a multiple of the element size"
+        );
+        StripingParams {
+            element_size,
+            strip_size: info.strip_size as u64,
+            layout: Layout::new(info.policy, info.servers),
+        }
+    }
+
+    /// Elements per strip.
+    pub fn elements_per_strip(&self) -> u64 {
+        self.strip_size / self.element_size
+    }
+
+    /// Paper Eq. 1: the strip of element `i`.
+    pub fn strip_of(&self, i: u64) -> StripId {
+        StripId(i * self.element_size / self.strip_size)
+    }
+
+    /// Paper Eq. 2 / Eq. 14: the server processing element `i` — the
+    /// primary holder of its strip, `(i·E / (r·strip_size)) mod D`.
+    pub fn location_of(&self, i: u64) -> ServerId {
+        self.layout.primary(self.strip_of(i))
+    }
+
+    /// Paper Eq. 14 written out literally (used by tests to show the
+    /// layout code implements the equation).
+    pub fn location_by_equation(&self, i: u64) -> u64 {
+        let r = self.layout.policy.group_size();
+        (i * self.element_size / (r * self.strip_size)) % u64::from(self.layout.servers)
+    }
+
+    /// Paper Eqs. 11–13 / 17: does a symmetric stride dependence stay
+    /// on one server *by placement arithmetic alone* (no replication)?
+    /// True iff `stride·E` is a whole number of `r·strip_size` groups
+    /// *and* that group distance is a multiple of `D`.
+    pub fn eq17_holds(&self, stride: i64) -> bool {
+        let bytes = stride.unsigned_abs() * self.element_size;
+        let group_bytes = self.layout.policy.group_size() * self.strip_size;
+        bytes.is_multiple_of(group_bytes)
+            && (bytes / group_bytes).is_multiple_of(u64::from(self.layout.servers))
+    }
+
+    /// Paper Eq. 5 for one element: `bwcost(i) = E · Σ aj`, where
+    /// `aj = 1` iff dependent element `i + offsetⱼ` (clipped to the
+    /// file) is not locally available to the server processing `i`
+    /// (replicas count as local).
+    pub fn element_bw_cost(&self, i: u64, offsets: &[i64], total_elements: u64) -> u64 {
+        let server = self.location_of(i);
+        let mut aj_sum = 0u64;
+        for &o in offsets {
+            let d = i as i64 + o;
+            if d < 0 || d as u64 >= total_elements {
+                continue; // boundary element: dependence falls off the file
+            }
+            let dep_strip = self.strip_of(d as u64);
+            if !self.layout.holds(server, dep_strip) {
+                aj_sum += 1;
+            }
+        }
+        self.element_size * aj_sum
+    }
+
+    /// Exact whole-file sum of Eq. 5 in `O(strips × offsets)` time.
+    ///
+    /// # Panics
+    /// Panics unless `file_len` is a multiple of the element size.
+    pub fn predict_file(&self, offsets: &[i64], file_len: u64) -> DependencePrediction {
+        assert_eq!(file_len % self.element_size, 0, "file length must be whole elements");
+        let n = file_len / self.element_size;
+        let se = self.elements_per_strip();
+        let strips = n.div_ceil(se.max(1));
+        let mut local = 0u64;
+        let mut remote = 0u64;
+
+        for t in 0..strips {
+            let base = t * se;
+            let len_t = se.min(n - base);
+            let server = self.layout.primary(StripId(t));
+            for &o in offsets {
+                // Dependent elements of this strip's elements: the
+                // interval [base + o, base + len_t + o) ∩ [0, n).
+                let lo = (base as i64 + o).max(0);
+                let hi = ((base + len_t) as i64 + o).min(n as i64);
+                if lo >= hi {
+                    continue;
+                }
+                let (lo, hi) = (lo as u64, hi as u64);
+                let u0 = lo / se;
+                let u1 = (hi - 1) / se;
+                for u in u0..=u1 {
+                    let seg_lo = lo.max(u * se);
+                    let seg_hi = hi.min((u + 1) * se);
+                    let count = seg_hi - seg_lo;
+                    if u == t || self.layout.holds(server, StripId(u)) {
+                        local += count;
+                    } else {
+                        remote += count;
+                    }
+                }
+            }
+        }
+
+        DependencePrediction {
+            elements: n,
+            local_fetches: local,
+            remote_fetches: remote,
+            remote_bytes: remote * self.element_size,
+        }
+    }
+
+    /// Predict the strip-granular fetching a *naive* active storage
+    /// service performs: for each strip a server processes, every
+    /// dependent strip it does not hold is pulled whole from its
+    /// primary (and pulled **again** for the next strip that needs it —
+    /// the paper's "each strip was transferred multiple times").
+    pub fn predict_nas_fetches(&self, offsets: &[i64], file_len: u64) -> NasFetchPrediction {
+        assert_eq!(file_len % self.element_size, 0, "file length must be whole elements");
+        let n = file_len / self.element_size;
+        let se = self.elements_per_strip();
+        let strips = n.div_ceil(se.max(1));
+        let mut fetches = 0u64;
+        let mut bytes = 0u64;
+        let mut distinct = std::collections::BTreeSet::new();
+
+        for t in 0..strips {
+            let base = t * se;
+            let len_t = se.min(n - base);
+            let server = self.layout.primary(StripId(t));
+            let mut needed = std::collections::BTreeSet::new();
+            for &o in offsets {
+                let lo = (base as i64 + o).max(0);
+                let hi = ((base + len_t) as i64 + o).min(n as i64);
+                if lo >= hi {
+                    continue;
+                }
+                let u0 = lo as u64 / se;
+                let u1 = (hi as u64 - 1) / se;
+                for u in u0..=u1 {
+                    if u != t && !self.layout.holds(server, StripId(u)) {
+                        needed.insert(u);
+                    }
+                }
+            }
+            for u in needed {
+                fetches += 1;
+                let strip_len = (n * self.element_size - u * self.strip_size).min(self.strip_size);
+                bytes += strip_len;
+                distinct.insert(u);
+            }
+        }
+
+        NasFetchPrediction { fetches, bytes, distinct_strips: distinct.len() as u64 }
+    }
+
+    /// The layout these parameters assume.
+    pub fn policy(&self) -> LayoutPolicy {
+        self.layout.policy
+    }
+}
+
+/// Whole-file sum of the paper's Eq. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DependencePrediction {
+    /// Elements in the file.
+    pub elements: u64,
+    /// Dependence lookups satisfiable on the processing server
+    /// (same strip, or a strip held locally as a replica).
+    pub local_fetches: u64,
+    /// Dependence lookups requiring another server (`Σ aj`).
+    pub remote_fetches: u64,
+    /// `E · Σ aj` — the paper's total bandwidth cost.
+    pub remote_bytes: u64,
+}
+
+impl DependencePrediction {
+    /// True when the layout satisfies every dependence locally — the
+    /// goal of the DAS improved distribution.
+    pub fn all_local(&self) -> bool {
+        self.remote_fetches == 0
+    }
+
+    /// Fraction of dependence lookups that go remote.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_fetches + self.remote_fetches;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_fetches as f64 / total as f64
+        }
+    }
+}
+
+/// Predicted strip-fetch traffic of a naive active-storage service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NasFetchPrediction {
+    /// Total strip fetches performed (with re-fetches).
+    pub fetches: u64,
+    /// Total bytes pulled between servers.
+    pub bytes: u64,
+    /// Distinct strips pulled at least once (`fetches / distinct` is
+    /// the paper's "transferred multiple times" amplification).
+    pub distinct_strips: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(e: u64, strip: u64, d: u32, policy: LayoutPolicy) -> StripingParams {
+        StripingParams {
+            element_size: e,
+            strip_size: strip,
+            layout: Layout::new(policy, d),
+        }
+    }
+
+    #[test]
+    fn eq1_eq2_round_robin() {
+        // E = 4, strip = 16 bytes → 4 elements per strip, D = 3.
+        let p = params(4, 16, 3, LayoutPolicy::RoundRobin);
+        assert_eq!(p.strip_of(0), StripId(0));
+        assert_eq!(p.strip_of(3), StripId(0));
+        assert_eq!(p.strip_of(4), StripId(1));
+        assert_eq!(p.location_of(4), ServerId(1));
+        assert_eq!(p.location_of(12), ServerId(0)); // strip 3 → 3 mod 3
+    }
+
+    #[test]
+    fn eq14_equation_matches_layout_code() {
+        for policy in [
+            LayoutPolicy::RoundRobin,
+            LayoutPolicy::Grouped { group: 3 },
+            LayoutPolicy::GroupedReplicated { group: 4 },
+        ] {
+            let p = params(4, 64, 5, policy);
+            for i in 0..1_000u64 {
+                assert_eq!(
+                    u64::from(p.location_of(i).0),
+                    p.location_by_equation(i),
+                    "policy {policy:?}, element {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq17_criterion() {
+        // E=4, strip=16, D=3, r=1: stride·4 must be a multiple of 16·3.
+        let p = params(4, 16, 3, LayoutPolicy::RoundRobin);
+        assert!(p.eq17_holds(12)); // 48 bytes = 16·3
+        assert!(p.eq17_holds(-12));
+        assert!(p.eq17_holds(24));
+        assert!(!p.eq17_holds(4)); // one strip over → next server
+        assert!(!p.eq17_holds(6));
+        assert!(p.eq17_holds(0));
+
+        // Grouping by r=2 doubles the co-location distance.
+        let p2 = params(4, 16, 3, LayoutPolicy::Grouped { group: 2 });
+        assert!(p2.eq17_holds(24)); // 96 bytes = (2·16)·3
+        assert!(!p2.eq17_holds(12));
+    }
+
+    #[test]
+    fn eq17_predicts_same_location_for_stride_triples() {
+        // Paper Eqs. 11–13: when the criterion holds, l−stride, l and
+        // l+stride all land on one server; when it fails, some element
+        // has a displaced neighbor.
+        let p = params(4, 16, 3, LayoutPolicy::RoundRobin);
+        let n = 600u64;
+        for stride in [4i64, 6, 12, 24, 7] {
+            let holds = p.eq17_holds(stride);
+            let mut all_same = true;
+            for l in 0..n {
+                for d in [l as i64 - stride, l as i64 + stride] {
+                    if d >= 0 && (d as u64) < n && p.location_of(d as u64) != p.location_of(l) {
+                        all_same = false;
+                    }
+                }
+            }
+            assert_eq!(holds, all_same, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn element_cost_matches_brute_force_file_sum() {
+        let offsets = [-9i64, -8, -7, -1, 1, 7, 8, 9]; // 8-neighbor, width 8
+        for policy in [
+            LayoutPolicy::RoundRobin,
+            LayoutPolicy::Grouped { group: 2 },
+            LayoutPolicy::GroupedReplicated { group: 2 },
+        ] {
+            let p = params(4, 16, 3, policy);
+            let file_len = 4 * 8 * 30; // 30 rows of 8 elements
+            let n = file_len / 4;
+            let brute: u64 = (0..n).map(|i| p.element_bw_cost(i, &offsets, n)).sum();
+            let fast = p.predict_file(&offsets, file_len);
+            assert_eq!(fast.remote_bytes, brute, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_8neighbor_has_remote_dependence() {
+        // Width 8 elements, 4 elements/strip → vertical neighbors are
+        // 2 strips away; on 3 servers round-robin that is remote.
+        let p = params(4, 16, 3, LayoutPolicy::RoundRobin);
+        let offsets = [-9i64, -8, -7, -1, 1, 7, 8, 9];
+        let pred = p.predict_file(&offsets, 4 * 8 * 30);
+        assert!(pred.remote_fetches > 0);
+        assert!(pred.remote_fraction() > 0.3);
+    }
+
+    #[test]
+    fn grouped_replicated_makes_8neighbor_fully_local() {
+        // Strip = two rows (16 elements ≥ the widest offset 9), so
+        // every dependence reaches at most the adjacent strip, which
+        // boundary replication covers.
+        let p = params(4, 64, 3, LayoutPolicy::GroupedReplicated { group: 4 });
+        let offsets = [-9i64, -8, -7, -1, 1, 7, 8, 9];
+        let pred = p.predict_file(&offsets, 4 * 8 * 36);
+        assert!(pred.all_local(), "remote: {}", pred.remote_fetches);
+        assert_eq!(pred.remote_bytes, 0);
+    }
+
+    #[test]
+    fn one_row_strips_defeat_single_strip_replication() {
+        // With a one-row strip the 1-D offset ±(W+1) spans **two**
+        // strips, which single-boundary replication cannot cover — the
+        // reason the planner must pick strip-relative group geometry.
+        let p = params(4, 32, 3, LayoutPolicy::GroupedReplicated { group: 4 });
+        let offsets = [-9i64, -8, -7, -1, 1, 7, 8, 9];
+        let pred = p.predict_file(&offsets, 4 * 8 * 36);
+        assert!(!pred.all_local());
+    }
+
+    #[test]
+    fn grouping_without_replication_reduces_but_keeps_boundary_traffic() {
+        let offsets = [-9i64, -8, -7, -1, 1, 7, 8, 9];
+        let rr = params(4, 32, 3, LayoutPolicy::RoundRobin);
+        let grouped = params(4, 32, 3, LayoutPolicy::Grouped { group: 4 });
+        let len = 4 * 8 * 48;
+        let pred_rr = rr.predict_file(&offsets, len);
+        let pred_g = grouped.predict_file(&offsets, len);
+        assert!(pred_g.remote_fetches < pred_rr.remote_fetches);
+        assert!(pred_g.remote_fetches > 0, "group boundaries still cross servers");
+    }
+
+    #[test]
+    fn boundary_elements_cost_nothing() {
+        // A file of one strip: every in-file dependence is same-strip,
+        // out-of-file dependence is clipped.
+        let p = params(4, 64, 4, LayoutPolicy::RoundRobin);
+        let pred = p.predict_file(&[-1, 1], 64);
+        assert!(pred.all_local());
+        assert_eq!(pred.elements, 16);
+        // 16 elements × 2 offsets − 2 clipped = 30 local lookups.
+        assert_eq!(pred.local_fetches, 30);
+    }
+
+    #[test]
+    fn nas_fetch_amplification_counts_refetches() {
+        // Width 8, strip = 2 rows, 3 servers round-robin: each strip t
+        // needs strips t−1 and t+1, both on other servers.
+        let p = params(4, 64, 3, LayoutPolicy::RoundRobin);
+        let offsets = [-9i64, -8, -7, -1, 1, 7, 8, 9];
+        let rows = 30u64;
+        let strips = rows / 2;
+        let nas = p.predict_nas_fetches(&offsets, 4 * 8 * rows);
+        // Interior strips fetch 2, the two edge strips fetch 1.
+        assert_eq!(nas.fetches, 2 * (strips - 2) + 2);
+        assert_eq!(nas.bytes, nas.fetches * 64);
+        // Every strip is pulled at least once by some neighbor.
+        assert_eq!(nas.distinct_strips, strips);
+        // Amplification: "each strip was transferred multiple times".
+        assert!(nas.fetches as f64 / nas.distinct_strips as f64 > 1.8);
+    }
+
+    #[test]
+    fn nas_fetches_vanish_under_improved_layout() {
+        let p = params(4, 64, 3, LayoutPolicy::GroupedReplicated { group: 4 });
+        let offsets = [-9i64, -8, -7, -1, 1, 7, 8, 9];
+        let nas = p.predict_nas_fetches(&offsets, 4 * 8 * 36);
+        assert_eq!(nas.fetches, 0);
+        assert_eq!(nas.bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the element size")]
+    fn misaligned_strip_size_rejected() {
+        let info = DistributionInfo {
+            strip_size: 10,
+            servers: 2,
+            policy: LayoutPolicy::RoundRobin,
+            file_len: 100,
+        };
+        let _ = StripingParams::from_distribution(&info, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole elements")]
+    fn partial_element_file_rejected() {
+        let p = params(4, 16, 2, LayoutPolicy::RoundRobin);
+        let _ = p.predict_file(&[1], 30);
+    }
+}

@@ -1,0 +1,237 @@
+//! Minimal XML reader for Kernel Features descriptors.
+//!
+//! The paper allows patterns to be "implemented and represented as a
+//! plain text file or an XML file". This is a deliberately small,
+//! dependency-free reader for exactly the descriptor schema — elements,
+//! text content, `<!-- comments -->` and an optional XML declaration;
+//! no attributes, namespaces or entities:
+//!
+//! ```xml
+//! <kernels>
+//!   <kernel>
+//!     <name>flow-routing</name>
+//!     <dependence>-imgWidth+1, -imgWidth, -imgWidth-1, -1, 1,
+//!                 imgWidth-1, imgWidth, imgWidth+1</dependence>
+//!   </kernel>
+//! </kernels>
+//! ```
+
+use crate::features::{KernelFeatures, OffsetExpr, ParseError};
+
+/// A parsed element: tag, text directly inside it, child elements.
+#[derive(Debug)]
+struct Element {
+    tag: String,
+    text: String,
+    children: Vec<Element>,
+}
+
+struct Reader<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn skip_noise(&mut self) {
+        loop {
+            let rest = &self.src[self.pos..];
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if let Some(stripped) = trimmed.strip_prefix("<!--") {
+                match stripped.find("-->") {
+                    Some(end) => self.pos += 4 + end + 3,
+                    None => {
+                        self.pos = self.src.len();
+                        return;
+                    }
+                }
+            } else if trimmed.starts_with("<?") {
+                match trimmed.find("?>") {
+                    Some(end) => self.pos += end + 2,
+                    None => {
+                        self.pos = self.src.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseError> {
+        self.skip_noise();
+        let rest = &self.src[self.pos..];
+        if !rest.starts_with('<') {
+            return Err(ParseError::new(self.src, "expected '<' to open an element"));
+        }
+        let close = rest
+            .find('>')
+            .ok_or_else(|| ParseError::new(self.src, "unterminated opening tag"))?;
+        let tag = rest[1..close].trim();
+        if tag.is_empty() || !tag.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(ParseError::new(self.src, format!("bad tag name {tag:?}")));
+        }
+        let tag = tag.to_string();
+        self.pos += close + 1;
+
+        let mut text = String::new();
+        let mut children = Vec::new();
+        loop {
+            // Accumulate text up to the next tag.
+            let rest = &self.src[self.pos..];
+            let lt = rest
+                .find('<')
+                .ok_or_else(|| ParseError::new(self.src, format!("<{tag}> never closed")))?;
+            text.push_str(&rest[..lt]);
+            self.pos += lt;
+            let rest = &self.src[self.pos..];
+            if let Some(after) = rest.strip_prefix("</") {
+                let close = after
+                    .find('>')
+                    .ok_or_else(|| ParseError::new(self.src, "unterminated closing tag"))?;
+                let closing = after[..close].trim();
+                if closing != tag {
+                    return Err(ParseError::new(
+                        self.src,
+                        format!("mismatched </{closing}> for <{tag}>"),
+                    ));
+                }
+                self.pos += 2 + close + 1;
+                return Ok(Element { tag, text, children });
+            } else if rest.starts_with("<!--") {
+                self.skip_noise();
+            } else {
+                children.push(self.parse_element()?);
+            }
+        }
+    }
+}
+
+/// Parse an XML descriptor document into kernel feature records.
+///
+/// Accepts either a `<kernels>` list of `<kernel>` elements or a
+/// single bare `<kernel>` element at the root.
+pub fn parse_kernel_xml(src: &str) -> Result<Vec<KernelFeatures>, ParseError> {
+    let mut reader = Reader { src, pos: 0 };
+    let root = reader.parse_element()?;
+    reader.skip_noise();
+    if reader.src[reader.pos..].trim() != "" {
+        return Err(ParseError::new(src, "trailing content after root element"));
+    }
+
+    let kernel_elements: Vec<&Element> = match root.tag.as_str() {
+        "kernels" => root.children.iter().collect(),
+        "kernel" => vec![&root],
+        other => {
+            return Err(ParseError::new(
+                src,
+                format!("expected <kernels> or <kernel> root, found <{other}>"),
+            ))
+        }
+    };
+
+    let mut out = Vec::new();
+    for el in kernel_elements {
+        if el.tag != "kernel" {
+            return Err(ParseError::new(src, format!("unexpected <{}> in <kernels>", el.tag)));
+        }
+        let mut name: Option<String> = None;
+        let mut dependence: Option<Vec<OffsetExpr>> = None;
+        for child in &el.children {
+            match child.tag.as_str() {
+                "name" => name = Some(child.text.trim().to_string()),
+                "dependence" => {
+                    let mut offsets = Vec::new();
+                    for part in child.text.split(',') {
+                        let part = part.trim();
+                        if part.is_empty() {
+                            continue;
+                        }
+                        offsets.push(OffsetExpr::parse(part)?);
+                    }
+                    dependence = Some(offsets);
+                }
+                other => {
+                    return Err(ParseError::new(src, format!("unexpected <{other}> in <kernel>")))
+                }
+            }
+        }
+        let name = name.ok_or_else(|| ParseError::new(src, "<kernel> missing <name>"))?;
+        let dependence =
+            dependence.ok_or_else(|| ParseError::new(src, "<kernel> missing <dependence>"))?;
+        if name.is_empty() {
+            return Err(ParseError::new(src, "<name> is empty"));
+        }
+        if dependence.is_empty() {
+            return Err(ParseError::new(src, "<dependence> lists no offsets"));
+        }
+        out.push(KernelFeatures { name, dependence });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_document_parses() {
+        let src = r#"<?xml version="1.0"?>
+<!-- descriptor file -->
+<kernels>
+  <kernel>
+    <name>flow-routing</name>
+    <dependence>-imgWidth+1, -imgWidth, -imgWidth-1, -1, 1,
+                imgWidth-1, imgWidth, imgWidth+1</dependence>
+  </kernel>
+  <kernel>
+    <name>row-diff</name>
+    <dependence>-imgWidth</dependence>
+  </kernel>
+</kernels>"#;
+        let recs = parse_kernel_xml(src).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "flow-routing");
+        assert_eq!(recs[0].offsets(100).len(), 8);
+        assert_eq!(recs[1].offsets(100), vec![-100]);
+    }
+
+    #[test]
+    fn bare_kernel_root_accepted() {
+        let src = "<kernel><name>x</name><dependence>1, -1</dependence></kernel>";
+        let recs = parse_kernel_xml(src).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].offsets(10), vec![1, -1]);
+    }
+
+    #[test]
+    fn comments_between_kernels_ok() {
+        let src = "<kernels><!-- a --><kernel><name>x</name><dependence>1</dependence></kernel><!-- b --></kernels>";
+        assert_eq!(parse_kernel_xml(src).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn structural_errors_rejected() {
+        assert!(parse_kernel_xml("<kernels><kernel></kernel></kernels>").is_err()); // missing name
+        assert!(parse_kernel_xml("<kernels><kernel><name>x</name></kernel></kernels>").is_err()); // missing dependence
+        assert!(parse_kernel_xml("<wrong><kernel/></wrong>").is_err());
+        assert!(parse_kernel_xml("<kernels><kernel><name>x</name><dependence>1</dependence>")
+            .is_err()); // unclosed
+        assert!(parse_kernel_xml(
+            "<kernels><kernel><name>x</name><dependence>1</dependence></oops></kernels>"
+        )
+        .is_err()); // mismatched close
+        assert!(parse_kernel_xml(
+            "<kernel><name>x</name><dependence>1</dependence></kernel><kernel>"
+        )
+        .is_err()); // trailing content
+    }
+
+    #[test]
+    fn bad_offsets_inside_xml_rejected() {
+        let src = "<kernel><name>x</name><dependence>imgHeight</dependence></kernel>";
+        assert!(parse_kernel_xml(src).is_err());
+    }
+}

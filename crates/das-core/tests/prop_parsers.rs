@@ -1,0 +1,76 @@
+//! Robustness fuzzing for the descriptor parsers: arbitrary input must
+//! produce `Err`, never a panic, and valid inputs must round-trip.
+//! Descriptor files arrive from users (the paper's Kernel Features are
+//! plain files on disk), so the parse surface is hostile territory.
+
+use das_core::{KernelFeatures, OffsetExpr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expression_parser_never_panics(src in ".*") {
+        let _ = OffsetExpr::parse(&src);
+    }
+
+    #[test]
+    fn expression_parser_never_panics_on_exprlike(
+        src in "[-+*() 0-9a-zA-Z_]{0,40}",
+    ) {
+        let _ = OffsetExpr::parse(&src);
+    }
+
+    #[test]
+    fn text_parser_never_panics(src in "(.|\n){0,300}") {
+        let _ = KernelFeatures::parse_text(&src);
+    }
+
+    #[test]
+    fn text_parser_never_panics_on_recordlike(
+        name in "[a-z-]{1,12}",
+        deps in "[-+*imgWidth0-9, ]{0,60}",
+    ) {
+        let src = format!("Name:{name}\nDependence: {deps}");
+        let _ = KernelFeatures::parse_text(&src);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(src in "(.|\n){0,300}") {
+        let mut reg = das_core::FeatureRegistry::new();
+        let _ = reg.load_xml(&src);
+    }
+
+    #[test]
+    fn xml_parser_never_panics_on_taggy_input(
+        src in "(<[a-z/!-]{0,8}>|[a-z0-9, +*-]{0,8}){0,30}",
+    ) {
+        let mut reg = das_core::FeatureRegistry::new();
+        let _ = reg.load_xml(&src);
+    }
+
+    #[test]
+    fn valid_expressions_always_roundtrip(
+        terms in prop::collection::vec((any::<bool>(), -10_000i64..10_000), 1..6),
+    ) {
+        // Build `±imgWidth*k ± c …` style strings from parts.
+        let mut src = String::new();
+        for (i, (use_width, c)) in terms.iter().enumerate() {
+            if i > 0 {
+                src.push_str(if c % 2 == 0 { "+" } else { "-" });
+            }
+            if *use_width {
+                src.push_str(&format!("{}*imgWidth", c.abs() % 100));
+            } else {
+                src.push_str(&(c.abs() % 10_000).to_string());
+            }
+        }
+        let parsed = OffsetExpr::parse(&src).expect("constructed to be valid");
+        // Display → parse is a fixpoint.
+        let redisplayed = parsed.to_string();
+        let reparsed = OffsetExpr::parse(&redisplayed).expect("display output parses");
+        for w in [1u64, 64, 4096] {
+            prop_assert_eq!(parsed.eval(w), reparsed.eval(w));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Image-processing kernels: Gaussian smoothing, median filtering and
+//! surface slope — the 8-neighbor operations from medical imaging and
+//! GIS the paper lists in Section III-C.
+
+use crate::kernel::{eight_neighbor_offsets, Kernel};
+use crate::source::ElemSource;
+
+/// 3×3 Gaussian smoothing (Table I's third kernel), binomial weights
+/// `[1 2 1; 2 4 2; 1 2 1] / 16`, replicate-edge boundary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GaussianFilter;
+
+impl Kernel for GaussianFilter {
+    fn name(&self) -> &'static str {
+        "gaussian-filter"
+    }
+
+    fn dependence_offsets(&self, img_width: u64) -> Vec<i64> {
+        eight_neighbor_offsets(img_width)
+    }
+
+    fn cost_per_element(&self) -> f64 {
+        220.0
+    }
+
+    fn process_element(&self, src: &dyn ElemSource, row: u64, col: u64) -> f32 {
+        const W: [[f32; 3]; 3] = [[1.0, 2.0, 1.0], [2.0, 4.0, 2.0], [1.0, 2.0, 1.0]];
+        let (row, col) = (row as i64, col as i64);
+        let mut acc = 0.0f32;
+        for (i, wr) in W.iter().enumerate() {
+            for (j, &w) in wr.iter().enumerate() {
+                acc += w * src.get_clamped(row + i as i64 - 1, col + j as i64 - 1);
+            }
+        }
+        acc / 16.0
+    }
+}
+
+/// 3×3 median filter (impulse-noise removal in medical imaging),
+/// replicate-edge boundary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MedianFilter;
+
+impl Kernel for MedianFilter {
+    fn name(&self) -> &'static str {
+        "median-filter"
+    }
+
+    fn dependence_offsets(&self, img_width: u64) -> Vec<i64> {
+        eight_neighbor_offsets(img_width)
+    }
+
+    fn cost_per_element(&self) -> f64 {
+        300.0
+    }
+
+    fn process_element(&self, src: &dyn ElemSource, row: u64, col: u64) -> f32 {
+        let (row, col) = (row as i64, col as i64);
+        let mut window = [0.0f32; 9];
+        let mut k = 0;
+        for dr in -1..=1 {
+            for dc in -1..=1 {
+                window[k] = src.get_clamped(row + dr, col + dc);
+                k += 1;
+            }
+        }
+        // total_cmp gives a total order (no NaNs expected in workloads,
+        // but determinism must not depend on that).
+        window.sort_unstable_by(f32::total_cmp);
+        window[4]
+    }
+}
+
+/// Surface slope: maximum elevation drop to any of the 8 neighbors
+/// (diagonals scaled by 1/√2), in elevation units per cell. Flat or
+/// locally-minimal cells report 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlopeAnalysis;
+
+impl Kernel for SlopeAnalysis {
+    fn name(&self) -> &'static str {
+        "slope-analysis"
+    }
+
+    fn dependence_offsets(&self, img_width: u64) -> Vec<i64> {
+        eight_neighbor_offsets(img_width)
+    }
+
+    fn cost_per_element(&self) -> f64 {
+        200.0
+    }
+
+    fn process_element(&self, src: &dyn ElemSource, row: u64, col: u64) -> f32 {
+        const INV_SQRT2: f32 = std::f32::consts::FRAC_1_SQRT_2;
+        let center = src
+            .get(row as i64, col as i64)
+            .expect("center cell in bounds");
+        let mut max_drop = 0.0f32;
+        for dr in -1i64..=1 {
+            for dc in -1i64..=1 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                if let Some(v) = src.get(row as i64 + dr, col as i64 + dc) {
+                    let dist = if dr != 0 && dc != 0 { INV_SQRT2 } else { 1.0 };
+                    let drop = (center - v) * dist;
+                    if drop > max_drop {
+                        max_drop = drop;
+                    }
+                }
+            }
+        }
+        max_drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::Raster;
+
+    #[test]
+    fn gaussian_preserves_constant_field() {
+        let r = Raster::filled(8, 8, 3.25);
+        let out = GaussianFilter.apply(&r);
+        for &v in out.as_slice() {
+            assert_eq!(v, 3.25);
+        }
+    }
+
+    #[test]
+    fn gaussian_smooths_an_impulse() {
+        let mut r = Raster::filled(5, 5, 0.0);
+        r.set(2, 2, 16.0);
+        let out = GaussianFilter.apply(&r);
+        assert_eq!(out.get(2, 2), 4.0); // 16·4/16
+        assert_eq!(out.get(2, 1), 2.0); // 16·2/16
+        assert_eq!(out.get(1, 1), 1.0); // 16·1/16
+        assert_eq!(out.get(0, 0), 0.0);
+        // Total mass is conserved away from boundaries.
+        assert_eq!(out.sum(), 16.0);
+    }
+
+    #[test]
+    fn gaussian_output_within_input_range() {
+        let r = Raster::from_fn(16, 16, |row, col| ((row * 31 + col * 17) % 97) as f32);
+        let (lo, hi) = r.min_max();
+        let out = GaussianFilter.apply(&r);
+        let (olo, ohi) = out.min_max();
+        assert!(olo >= lo && ohi <= hi);
+    }
+
+    #[test]
+    fn median_removes_salt_noise() {
+        let mut r = Raster::filled(5, 5, 1.0);
+        r.set(2, 2, 1000.0); // single outlier
+        let out = MedianFilter.apply(&r);
+        assert_eq!(out.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn median_of_constant_is_constant() {
+        let r = Raster::filled(6, 3, -2.5);
+        let out = MedianFilter.apply(&r);
+        assert!(out.as_slice().iter().all(|&v| v == -2.5));
+    }
+
+    #[test]
+    fn median_hand_computed_window() {
+        // 3x3 raster holding 1..9 → median at center is 5.
+        let r = Raster::from_fn(3, 3, |row, col| (row * 3 + col + 1) as f32);
+        let out = MedianFilter.apply(&r);
+        assert_eq!(out.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn slope_zero_on_flat_and_rising_terrain() {
+        let flat = Raster::filled(4, 4, 7.0);
+        assert!(SlopeAnalysis.apply(&flat).as_slice().iter().all(|&v| v == 0.0));
+        // A local minimum has no positive drop.
+        let mut bowl = Raster::filled(3, 3, 5.0);
+        bowl.set(1, 1, 1.0);
+        assert_eq!(SlopeAnalysis.apply(&bowl).get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn slope_measures_steepest_drop() {
+        let mut r = Raster::filled(3, 3, 10.0);
+        r.set(1, 1, 10.0);
+        r.set(1, 0, 4.0); // cardinal drop of 6
+        r.set(0, 0, 1.0); // diagonal drop of 9·(1/√2) ≈ 6.36 — steeper
+        let out = SlopeAnalysis.apply(&r);
+        let expected = 9.0 * std::f32::consts::FRAC_1_SQRT_2;
+        assert!((out.get(1, 1) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn filters_declare_eight_neighbor_dependence() {
+        for k in [
+            &GaussianFilter as &dyn Kernel,
+            &MedianFilter,
+            &SlopeAnalysis,
+        ] {
+            assert_eq!(k.dependence_offsets(128).len(), 8);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Name-based kernel lookup, mirroring how the DAS prototype matches
+//! an incoming active-storage request's operator name to a processing
+//! kernel installed on the storage nodes.
+
+use crate::extended::{GaussianFilter5x5, Laplacian4, LocalVariance, PointwiseScale, SobelEdge};
+use crate::filters::{GaussianFilter, MedianFilter, SlopeAnalysis};
+use crate::flow::{FlowAccumulationStep, FlowRouting};
+use crate::kernel::Kernel;
+
+/// The operator names every storage node knows: the paper's Table I
+/// kernels first, then the extensions.
+pub fn kernel_names() -> &'static [&'static str] {
+    &[
+        "flow-routing",
+        "flow-accumulation",
+        "gaussian-filter",
+        "median-filter",
+        "slope-analysis",
+        "sobel-edge",
+        "gaussian-filter-5x5",
+        "local-variance",
+        "laplacian-4",
+        "pointwise-scale",
+    ]
+}
+
+/// Instantiate the kernel registered under `name`, or `None` for an
+/// unknown operator (the AS component rejects such requests).
+pub fn kernel_by_name(name: &str) -> Option<Box<dyn Kernel>> {
+    match name {
+        "flow-routing" => Some(Box::new(FlowRouting)),
+        "flow-accumulation" => Some(Box::new(FlowAccumulationStep)),
+        "gaussian-filter" => Some(Box::new(GaussianFilter)),
+        "median-filter" => Some(Box::new(MedianFilter)),
+        "slope-analysis" => Some(Box::new(SlopeAnalysis)),
+        "sobel-edge" => Some(Box::new(SobelEdge)),
+        "gaussian-filter-5x5" => Some(Box::new(GaussianFilter5x5)),
+        "local-variance" => Some(Box::new(LocalVariance)),
+        "laplacian-4" => Some(Box::new(Laplacian4)),
+        "pointwise-scale" => Some(Box::new(PointwiseScale::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves_and_matches() {
+        for &name in kernel_names() {
+            let k = kernel_by_name(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert_eq!(k.name(), name);
+            assert!(k.cost_per_element() > 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        assert!(kernel_by_name("sha256").is_none());
+    }
+}

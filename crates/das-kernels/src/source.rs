@@ -1,0 +1,80 @@
+//! Element sources: how kernels read their input.
+//!
+//! In the DAS architecture a storage server processes its local strips
+//! and may (depending on the scheme) have neighbor strips available as
+//! replicas or fetched copies. [`ElemSource`] abstracts over "the data
+//! a processing kernel can see": a full raster, or a partial assembly
+//! of strips built by the runtime.
+//!
+//! ### Contract
+//!
+//! `get(row, col)` returns `None` exactly when the coordinate is
+//! outside the raster. For an **in-bounds** coordinate the source MUST
+//! return the value — an implementation that cannot (because the byte
+//! backing that element was never shipped to this server) must panic
+//! with a diagnostic. That panic is a feature: it is how the test
+//! suite proves the improved data distribution really makes every
+//! dependence locally satisfiable (paper Section III-D) instead of
+//! silently computing wrong answers.
+
+use crate::raster::Raster;
+
+/// Read access to a `width × height` grid of `f32` elements.
+pub trait ElemSource {
+    /// Grid width in elements.
+    fn width(&self) -> u64;
+    /// Grid height in elements.
+    fn height(&self) -> u64;
+    /// The element at `(row, col)`; `None` iff out of bounds.
+    ///
+    /// # Panics
+    /// Implementations must panic if the coordinate is in bounds but
+    /// the backing data is unavailable (see module docs).
+    fn get(&self, row: i64, col: i64) -> Option<f32>;
+
+    /// The element at `(row, col)` with replicate-edge (clamp)
+    /// boundary handling — used by the image filters.
+    fn get_clamped(&self, row: i64, col: i64) -> f32 {
+        let row = row.clamp(0, self.height() as i64 - 1);
+        let col = col.clamp(0, self.width() as i64 - 1);
+        self.get(row, col).expect("clamped coordinate is in bounds")
+    }
+}
+
+/// A whole raster as an element source (the reference path).
+pub struct RasterSource<'a>(pub &'a Raster);
+
+impl ElemSource for RasterSource<'_> {
+    fn width(&self) -> u64 {
+        self.0.width()
+    }
+    fn height(&self) -> u64 {
+        self.0.height()
+    }
+    fn get(&self, row: i64, col: i64) -> Option<f32> {
+        self.0.try_get(row, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raster_source_delegates() {
+        let r = Raster::from_fn(3, 3, |row, col| (row * 3 + col) as f32);
+        let s = RasterSource(&r);
+        assert_eq!(s.get(1, 1), Some(4.0));
+        assert_eq!(s.get(3, 0), None);
+        assert_eq!(s.get(-1, 0), None);
+    }
+
+    #[test]
+    fn clamping_replicates_edges() {
+        let r = Raster::from_fn(3, 3, |row, col| (row * 3 + col) as f32);
+        let s = RasterSource(&r);
+        assert_eq!(s.get_clamped(-1, -1), 0.0); // clamps to (0,0)
+        assert_eq!(s.get_clamped(5, 5), 8.0); // clamps to (2,2)
+        assert_eq!(s.get_clamped(1, -7), 3.0); // clamps to (1,0)
+    }
+}

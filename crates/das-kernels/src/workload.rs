@@ -1,0 +1,218 @@
+//! Synthetic workload generators.
+//!
+//! The paper's experiments process 24–60 GB terrain and image data we
+//! do not have; these seeded generators produce the structurally
+//! equivalent inputs (DESIGN.md documents the substitution): fractal
+//! DEMs whose drainage structure exercises flow routing/accumulation
+//! realistically, plus ramps, noise and impulse images for targeted
+//! tests. All generators are deterministic in their seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::raster::Raster;
+
+/// Hash-based lattice noise in `[0, 1)` — the primitive under
+/// [`fbm_dem`]. SplitMix64 finalizer over the packed coordinates.
+fn lattice(seed: u64, x: u64, y: u64, octave: u32) -> f32 {
+    let mut z = seed
+        .wrapping_add(x.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add(y.wrapping_mul(0xC2B2AE3D27D4EB4F))
+        .wrapping_add(u64::from(octave).wrapping_mul(0x165667B19E3779F9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 40) as f32 / (1u64 << 24) as f32
+}
+
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Fractal Brownian-motion DEM of arbitrary dimensions: several
+/// octaves of bilinear value noise with persistence ½. Elevations lie
+/// in roughly `[0, 2)`. This is the default terrain workload for the
+/// figure experiments — drainage basins at several scales, no
+/// axis-aligned artifacts.
+pub fn fbm_dem(width: u64, height: u64, seed: u64) -> Raster {
+    const OCTAVES: u32 = 5;
+    let base = width.min(height).max(8) as f32 / 4.0;
+    Raster::from_fn(width, height, |row, col| {
+        let mut amp = 1.0f32;
+        let mut freq = 1.0f32 / base;
+        let mut v = 0.0f32;
+        for o in 0..OCTAVES {
+            let fx = col as f32 * freq;
+            let fy = row as f32 * freq;
+            let (x0, y0) = (fx.floor() as u64, fy.floor() as u64);
+            let (tx, ty) = (smoothstep(fx.fract()), smoothstep(fy.fract()));
+            let n00 = lattice(seed, x0, y0, o);
+            let n10 = lattice(seed, x0 + 1, y0, o);
+            let n01 = lattice(seed, x0, y0 + 1, o);
+            let n11 = lattice(seed, x0 + 1, y0 + 1, o);
+            let nx0 = n00 + (n10 - n00) * tx;
+            let nx1 = n01 + (n11 - n01) * tx;
+            v += amp * (nx0 + (nx1 - nx0) * ty);
+            amp *= 0.5;
+            freq *= 2.0;
+        }
+        v
+    })
+}
+
+/// Classic diamond–square fractal terrain on a `(2^k + 1)²` grid.
+/// `roughness` in `(0, 1]` controls how fast the displacement decays
+/// (higher = craggier).
+///
+/// # Panics
+/// Panics if `k == 0` or `k > 12` (grid would exceed 4097²) or
+/// roughness is out of `(0, 1]`.
+pub fn diamond_square(k: u32, seed: u64, roughness: f32) -> Raster {
+    assert!((1..=12).contains(&k), "k must be in 1..=12");
+    assert!(
+        roughness > 0.0 && roughness <= 1.0,
+        "roughness must be in (0, 1]"
+    );
+    let n = (1u64 << k) + 1;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = Raster::filled(n, n, 0.0);
+
+    // Seed the corners.
+    for &(row, col) in &[(0, 0), (0, n - 1), (n - 1, 0), (n - 1, n - 1)] {
+        r.set(row, col, rng.gen_range(0.0..1.0));
+    }
+
+    let mut step = n - 1;
+    let mut scale = roughness;
+    while step > 1 {
+        let half = step / 2;
+        // Diamond step: centers of squares.
+        for row in (half..n).step_by(step as usize) {
+            for col in (half..n).step_by(step as usize) {
+                let avg = (r.get(row - half, col - half)
+                    + r.get(row - half, col + half)
+                    + r.get(row + half, col - half)
+                    + r.get(row + half, col + half))
+                    / 4.0;
+                r.set(row, col, avg + rng.gen_range(-scale..scale));
+            }
+        }
+        // Square step: centers of edges.
+        for row in (0..n).step_by(half as usize) {
+            let col0 = if (row / half).is_multiple_of(2) { half } else { 0 };
+            for col in (col0..n).step_by(step as usize) {
+                let mut sum = 0.0f32;
+                let mut cnt = 0.0f32;
+                for (dr, dc) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+                    let (nr, nc) = (row as i64 + dr * half as i64, col as i64 + dc * half as i64);
+                    if let Some(v) = r.try_get(nr, nc) {
+                        sum += v;
+                        cnt += 1.0;
+                    }
+                }
+                r.set(row, col, sum / cnt + rng.gen_range(-scale..scale));
+            }
+        }
+        step = half;
+        scale *= roughness;
+    }
+    r
+}
+
+/// A plane increasing along `+col` at rate `dx` and `+row` at rate
+/// `dy` — flow on it is fully predictable, which makes hand-checkable
+/// tests possible.
+pub fn ramp(width: u64, height: u64, dx: f32, dy: f32) -> Raster {
+    Raster::from_fn(width, height, |row, col| row as f32 * dy + col as f32 * dx)
+}
+
+/// Uniform white noise in `[0, 1)`.
+pub fn white_noise(width: u64, height: u64, seed: u64) -> Raster {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Raster::from_fn(width, height, |_, _| rng.gen_range(0.0..1.0))
+}
+
+/// All-zero raster with a single spike of `magnitude` at
+/// `(row, col)` — the classic filter test input.
+///
+/// # Panics
+/// Panics if the coordinate is out of range.
+pub fn impulse(width: u64, height: u64, row: u64, col: u64, magnitude: f32) -> Raster {
+    assert!(row < height && col < width, "impulse out of range");
+    let mut r = Raster::filled(width, height, 0.0);
+    r.set(row, col, magnitude);
+    r
+}
+
+/// Constant raster (useful for invariance properties).
+pub fn constant(width: u64, height: u64, value: f32) -> Raster {
+    Raster::filled(width, height, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fbm_is_deterministic_in_seed() {
+        let a = fbm_dem(32, 16, 99);
+        let b = fbm_dem(32, 16, 99);
+        let c = fbm_dem(32, 16, 100);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fbm_values_in_expected_band() {
+        let r = fbm_dem(64, 64, 3);
+        let (lo, hi) = r.min_max();
+        assert!(lo >= 0.0 && hi < 2.0, "range [{lo}, {hi}]");
+        // Not constant.
+        assert!(hi - lo > 0.1);
+    }
+
+    #[test]
+    fn diamond_square_dimensions_and_determinism() {
+        let a = diamond_square(4, 5, 0.6);
+        assert_eq!(a.width(), 17);
+        assert_eq!(a.height(), 17);
+        let b = diamond_square(4, 5, 0.6);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn ramp_gradients() {
+        let r = ramp(4, 3, 2.0, 10.0);
+        assert_eq!(r.get(0, 0), 0.0);
+        assert_eq!(r.get(0, 3), 6.0);
+        assert_eq!(r.get(2, 0), 20.0);
+        assert_eq!(r.get(2, 3), 26.0);
+    }
+
+    #[test]
+    fn white_noise_fills_unit_interval() {
+        let r = white_noise(50, 50, 1);
+        let (lo, hi) = r.min_max();
+        assert!(lo >= 0.0 && hi < 1.0);
+        assert!(hi - lo > 0.5, "2500 samples should span most of [0,1)");
+    }
+
+    #[test]
+    fn impulse_single_nonzero() {
+        let r = impulse(5, 5, 2, 3, 7.0);
+        assert_eq!(r.get(2, 3), 7.0);
+        assert_eq!(r.sum(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "impulse out of range")]
+    fn impulse_bounds_checked() {
+        let _ = impulse(5, 5, 5, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn diamond_square_k_checked() {
+        let _ = diamond_square(0, 1, 0.5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for parallel-file-system operations.
+
+use std::fmt;
+
+use crate::layout::ServerId;
+use crate::stripe::StripId;
+use crate::FileId;
+
+/// Errors from [`crate::PfsCluster`] and [`crate::StorageServer`]
+/// operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// No file with this id.
+    NoSuchFile(FileId),
+    /// A file with this name already exists.
+    DuplicateName(String),
+    /// Byte range extends past the end of the file.
+    OutOfBounds {
+        /// Offending offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual file size.
+        file_len: u64,
+    },
+    /// Server index ≥ cluster size.
+    NoSuchServer(ServerId),
+    /// The server does not hold a copy of the strip.
+    StripNotLocal {
+        /// The server queried.
+        server: ServerId,
+        /// The missing strip.
+        strip: StripId,
+    },
+    /// Write length does not match the strip's length.
+    StripLengthMismatch {
+        /// The strip written.
+        strip: StripId,
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for PfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfsError::NoSuchFile(id) => write!(f, "no such file: {id:?}"),
+            PfsError::DuplicateName(name) => write!(f, "file name already exists: {name}"),
+            PfsError::OutOfBounds { offset, len, file_len } => write!(
+                f,
+                "range [{offset}, {offset}+{len}) out of bounds for file of {file_len} bytes"
+            ),
+            PfsError::NoSuchServer(s) => write!(f, "no such server: {}", s.0),
+            PfsError::StripNotLocal { server, strip } => {
+                write!(f, "server {} does not hold {strip}", server.0)
+            }
+            PfsError::StripLengthMismatch { strip, expected, got } => {
+                write!(f, "{strip}: expected {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}

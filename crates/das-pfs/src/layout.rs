@@ -1,0 +1,289 @@
+//! Data distribution policies: which server holds which strip.
+//!
+//! Three policies, mirroring the paper:
+//!
+//! * [`LayoutPolicy::RoundRobin`] — the parallel-file-system default
+//!   (paper Fig. 5): strip `s` lives on server `s mod D`.
+//! * [`LayoutPolicy::Grouped`] — `r` successive strips per server
+//!   (strip `s` on server `(s / r) mod D`), the generalization behind
+//!   paper Eqs. 14–16. `Grouped { group: 1 }` equals round-robin.
+//! * [`LayoutPolicy::GroupedReplicated`] — the paper's improved
+//!   distribution (Figs. 7–9): grouped placement **plus** replication
+//!   of each group's first strip onto the *previous* server and its
+//!   last strip onto the *next* server, so every strip's neighbor
+//!   strips are locally available and dependence traffic vanishes.
+//!   Capacity overhead is `2/r` (paper Section III-D).
+
+use crate::stripe::StripId;
+
+/// Index of a storage server (0-based, `< D`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A data distribution policy (parameterized by the group size `r`
+/// where applicable). Combine with a server count via [`Layout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutPolicy {
+    /// Default striping: strip `s` → server `s mod D` (paper Fig. 5).
+    RoundRobin,
+    /// `r` successive strips per server: strip `s` → server
+    /// `(s/r) mod D`, no replication.
+    Grouped {
+        /// Group size `r` (≥ 1).
+        group: u64,
+    },
+    /// Grouped placement with boundary-strip replication onto the
+    /// neighboring servers (the DAS improved distribution, Fig. 9).
+    GroupedReplicated {
+        /// Group size `r` (≥ 1). Overhead is `2/r`; `r = 1` doubles
+        /// storage (the "twice of extra storage space" case in the
+        /// paper), larger `r` amortizes it.
+        group: u64,
+    },
+}
+
+impl LayoutPolicy {
+    /// The group size `r` (1 for round-robin).
+    pub fn group_size(&self) -> u64 {
+        match *self {
+            LayoutPolicy::RoundRobin => 1,
+            LayoutPolicy::Grouped { group } | LayoutPolicy::GroupedReplicated { group } => group,
+        }
+    }
+
+    /// Whether boundary strips are replicated to neighbor servers.
+    pub fn replicates(&self) -> bool {
+        matches!(self, LayoutPolicy::GroupedReplicated { .. })
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayoutPolicy::RoundRobin => "round-robin",
+            LayoutPolicy::Grouped { .. } => "grouped",
+            LayoutPolicy::GroupedReplicated { .. } => "grouped+replicated",
+        }
+    }
+}
+
+/// A policy bound to a server count `D`: the total placement function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// The distribution policy.
+    pub policy: LayoutPolicy,
+    /// Number of storage servers `D`.
+    pub servers: u32,
+}
+
+impl Layout {
+    /// Bind `policy` to `servers` servers.
+    ///
+    /// # Panics
+    /// Panics if `servers == 0` or the policy's group size is 0.
+    pub fn new(policy: LayoutPolicy, servers: u32) -> Self {
+        assert!(servers > 0, "need at least one storage server");
+        assert!(policy.group_size() > 0, "group size must be >= 1");
+        Layout { policy, servers }
+    }
+
+    /// The server holding the **primary** copy of `strip`
+    /// (paper Eq. 2 generalized by Eq. 14: `(s/r) mod D`).
+    pub fn primary(&self, strip: StripId) -> ServerId {
+        let r = self.policy.group_size();
+        ServerId(((strip.0 / r) % u64::from(self.servers)) as u32)
+    }
+
+    /// Servers holding **replica** copies of `strip` (empty unless the
+    /// policy replicates). The first strip of each group is replicated
+    /// on the previous server (ring order), the last strip of each
+    /// group on the next server; with `r == 1` a strip is replicated on
+    /// both neighbors. Replicas that would land on the primary itself
+    /// (i.e. `D == 1`) are dropped.
+    pub fn replicas(&self, strip: StripId) -> Vec<ServerId> {
+        if !self.policy.replicates() {
+            return Vec::new();
+        }
+        let r = self.policy.group_size();
+        let d = u64::from(self.servers);
+        let primary = self.primary(strip);
+        let mut out = Vec::with_capacity(2);
+        let pos = strip.0 % r;
+        if pos == 0 {
+            // First strip in its group → previous server in the ring.
+            let prev = ServerId((((u64::from(primary.0)) + d - 1) % d) as u32);
+            if prev != primary {
+                out.push(prev);
+            }
+        }
+        if pos == r - 1 {
+            // Last strip in its group → next server in the ring.
+            let next = ServerId(((u64::from(primary.0) + 1) % d) as u32);
+            if next != primary && !out.contains(&next) {
+                out.push(next);
+            }
+        }
+        out
+    }
+
+    /// Every server holding a copy of `strip` (primary first).
+    pub fn holders(&self, strip: StripId) -> Vec<ServerId> {
+        let mut out = vec![self.primary(strip)];
+        out.extend(self.replicas(strip));
+        out
+    }
+
+    /// Whether `server` holds a copy (primary or replica) of `strip`.
+    pub fn holds(&self, server: ServerId, strip: StripId) -> bool {
+        self.primary(strip) == server || self.replicas(strip).contains(&server)
+    }
+
+    /// The primary strips of `server` within a file of `strip_count`
+    /// strips, in increasing strip order.
+    pub fn primary_strips(&self, server: ServerId, strip_count: u64) -> Vec<StripId> {
+        (0..strip_count)
+            .map(StripId)
+            .filter(|&s| self.primary(s) == server)
+            .collect()
+    }
+
+    /// Total stored copies (primary + replicas) for a file of
+    /// `strip_count` strips — measures the capacity overhead of
+    /// replication (`≈ (1 + 2/r)·strip_count` for grouped+replicated).
+    pub fn total_copies(&self, strip_count: u64) -> u64 {
+        (0..strip_count)
+            .map(|s| 1 + self.replicas(StripId(s)).len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_matches_eq2() {
+        let l = Layout::new(LayoutPolicy::RoundRobin, 4);
+        for s in 0..16u64 {
+            assert_eq!(l.primary(StripId(s)), ServerId((s % 4) as u32));
+            assert!(l.replicas(StripId(s)).is_empty());
+        }
+    }
+
+    #[test]
+    fn grouped_matches_eq14() {
+        let l = Layout::new(LayoutPolicy::Grouped { group: 3 }, 4);
+        // Strips 0,1,2 → server 0; 3,4,5 → server 1; …; 12,13,14 → 0.
+        assert_eq!(l.primary(StripId(0)), ServerId(0));
+        assert_eq!(l.primary(StripId(2)), ServerId(0));
+        assert_eq!(l.primary(StripId(3)), ServerId(1));
+        assert_eq!(l.primary(StripId(11)), ServerId(3));
+        assert_eq!(l.primary(StripId(12)), ServerId(0));
+    }
+
+    #[test]
+    fn grouped_with_r1_equals_round_robin() {
+        let a = Layout::new(LayoutPolicy::Grouped { group: 1 }, 5);
+        let b = Layout::new(LayoutPolicy::RoundRobin, 5);
+        for s in 0..40u64 {
+            assert_eq!(a.primary(StripId(s)), b.primary(StripId(s)));
+        }
+    }
+
+    #[test]
+    fn replication_covers_group_boundaries() {
+        // Paper Fig. 9: group boundary strips are copied to neighbors.
+        let l = Layout::new(LayoutPolicy::GroupedReplicated { group: 3 }, 4);
+        // Strip 3 is first of group 1 (server 1) → replica on server 0.
+        assert_eq!(l.replicas(StripId(3)), vec![ServerId(0)]);
+        // Strip 5 is last of group 1 → replica on server 2.
+        assert_eq!(l.replicas(StripId(5)), vec![ServerId(2)]);
+        // Strip 4 is interior → no replicas.
+        assert!(l.replicas(StripId(4)).is_empty());
+        // Strip 0 is first of group 0 (server 0) → replica wraps to 3.
+        assert_eq!(l.replicas(StripId(0)), vec![ServerId(3)]);
+    }
+
+    #[test]
+    fn r1_replicates_both_sides() {
+        // The "twice extra storage" case: every strip on both neighbors.
+        let l = Layout::new(LayoutPolicy::GroupedReplicated { group: 1 }, 4);
+        let reps = l.replicas(StripId(5));
+        assert_eq!(reps.len(), 2);
+        assert!(reps.contains(&ServerId(0))); // prev of server 1
+        assert!(reps.contains(&ServerId(2))); // next of server 1
+    }
+
+    #[test]
+    fn single_server_drops_self_replicas() {
+        let l = Layout::new(LayoutPolicy::GroupedReplicated { group: 2 }, 1);
+        for s in 0..8u64 {
+            assert!(l.replicas(StripId(s)).is_empty());
+            assert_eq!(l.holders(StripId(s)), vec![ServerId(0)]);
+        }
+    }
+
+    #[test]
+    fn two_servers_dedup_replicas() {
+        // With D == 2 and r == 1, prev and next are the same server.
+        let l = Layout::new(LayoutPolicy::GroupedReplicated { group: 1 }, 2);
+        assert_eq!(l.replicas(StripId(0)), vec![ServerId(1)]);
+        assert_eq!(l.replicas(StripId(1)), vec![ServerId(0)]);
+    }
+
+    #[test]
+    fn capacity_overhead_is_two_over_r() {
+        // Paper Section III-D: overhead reduced to 2/r.
+        let strips = 240;
+        for r in [1u64, 2, 4, 8] {
+            let l = Layout::new(LayoutPolicy::GroupedReplicated { group: r }, 4);
+            let copies = l.total_copies(strips);
+            let overhead = copies as f64 / strips as f64 - 1.0;
+            let expected = 2.0 / r as f64;
+            assert!(
+                (overhead - expected).abs() < 0.02,
+                "r={r}: overhead {overhead} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn primary_strips_partition_file() {
+        let l = Layout::new(LayoutPolicy::Grouped { group: 3 }, 4);
+        let strips = 50;
+        let mut seen = vec![false; strips as usize];
+        for srv in 0..4 {
+            for s in l.primary_strips(ServerId(srv), strips) {
+                assert!(!seen[s.0 as usize], "strip owned twice");
+                seen[s.0 as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "every strip owned once");
+    }
+
+    #[test]
+    fn holders_primary_first() {
+        let l = Layout::new(LayoutPolicy::GroupedReplicated { group: 2 }, 3);
+        let h = l.holders(StripId(2)); // first of group 1, server 1
+        assert_eq!(h[0], ServerId(1));
+        assert_eq!(h[1], ServerId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one storage server")]
+    fn zero_servers_rejected() {
+        let _ = Layout::new(LayoutPolicy::RoundRobin, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size must be >= 1")]
+    fn zero_group_rejected() {
+        let _ = Layout::new(LayoutPolicy::Grouped { group: 0 }, 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Strip arithmetic: how a byte stream is cut into strips.
+//!
+//! Paper Fig. 4 shows the logical organization: a file is a 1-D byte
+//! array divided into equal strips (the last may be partial). Eq. 1 of
+//! the paper computes the strip of the `i`-th element as
+//! `strip(i) = i·E / strip_size`; this module supplies that arithmetic
+//! at byte granularity (element granularity lives in `das-core`, which
+//! knows the element size `E`).
+
+use std::fmt;
+
+/// Index of a strip within a file (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StripId(pub u64);
+
+impl StripId {
+    /// Raw index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for StripId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "strip{}", self.0)
+    }
+}
+
+/// Striping parameters of a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeSpec {
+    /// Bytes per strip. PVFS2's default, 64 KiB, is the workspace
+    /// default as well.
+    pub strip_size: usize,
+}
+
+/// PVFS2's default strip size (64 KiB), used throughout the paper.
+pub const DEFAULT_STRIP_SIZE: usize = 64 * 1024;
+
+impl Default for StripeSpec {
+    fn default() -> Self {
+        StripeSpec::new(DEFAULT_STRIP_SIZE)
+    }
+}
+
+impl StripeSpec {
+    /// Create a spec with the given strip size.
+    ///
+    /// # Panics
+    /// Panics if `strip_size == 0`.
+    pub fn new(strip_size: usize) -> Self {
+        assert!(strip_size > 0, "strip size must be positive");
+        StripeSpec { strip_size }
+    }
+
+    /// Strip containing byte `offset` (paper Eq. 1 at byte granularity).
+    pub fn strip_of_byte(&self, offset: u64) -> StripId {
+        StripId(offset / self.strip_size as u64)
+    }
+
+    /// Number of strips needed for a file of `len` bytes (0 for an
+    /// empty file).
+    pub fn strip_count(&self, len: u64) -> u64 {
+        len.div_ceil(self.strip_size as u64)
+    }
+
+    /// Byte offset at which `strip` begins.
+    pub fn strip_start(&self, strip: StripId) -> u64 {
+        strip.0 * self.strip_size as u64
+    }
+
+    /// Length in bytes of `strip` in a file of `len` bytes (the final
+    /// strip may be partial; strips past the end are empty).
+    pub fn strip_len(&self, strip: StripId, len: u64) -> usize {
+        let start = self.strip_start(strip);
+        if start >= len {
+            0
+        } else {
+            usize::try_from((len - start).min(self.strip_size as u64)).expect("strip fits usize")
+        }
+    }
+
+    /// The strips overlapping the byte range `[offset, offset + count)`,
+    /// with the in-strip subrange each contributes.
+    pub fn strips_for_range(&self, offset: u64, count: u64) -> Vec<StripRange> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let first = self.strip_of_byte(offset);
+        let last = self.strip_of_byte(offset + count - 1);
+        let mut out = Vec::with_capacity(usize::try_from(last.0 - first.0 + 1).unwrap_or(1));
+        for s in first.0..=last.0 {
+            let strip = StripId(s);
+            let strip_start = self.strip_start(strip);
+            let begin = offset.max(strip_start) - strip_start;
+            let end = (offset + count).min(strip_start + self.strip_size as u64) - strip_start;
+            out.push(StripRange {
+                strip,
+                start: usize::try_from(begin).expect("in-strip offset fits usize"),
+                len: usize::try_from(end - begin).expect("in-strip len fits usize"),
+            });
+        }
+        out
+    }
+}
+
+/// A contiguous byte subrange within one strip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripRange {
+    /// The strip.
+    pub strip: StripId,
+    /// Offset of the subrange within the strip.
+    pub start: usize,
+    /// Length of the subrange.
+    pub len: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_of_byte_matches_eq1() {
+        let spec = StripeSpec::new(100);
+        assert_eq!(spec.strip_of_byte(0), StripId(0));
+        assert_eq!(spec.strip_of_byte(99), StripId(0));
+        assert_eq!(spec.strip_of_byte(100), StripId(1));
+        assert_eq!(spec.strip_of_byte(250), StripId(2));
+    }
+
+    #[test]
+    fn strip_count_rounds_up() {
+        let spec = StripeSpec::new(100);
+        assert_eq!(spec.strip_count(0), 0);
+        assert_eq!(spec.strip_count(1), 1);
+        assert_eq!(spec.strip_count(100), 1);
+        assert_eq!(spec.strip_count(101), 2);
+    }
+
+    #[test]
+    fn partial_final_strip_length() {
+        let spec = StripeSpec::new(100);
+        assert_eq!(spec.strip_len(StripId(0), 250), 100);
+        assert_eq!(spec.strip_len(StripId(2), 250), 50);
+        assert_eq!(spec.strip_len(StripId(3), 250), 0);
+    }
+
+    #[test]
+    fn range_decomposition_covers_exactly() {
+        let spec = StripeSpec::new(100);
+        let parts = spec.strips_for_range(150, 200); // bytes 150..350
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], StripRange { strip: StripId(1), start: 50, len: 50 });
+        assert_eq!(parts[1], StripRange { strip: StripId(2), start: 0, len: 100 });
+        assert_eq!(parts[2], StripRange { strip: StripId(3), start: 0, len: 50 });
+        let total: usize = parts.iter().map(|p| p.len).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn empty_range_decomposes_to_nothing() {
+        let spec = StripeSpec::new(100);
+        assert!(spec.strips_for_range(42, 0).is_empty());
+    }
+
+    #[test]
+    fn single_byte_range() {
+        let spec = StripeSpec::new(64);
+        let parts = spec.strips_for_range(64, 1);
+        assert_eq!(parts, vec![StripRange { strip: StripId(1), start: 0, len: 1 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strip size must be positive")]
+    fn zero_strip_size_rejected() {
+        let _ = StripeSpec::new(0);
+    }
+
+    #[test]
+    fn default_is_pvfs2_64k() {
+        assert_eq!(StripeSpec::default().strip_size, 64 * 1024);
+    }
+}

@@ -1,0 +1,161 @@
+//! Byte-movement records emitted by file system operations.
+//!
+//! Every cluster-level operation that moves data reports *who sent how
+//! many bytes to whom*; `das-runtime` converts these records into timed
+//! `das-sim` operations, and tests use them to verify the paper's core
+//! claim — that the improved distribution eliminates server↔server
+//! dependence traffic.
+
+use crate::layout::ServerId;
+
+/// One end of a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A compute-node client.
+    Client(u32),
+    /// A storage server's network interface.
+    Server(ServerId),
+    /// A storage server's local disk (used for replica writes and
+    /// local reads, which consume disk but not network bandwidth).
+    Disk(ServerId),
+}
+
+/// Why the bytes moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferKind {
+    /// Client-initiated read of file data.
+    Read,
+    /// Client-initiated write of file data.
+    Write,
+    /// Replica maintenance (layout writes or redistribution copies).
+    Replication,
+    /// Strip movement during redistribution.
+    Redistribution,
+}
+
+/// A single byte movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRec {
+    /// Source endpoint.
+    pub from: Endpoint,
+    /// Destination endpoint.
+    pub to: Endpoint,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Reason.
+    pub kind: TransferKind,
+}
+
+impl TransferRec {
+    /// Whether both endpoints are storage servers (network hop between
+    /// servers — the dependence-traffic category).
+    pub fn is_server_to_server(&self) -> bool {
+        matches!(
+            (self.from, self.to),
+            (Endpoint::Server(a), Endpoint::Server(b)) if a != b
+        )
+    }
+
+    /// Whether one endpoint is a client (the normal I/O category).
+    pub fn involves_client(&self) -> bool {
+        matches!(self.from, Endpoint::Client(_)) || matches!(self.to, Endpoint::Client(_))
+    }
+
+    /// Whether this record is local disk activity rather than a
+    /// network hop.
+    pub fn is_disk_local(&self) -> bool {
+        matches!(self.from, Endpoint::Disk(_)) || matches!(self.to, Endpoint::Disk(_))
+    }
+}
+
+/// An accumulating list of transfers with summary helpers.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficLog {
+    records: Vec<TransferRec>,
+}
+
+impl TrafficLog {
+    /// Append a record.
+    pub fn push(&mut self, rec: TransferRec) {
+        self.records.push(rec);
+    }
+
+    /// Append every record from `other`.
+    pub fn extend(&mut self, other: TrafficLog) {
+        self.records.extend(other.records);
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[TransferRec] {
+        &self.records
+    }
+
+    /// Total bytes across all records.
+    pub fn bytes_moved(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Bytes on server↔server network hops.
+    pub fn server_server_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.is_server_to_server())
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Bytes on hops involving a client.
+    pub fn client_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.involves_client())
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Bytes of local disk activity.
+    pub fn disk_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.is_disk_local())
+            .map(|r| r.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(from: Endpoint, to: Endpoint, bytes: u64) -> TransferRec {
+        TransferRec { from, to, bytes, kind: TransferKind::Read }
+    }
+
+    #[test]
+    fn categories_are_disjoint_for_typical_records() {
+        let s2s = rec(Endpoint::Server(ServerId(0)), Endpoint::Server(ServerId(1)), 10);
+        let c2s = rec(Endpoint::Server(ServerId(0)), Endpoint::Client(3), 20);
+        let disk = rec(Endpoint::Disk(ServerId(0)), Endpoint::Server(ServerId(0)), 40);
+        assert!(s2s.is_server_to_server() && !s2s.involves_client() && !s2s.is_disk_local());
+        assert!(!c2s.is_server_to_server() && c2s.involves_client());
+        assert!(disk.is_disk_local() && !disk.is_server_to_server());
+    }
+
+    #[test]
+    fn same_server_transfer_is_not_network() {
+        let local = rec(Endpoint::Server(ServerId(2)), Endpoint::Server(ServerId(2)), 5);
+        assert!(!local.is_server_to_server());
+    }
+
+    #[test]
+    fn log_sums_by_category() {
+        let mut log = TrafficLog::default();
+        log.push(rec(Endpoint::Server(ServerId(0)), Endpoint::Server(ServerId(1)), 10));
+        log.push(rec(Endpoint::Server(ServerId(1)), Endpoint::Client(0), 20));
+        log.push(rec(Endpoint::Disk(ServerId(1)), Endpoint::Server(ServerId(1)), 40));
+        assert_eq!(log.bytes_moved(), 70);
+        assert_eq!(log.server_server_bytes(), 10);
+        assert_eq!(log.client_bytes(), 20);
+        assert_eq!(log.disk_bytes(), 40);
+    }
+}

@@ -1,0 +1,283 @@
+//! Multi-stage pipelines and layout-reconfiguration costs.
+//!
+//! The paper motivates the improved distribution with *successive
+//! operations*: "the flow-accumulation operation always follows the
+//! flow-routing operation" (Section I), so one layout reconfiguration
+//! is amortized over every stage that follows. This module makes that
+//! argument quantitative:
+//!
+//! * [`redistribution_cost`] simulates the paper's "Reconfig Parallel
+//!   File System" box (Fig. 3) — the strip movement and replica
+//!   creation needed to switch layouts — under the same cluster cost
+//!   model as the scheme executors;
+//! * [`run_pipeline`] executes a chain of kernels (each consuming the
+//!   previous stage's output) under one scheme, charging DAS the
+//!   up-front redistribution when the data starts round-robin.
+
+use das_core::PlanOptions;
+use das_kernels::{Kernel, Raster};
+use das_pfs::{Endpoint, LayoutPolicy, PfsCluster, StripeSpec};
+use das_sim::{OpKind, OpSpec, SimDuration, Simulator, TransferClass};
+
+use crate::config::ClusterConfig;
+use crate::report::RunReport;
+use crate::scheme::{run_das_with_policy, run_scheme, SchemeKind};
+
+/// Cost of switching a file's layout: simulated time and bytes moved.
+#[derive(Debug, Clone, Copy)]
+pub struct RedistributionCost {
+    /// Simulated wall time of the reconfiguration.
+    pub time: SimDuration,
+    /// Bytes that crossed the network between servers.
+    pub net_bytes: u64,
+}
+
+/// Simulate redistributing a file of `input`'s size from `from` to
+/// `to` under `cfg`'s cost model. Transfers between each (src, dst)
+/// server pair are batched and pipelined across pairs, with the same
+/// per-node NIC/disk resources the scheme executors use.
+pub fn redistribution_cost(
+    cfg: &ClusterConfig,
+    input: &Raster,
+    from: LayoutPolicy,
+    to: LayoutPolicy,
+) -> RedistributionCost {
+    // Replay the real file system's redistribution traffic.
+    let mut pfs = PfsCluster::new(cfg.storage_nodes);
+    let file = pfs
+        .create("redistribute", &input.to_bytes(), StripeSpec::new(cfg.strip_size), from)
+        .expect("ingest");
+    let traffic = pfs.redistribute(file, to).expect("redistribute");
+
+    // Batch bytes per (src, dst) pair.
+    use std::collections::BTreeMap;
+    let mut pairs: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new(); // bytes, msgs
+    let mut net_bytes = 0;
+    for rec in traffic.records() {
+        if let (Endpoint::Server(a), Endpoint::Server(b)) = (rec.from, rec.to) {
+            if a != b {
+                let e = pairs.entry((a.0, b.0)).or_insert((0, 0));
+                e.0 += rec.bytes;
+                e.1 += 1;
+                net_bytes += rec.bytes;
+            }
+        }
+    }
+
+    let mut sim = Simulator::new();
+    let nics: Vec<_> = (0..cfg.storage_nodes)
+        .map(|i| sim.add_resource(format!("server{i}.nic"), 1))
+        .collect();
+    let disks: Vec<_> = (0..cfg.storage_nodes)
+        .map(|i| sim.add_resource(format!("server{i}.disk"), 1))
+        .collect();
+    for (&(a, b), &(bytes, msgs)) in &pairs {
+        let read = sim.add_op(
+            OpSpec::new(OpKind::DiskRead { node: a, bytes })
+                .duration(cfg.disk_read.transfer_time_msgs(bytes, msgs))
+                .uses(disks[a as usize])
+                .tag("redist-read"),
+        );
+        let xfer = sim.add_op(
+            OpSpec::new(OpKind::NetTransfer { src: a, dst: b, bytes })
+                .duration(cfg.nic.transfer_time_msgs(bytes, msgs))
+                .uses(nics[a as usize])
+                .uses(nics[b as usize])
+                .after(read)
+                .class(TransferClass::ServerServer)
+                .tag("redist-net"),
+        );
+        sim.add_op(
+            OpSpec::new(OpKind::DiskWrite { node: b, bytes })
+                .duration(cfg.disk_write.transfer_time_msgs(bytes, msgs))
+                .uses(disks[b as usize])
+                .after(xfer)
+                .tag("redist-write"),
+        );
+    }
+    let report = sim.run().expect("redistribution DAG schedulable");
+    RedistributionCost { time: report.makespan, net_bytes }
+}
+
+/// The result of a multi-stage pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The scheme used.
+    pub scheme: SchemeKind,
+    /// Up-front layout reconfiguration (DAS starting from round-robin;
+    /// zero for TS/NAS and for pre-arranged DAS data).
+    pub redistribution: Option<RedistributionCost>,
+    /// Per-stage reports, in execution order.
+    pub stages: Vec<RunReport>,
+    /// Fingerprint of the final stage's output.
+    pub final_fingerprint: u64,
+}
+
+impl PipelineReport {
+    /// End-to-end simulated time: redistribution (if any) plus every
+    /// stage.
+    pub fn total_time(&self) -> SimDuration {
+        let mut t = self
+            .redistribution
+            .map(|r| r.time)
+            .unwrap_or(SimDuration::ZERO);
+        for s in &self.stages {
+            t += s.exec_time;
+        }
+        t
+    }
+
+    /// Total time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_time().as_secs_f64()
+    }
+}
+
+/// Run `kernels` as a pipeline (stage *k+1* consumes stage *k*'s
+/// output raster) under `scheme`.
+///
+/// For [`SchemeKind::Das`] the data is assumed to start in the
+/// round-robin layout of a freshly written file: the run pays one
+/// layout reconfiguration (planned from the first kernel's dependence
+/// pattern) and every stage then executes over the improved layout —
+/// exactly the paper's successive-operation scenario. TS and NAS have
+/// no layout work.
+///
+/// # Panics
+/// Panics if `kernels` is empty.
+pub fn run_pipeline(
+    cfg: &ClusterConfig,
+    scheme: SchemeKind,
+    kernels: &[&dyn Kernel],
+    input: &Raster,
+) -> PipelineReport {
+    assert!(!kernels.is_empty(), "pipeline needs at least one stage");
+
+    let mut redistribution = None;
+    let mut policy = None;
+    if scheme == SchemeKind::Das {
+        let offsets = kernels[0].dependence_offsets(input.width());
+        let plan = das_core::plan_distribution(
+            &offsets,
+            4,
+            cfg.strip_size as u64,
+            cfg.storage_nodes,
+            input.byte_len(),
+            PlanOptions::default(),
+        );
+        if plan.policy != LayoutPolicy::RoundRobin {
+            redistribution =
+                Some(redistribution_cost(cfg, input, LayoutPolicy::RoundRobin, plan.policy));
+        }
+        policy = Some(plan.policy);
+    }
+
+    let mut stages = Vec::with_capacity(kernels.len());
+    let mut current = input.clone();
+    for kernel in kernels {
+        let report = match (scheme, policy) {
+            (SchemeKind::Das, Some(p)) => run_das_with_policy(cfg, *kernel, &current, p),
+            _ => run_scheme(cfg, scheme, *kernel, &current),
+        };
+        // The next stage consumes this stage's output.
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        current = das_kernels::apply_parallel(*kernel, &current, threads);
+        debug_assert_eq!(current.fingerprint(), report.output_fingerprint);
+        stages.push(report);
+    }
+
+    PipelineReport {
+        scheme,
+        redistribution,
+        stages,
+        final_fingerprint: current.fingerprint(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_kernels::{workload, FlowAccumulationStep, FlowRouting, GaussianFilter};
+
+    #[test]
+    fn redistribution_moves_replica_and_regroup_bytes() {
+        let cfg = ClusterConfig::small_test();
+        let input = workload::fbm_dem(128, 256, 3);
+        let cost = redistribution_cost(
+            &cfg,
+            &input,
+            LayoutPolicy::RoundRobin,
+            LayoutPolicy::GroupedReplicated { group: 4 },
+        );
+        assert!(cost.net_bytes > 0);
+        assert!(cost.time > SimDuration::ZERO);
+        // Identity redistribution is free.
+        let noop = redistribution_cost(
+            &cfg,
+            &input,
+            LayoutPolicy::RoundRobin,
+            LayoutPolicy::RoundRobin,
+        );
+        assert_eq!(noop.net_bytes, 0);
+        assert_eq!(noop.time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn pipeline_outputs_match_composed_reference() {
+        let cfg = ClusterConfig::small_test();
+        let input = workload::fbm_dem(256, 256, 5);
+        let kernels: Vec<&dyn das_kernels::Kernel> = vec![&FlowRouting, &FlowAccumulationStep];
+        let expected = FlowAccumulationStep.apply(&FlowRouting.apply(&input));
+
+        for scheme in [SchemeKind::Ts, SchemeKind::Nas, SchemeKind::Das] {
+            let report = run_pipeline(&cfg, scheme, &kernels, &input);
+            assert_eq!(report.stages.len(), 2);
+            assert_eq!(
+                report.final_fingerprint,
+                expected.fingerprint(),
+                "{} pipeline output",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn das_pipeline_pays_redistribution_once_and_amortizes() {
+        let cfg = ClusterConfig::small_test();
+        let input = workload::fbm_dem(256, 512, 6);
+
+        let one: Vec<&dyn das_kernels::Kernel> = vec![&GaussianFilter];
+        let three: Vec<&dyn das_kernels::Kernel> =
+            vec![&GaussianFilter, &GaussianFilter, &GaussianFilter];
+
+        let das1 = run_pipeline(&cfg, SchemeKind::Das, &one, &input);
+        let das3 = run_pipeline(&cfg, SchemeKind::Das, &three, &input);
+        let r1 = das1.redistribution.expect("starts round-robin").time;
+        let r3 = das3.redistribution.expect("starts round-robin").time;
+        assert_eq!(r1.as_nanos(), r3.as_nanos(), "reconfiguration happens once");
+
+        // Redistribution share of total shrinks as stages grow.
+        let share1 = r1.as_secs_f64() / das1.total_secs();
+        let share3 = r3.as_secs_f64() / das3.total_secs();
+        assert!(share3 < share1);
+    }
+
+    #[test]
+    fn ts_and_nas_pipelines_have_no_layout_work() {
+        let cfg = ClusterConfig::small_test();
+        let input = workload::fbm_dem(128, 128, 2);
+        let kernels: Vec<&dyn das_kernels::Kernel> = vec![&GaussianFilter];
+        for scheme in [SchemeKind::Ts, SchemeKind::Nas] {
+            let report = run_pipeline(&cfg, scheme, &kernels, &input);
+            assert!(report.redistribution.is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_rejected() {
+        let cfg = ClusterConfig::small_test();
+        let input = workload::fbm_dem(64, 64, 1);
+        let _ = run_pipeline(&cfg, SchemeKind::Ts, &[], &input);
+    }
+}

@@ -1,0 +1,243 @@
+//! Mixed workloads: several jobs sharing one cluster — an extension
+//! beyond the paper's one-job-at-a-time evaluation.
+//!
+//! Production clusters run analysis jobs concurrently, and the schemes
+//! interact through shared resources: a TS job saturates the
+//! client↔server network, a NAS job saturates server NICs and CPUs,
+//! while a DAS job consumes almost no network at all. [`run_mixed`]
+//! composes any set of (scheme, kernel, input) jobs into **one**
+//! simulation over shared nodes, measuring each job's completion time
+//! and the joint makespan — quantifying the *externality* of each
+//! scheme: how much room it leaves for the jobs next to it.
+
+use das_kernels::{Kernel, Raster};
+use das_pfs::LayoutPolicy;
+use das_sim::{ByteCounters, OpKind, OpSpec, SimDuration, SimTime};
+
+use crate::config::ClusterConfig;
+use crate::scheme::das::{build_das_offload, das_decision, planned_policy};
+use crate::scheme::nas::build_nas;
+use crate::scheme::ts::build_ts;
+use crate::scheme::{stitch_output, Ctx, SchemeKind};
+
+/// One job of a mixed workload.
+pub struct JobSpec<'a> {
+    /// Scheme serving this job.
+    pub scheme: SchemeKind,
+    /// The analysis kernel.
+    pub kernel: &'a dyn Kernel,
+    /// The job's input raster.
+    pub input: &'a Raster,
+}
+
+/// Per-job result within a mixed run.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The scheme that served the job.
+    pub scheme: SchemeKind,
+    /// Kernel name.
+    pub kernel: String,
+    /// Completion time of the job's last operation (from cluster
+    /// start, shared with the co-running jobs).
+    pub completion: SimDuration,
+    /// Bit-exact fingerprint of the job's output raster.
+    pub output_fingerprint: u64,
+    /// For DAS jobs: whether the decision engine offloaded.
+    pub offloaded: Option<bool>,
+}
+
+/// The result of a mixed multi-job run.
+#[derive(Debug, Clone)]
+pub struct MixedReport {
+    /// Per-job results, in submission order.
+    pub jobs: Vec<JobResult>,
+    /// Completion of the whole batch.
+    pub makespan: SimDuration,
+    /// Aggregate data movement across all jobs.
+    pub bytes: ByteCounters,
+}
+
+/// Run several jobs concurrently on one simulated cluster.
+///
+/// Every job's operations enter a single DAG over shared per-node
+/// resources; jobs interleave wherever the scheduler finds capacity
+/// (there is no inter-job dependency). DAS jobs go through the usual
+/// planning + decision workflow and fall back to TS service when the
+/// offload is rejected.
+///
+/// # Panics
+/// Panics if `jobs` is empty.
+pub fn run_mixed(cfg: &ClusterConfig, jobs: &[JobSpec<'_>]) -> MixedReport {
+    assert!(!jobs.is_empty(), "mixed run needs at least one job");
+    // Per-job completion is read from the trace, so force tracing on.
+    let mut traced_cfg = cfg.clone();
+    traced_cfg.trace = true;
+    let cfg = &traced_cfg;
+
+    let mut ctx = Ctx::new_cluster(cfg);
+    let mut job_meta = Vec::with_capacity(jobs.len());
+
+    for (idx, job) in jobs.iter().enumerate() {
+        let name = format!("job{idx}");
+        let mark = ctx.sim.mark();
+        let (chunks, f, offloaded) = match job.scheme {
+            SchemeKind::Ts => {
+                let f = ctx.ingest(cfg, &name, job.input, LayoutPolicy::RoundRobin);
+                (build_ts(&mut ctx, &f, cfg, job.kernel), f, None)
+            }
+            SchemeKind::Nas => {
+                let f = ctx.ingest(cfg, &name, job.input, LayoutPolicy::RoundRobin);
+                (build_nas(&mut ctx, &f, cfg, job.kernel), f, None)
+            }
+            SchemeKind::Das => {
+                let policy = planned_policy(cfg, job.kernel, job.input);
+                let f = ctx.ingest(cfg, &name, job.input, policy);
+                let decision = das_decision(&ctx, &f, cfg, job.kernel);
+                if decision.is_offload() {
+                    (build_das_offload(&mut ctx, &f, cfg, job.kernel), f, Some(true))
+                } else {
+                    // Dynamic fallback: serve as normal I/O.
+                    (build_ts(&mut ctx, &f, cfg, job.kernel), f, Some(false))
+                }
+            }
+        };
+        let output = stitch_output(f.width, f.height, chunks);
+
+        // Completion barrier over everything this job added.
+        let ids = ctx.sim.ops_since(mark);
+        let barrier = ctx
+            .sim
+            .add_op(OpSpec::new(OpKind::Barrier).after_all(ids).tag("job-end"));
+        job_meta.push((job.scheme, job.kernel.name(), output.fingerprint(), offloaded, barrier));
+    }
+
+    let sim_report = ctx.sim.run().expect("mixed DAG schedulable");
+    let trace = sim_report.trace.as_ref().expect("tracing enabled");
+
+    let jobs_out = job_meta
+        .into_iter()
+        .map(|(scheme, kernel, fingerprint, offloaded, barrier)| {
+            let end = trace
+                .entries()
+                .iter()
+                .find(|e| e.op == barrier)
+                .expect("job barrier executed")
+                .finish;
+            JobResult {
+                scheme,
+                kernel: kernel.to_string(),
+                completion: end.since(SimTime::ZERO),
+                output_fingerprint: fingerprint,
+                offloaded,
+            }
+        })
+        .collect();
+
+    MixedReport {
+        jobs: jobs_out,
+        makespan: sim_report.makespan,
+        bytes: sim_report.bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::run_scheme;
+    use das_kernels::{workload, FlowRouting, GaussianFilter};
+
+    #[test]
+    fn mixed_outputs_match_references() {
+        let cfg = ClusterConfig::small_test();
+        let a = workload::fbm_dem(64, 96, 1);
+        let b = workload::fbm_dem(128, 64, 2);
+        let report = run_mixed(
+            &cfg,
+            &[
+                JobSpec { scheme: SchemeKind::Das, kernel: &FlowRouting, input: &a },
+                JobSpec { scheme: SchemeKind::Ts, kernel: &GaussianFilter, input: &b },
+            ],
+        );
+        assert_eq!(report.jobs.len(), 2);
+        assert_eq!(
+            report.jobs[0].output_fingerprint,
+            FlowRouting.apply(&a).fingerprint()
+        );
+        assert_eq!(
+            report.jobs[1].output_fingerprint,
+            GaussianFilter.apply(&b).fingerprint()
+        );
+        assert_eq!(report.jobs[0].offloaded, Some(true));
+        assert_eq!(report.jobs[1].offloaded, None);
+        // Makespan covers both jobs.
+        for j in &report.jobs {
+            assert!(j.completion <= report.makespan);
+        }
+    }
+
+    #[test]
+    fn contention_slows_corunning_jobs() {
+        // Two identical TS jobs sharing the cluster must each finish
+        // no earlier than one running alone.
+        let cfg = ClusterConfig::small_test();
+        let input = workload::fbm_dem(128, 256, 3);
+        let solo = run_scheme(&cfg, SchemeKind::Ts, &GaussianFilter, &input);
+        let duo = run_mixed(
+            &cfg,
+            &[
+                JobSpec { scheme: SchemeKind::Ts, kernel: &GaussianFilter, input: &input },
+                JobSpec { scheme: SchemeKind::Ts, kernel: &GaussianFilter, input: &input },
+            ],
+        );
+        for j in &duo.jobs {
+            assert!(
+                j.completion >= solo.exec_time,
+                "co-running job finished faster ({} vs solo {})",
+                j.completion,
+                solo.exec_time
+            );
+        }
+        assert!(duo.makespan > solo.exec_time);
+    }
+
+    #[test]
+    fn das_leaves_more_room_for_a_corunner() {
+        // The externality claim: a TS job co-running with a DAS job
+        // finishes sooner than co-running with another TS job, because
+        // DAS stays off the network and off the client CPUs. Needs the
+        // calibrated geometry (64 KiB strips) — at toy strip sizes DAS's
+        // per-strip disk latencies dominate and the effect inverts.
+        let mut cfg = ClusterConfig::paper_default();
+        cfg.storage_nodes = 4;
+        cfg.compute_nodes = 4;
+        let mine = workload::fbm_dem(2048, 512, 4); // 4 MiB each
+        let theirs = workload::fbm_dem(2048, 512, 5);
+        let with_das = run_mixed(
+            &cfg,
+            &[
+                JobSpec { scheme: SchemeKind::Ts, kernel: &GaussianFilter, input: &mine },
+                JobSpec { scheme: SchemeKind::Das, kernel: &FlowRouting, input: &theirs },
+            ],
+        );
+        let with_ts = run_mixed(
+            &cfg,
+            &[
+                JobSpec { scheme: SchemeKind::Ts, kernel: &GaussianFilter, input: &mine },
+                JobSpec { scheme: SchemeKind::Ts, kernel: &FlowRouting, input: &theirs },
+            ],
+        );
+        assert!(
+            with_das.jobs[0].completion < with_ts.jobs[0].completion,
+            "TS job next to DAS ({}) should beat TS job next to TS ({})",
+            with_das.jobs[0].completion,
+            with_ts.jobs[0].completion
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_mixed_rejected() {
+        let cfg = ClusterConfig::small_test();
+        let _ = run_mixed(&cfg, &[]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests across the runtime: for arbitrary raster geometries,
+//! strip sizes and cluster shapes, every scheme must compute the same
+//! answer, the measured NAS dependence traffic must equal the
+//! paper-equation prediction, and basic sanity invariants must hold.
+
+use das_core::StripingParams;
+use das_kernels::{kernel_by_name, workload, Kernel};
+use das_pfs::{Layout, LayoutPolicy};
+use das_runtime::{redistribution_cost, run_pipeline, run_scheme, ClusterConfig, SchemeKind};
+use das_sim::SimDuration;
+use proptest::prelude::*;
+
+/// Random-but-small experiment shapes: the properties are geometry
+/// laws, not scale laws, so small cases explore the corner space
+/// (partial strips, strips > rows, more servers than strips…).
+fn arb_shape() -> impl Strategy<Value = (u64, u64, usize, u32, u32)> {
+    (
+        8u64..96,              // width
+        8u64..96,              // height
+        prop::sample::select(vec![256usize, 512, 1024, 4096]), // strip size
+        1u32..6,               // storage nodes
+        1u32..6,               // compute nodes
+    )
+}
+
+fn cfg_for(strip: usize, d: u32, c: u32) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.strip_size = strip;
+    cfg.storage_nodes = d;
+    cfg.compute_nodes = c;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn schemes_agree_bit_for_bit(
+        (w, h, strip, d, c) in arb_shape(),
+        seed in any::<u64>(),
+        kernel_idx in 0usize..4,
+    ) {
+        let kernel_name = ["flow-routing", "gaussian-filter", "sobel-edge", "pointwise-scale"]
+            [kernel_idx];
+        let kernel = kernel_by_name(kernel_name).unwrap();
+        let input = workload::fbm_dem(w, h, seed);
+        let cfg = cfg_for(strip, d, c);
+        let reference = kernel.apply(&input).fingerprint();
+        for scheme in [SchemeKind::Ts, SchemeKind::Nas, SchemeKind::Das] {
+            let report = run_scheme(&cfg, scheme, kernel.as_ref(), &input);
+            prop_assert_eq!(
+                report.output_fingerprint, reference,
+                "{} with {} at {}x{} strip {} on {}+{} nodes",
+                kernel_name, scheme.name(), w, h, strip, d, c
+            );
+        }
+    }
+
+    #[test]
+    fn nas_traffic_equals_paper_prediction(
+        (w, h, strip, d, c) in arb_shape(),
+        seed in any::<u64>(),
+    ) {
+        let kernel = kernel_by_name("gaussian-filter").unwrap();
+        let input = workload::fbm_dem(w, h, seed);
+        let cfg = cfg_for(strip, d, c);
+        let report = run_scheme(&cfg, SchemeKind::Nas, kernel.as_ref(), &input);
+        let params = StripingParams {
+            element_size: 4,
+            strip_size: strip as u64,
+            layout: Layout::new(LayoutPolicy::RoundRobin, d),
+        };
+        let predicted =
+            params.predict_nas_fetches(&kernel.dependence_offsets(w), input.byte_len());
+        prop_assert_eq!(report.bytes.net_server_server, predicted.bytes);
+    }
+
+    #[test]
+    fn das_never_moves_more_between_servers_than_nas(
+        (w, h, strip, d, c) in arb_shape(),
+        seed in any::<u64>(),
+    ) {
+        let kernel = kernel_by_name("flow-routing").unwrap();
+        let input = workload::fbm_dem(w, h, seed);
+        let cfg = cfg_for(strip, d, c);
+        let nas = run_scheme(&cfg, SchemeKind::Nas, kernel.as_ref(), &input);
+        let das = run_scheme(&cfg, SchemeKind::Das, kernel.as_ref(), &input);
+        // DAS's server traffic (replica maintenance, or none on
+        // fallback) must not exceed NAS's dependence traffic plus the
+        // bounded replica overhead.
+        prop_assert!(
+            das.bytes.net_server_server <= nas.bytes.net_server_server + 2 * input.byte_len(),
+            "DAS {} vs NAS {}",
+            das.bytes.net_server_server,
+            nas.bytes.net_server_server
+        );
+        // And a DAS that offloaded with a satisfied plan beats NAS.
+        if let Some(outcome) = &das.das {
+            if outcome.offloaded && outcome.predicted_server_bytes == 0
+                && nas.bytes.net_server_server > 0
+            {
+                prop_assert!(das.exec_time <= nas.exec_time);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelines_equal_composed_references(
+        (w, h, strip, d, c) in arb_shape(),
+        seed in any::<u64>(),
+        stage_idx in prop::collection::vec(0usize..3, 1..4),
+    ) {
+        let names = ["gaussian-filter", "median-filter", "sobel-edge"];
+        let kernels: Vec<Box<dyn Kernel>> = stage_idx
+            .iter()
+            .map(|&i| kernel_by_name(names[i]).unwrap())
+            .collect();
+        let refs: Vec<&dyn Kernel> = kernels.iter().map(|k| k.as_ref()).collect();
+        let input = workload::fbm_dem(w, h, seed);
+        let mut expected = input.clone();
+        for k in &refs {
+            expected = k.apply(&expected);
+        }
+        let cfg = cfg_for(strip, d, c);
+        for scheme in [SchemeKind::Ts, SchemeKind::Das] {
+            let report = run_pipeline(&cfg, scheme, &refs, &input);
+            prop_assert_eq!(report.final_fingerprint, expected.fingerprint());
+            prop_assert_eq!(report.stages.len(), refs.len());
+            // Total = redistribution + Σ stages, exactly.
+            let mut total = report
+                .redistribution
+                .map(|r| r.time)
+                .unwrap_or(SimDuration::ZERO);
+            for s in &report.stages {
+                total += s.exec_time;
+            }
+            prop_assert_eq!(total, report.total_time());
+        }
+    }
+
+    #[test]
+    fn redistribution_cost_laws(
+        (w, h, strip, d, _c) in arb_shape(),
+        seed in any::<u64>(),
+        group in 1u64..6,
+    ) {
+        let input = workload::fbm_dem(w, h, seed);
+        let cfg = cfg_for(strip, d, 1);
+        // Identity is free.
+        let noop = redistribution_cost(&cfg, &input, LayoutPolicy::RoundRobin, LayoutPolicy::RoundRobin);
+        prop_assert_eq!(noop.net_bytes, 0);
+        // Moving to a replicated layout moves at least the replica
+        // copies (unless a single server holds everything).
+        let to = LayoutPolicy::GroupedReplicated { group };
+        let cost = redistribution_cost(&cfg, &input, LayoutPolicy::RoundRobin, to);
+        if d > 1 && input.byte_len() > strip as u64 {
+            prop_assert!(cost.net_bytes > 0);
+            prop_assert!(cost.time > SimDuration::ZERO);
+        }
+        // And never more than every strip moving plus two replicas each.
+        prop_assert!(cost.net_bytes <= 3 * input.byte_len() + 3 * strip as u64);
+    }
+
+    #[test]
+    fn execution_time_is_positive_and_bounded_by_serial_work(
+        (w, h, strip, d, c) in arb_shape(),
+        seed in any::<u64>(),
+    ) {
+        let kernel = kernel_by_name("gaussian-filter").unwrap();
+        let input = workload::fbm_dem(w, h, seed);
+        let cfg = cfg_for(strip, d, c);
+        for scheme in [SchemeKind::Ts, SchemeKind::Nas, SchemeKind::Das] {
+            let report = run_scheme(&cfg, scheme, kernel.as_ref(), &input);
+            prop_assert!(report.exec_secs() > 0.0);
+            prop_assert!(report.critical_path <= report.exec_time);
+            // Sanity ceiling: fully serial execution of every byte and
+            // element on one node with generous constants.
+            let serial_bound = 10.0
+                + input.cells() as f64 * kernel.cost_per_element() * 1e-9 * 10.0
+                + input.byte_len() as f64 * 20.0 / cfg.nic.bytes_per_sec;
+            prop_assert!(report.exec_secs() < serial_bound);
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! The discrete-event scheduling engine.
+//!
+//! The engine performs *greedy list scheduling* over the operation DAG:
+//! an operation becomes *ready* when all of its dependencies have
+//! completed, and *starts* at the earliest instant at which every one of
+//! its resources has a free slot. Ready operations are considered in
+//! FIFO order of becoming ready (ties broken by creation order), with
+//! skipping: a blocked operation does not prevent a later ready
+//! operation that only needs free resources from starting. Acquisition
+//! is all-or-nothing, so there is no hold-and-wait and therefore no
+//! deadlock.
+//!
+//! The schedule is fully deterministic: same ops, same report.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+use std::fmt;
+
+use crate::op::{OpId, OpSpec};
+use crate::report::{ByteCounters, ResourceUsage, SimReport};
+use crate::resource::{Resource, ResourceId};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEntry, TraceLog};
+
+/// Errors surfaced by [`Simulator::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Ready operations remain but none can ever acquire its resources.
+    /// With per-op resource deduplication this cannot happen in
+    /// practice; it is kept as a defensive invariant check.
+    Stuck {
+        /// Operations that were ready but unschedulable.
+        ready: Vec<OpId>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stuck { ready } => {
+                write!(f, "simulation stuck with {} unschedulable ops", ready.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+struct OpState {
+    spec: OpSpec,
+    unmet_deps: u32,
+    dependents: Vec<OpId>,
+    start: Option<SimTime>,
+    finish: Option<SimTime>,
+}
+
+/// A deterministic discrete-event simulator over resources and an
+/// operation DAG. See the crate docs for an end-to-end example.
+pub struct Simulator {
+    resources: Vec<Resource>,
+    ops: Vec<OpState>,
+    trace: Option<TraceLog>,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Create an empty simulator.
+    pub fn new() -> Self {
+        Simulator {
+            resources: Vec::new(),
+            ops: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Record a [`TraceLog`] during [`run`](Self::run); retrieve it from
+    /// the report.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(TraceLog::default());
+    }
+
+    /// Register a resource with the given concurrency `capacity`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: u32) -> ResourceId {
+        let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
+        self.resources.push(Resource::new(name, capacity));
+        id
+    }
+
+    /// Add an operation to the DAG and return its id.
+    ///
+    /// Duplicate resources in the spec are collapsed (an op needs one
+    /// slot per *distinct* resource). Dependencies must refer to ops
+    /// added earlier, which makes the DAG acyclic by construction.
+    ///
+    /// # Panics
+    /// Panics if a dependency or resource id does not exist.
+    pub fn add_op(&mut self, mut spec: OpSpec) -> OpId {
+        let id = OpId(u32::try_from(self.ops.len()).expect("too many ops"));
+        for dep in &spec.deps {
+            assert!(
+                dep.0 < id.0,
+                "op {:?} depends on not-yet-added op {:?}",
+                id,
+                dep
+            );
+        }
+        for r in &spec.resources {
+            assert!(
+                (r.0 as usize) < self.resources.len(),
+                "op {:?} uses unknown resource {:?}",
+                id,
+                r
+            );
+        }
+        spec.resources.sort_unstable();
+        spec.resources.dedup();
+        spec.deps.sort_unstable();
+        spec.deps.dedup();
+        let unmet = u32::try_from(spec.deps.len()).expect("too many deps");
+        self.ops.push(OpState {
+            spec,
+            unmet_deps: unmet,
+            dependents: Vec::new(),
+            start: None,
+            finish: None,
+        });
+        id
+    }
+
+    /// Number of operations added so far.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// A position marker for [`ops_since`](Self::ops_since): captures
+    /// the current op count so a caller composing several work streams
+    /// into one DAG can later refer to "everything added after here".
+    pub fn mark(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Ids of every op added since `mark` (e.g. to hang a completion
+    /// barrier over one job's operations in a multi-job simulation).
+    pub fn ops_since(&self, mark: usize) -> Vec<OpId> {
+        (mark..self.ops.len()).map(|i| OpId(i as u32)).collect()
+    }
+
+    /// Execute the DAG to completion and report timing and data
+    /// movement. Consumes the schedule state; a `Simulator` is
+    /// single-shot.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        // Build reverse edges.
+        for i in 0..self.ops.len() {
+            let deps = self.ops[i].spec.deps.clone();
+            for d in deps {
+                self.ops[d.index()].dependents.push(OpId(i as u32));
+            }
+        }
+
+        // Scheduling state. Blocked-but-ready ops are indexed by every
+        // resource they need, so each event only re-examines ops that
+        // a freed resource could actually unblock — the scan is
+        // O(affected ops), not O(all waiting ops). An op blocked on
+        // resource X can only become startable after X releases a
+        // slot, so the index is complete.
+        let mut ready_seq: u64 = 0;
+        // Ops ready but blocked, keyed (seq, op) per needed resource.
+        let mut waiting_on: Vec<BTreeSet<(u64, OpId)>> =
+            vec![BTreeSet::new(); self.resources.len()];
+        let mut is_waiting: Vec<bool> = vec![false; self.ops.len()];
+
+        // Completion event heap: (finish_time, seq, op).
+        let mut events: BinaryHeap<Reverse<(SimTime, u64, OpId)>> = BinaryHeap::new();
+        let mut event_seq: u64 = 0;
+
+        let mut busy: Vec<SimDuration> = vec![SimDuration::ZERO; self.resources.len()];
+        let mut bytes = ByteCounters::default();
+        let mut makespan = SimTime::ZERO;
+        let mut completed: usize = 0;
+        let mut now = SimTime::ZERO;
+
+        // Candidates for the next start pass, ordered by ready seq.
+        let mut candidates: BTreeSet<(u64, OpId)> = BTreeSet::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.unmet_deps == 0 {
+                candidates.insert((ready_seq, OpId(i as u32)));
+                ready_seq += 1;
+            }
+        }
+
+        loop {
+            // Start every candidate whose resources are all free; park
+            // the rest in the per-resource wait index.
+            for (seq, op_id) in std::mem::take(&mut candidates) {
+                if self.ops[op_id.index()].start.is_some() {
+                    continue; // started by an earlier pass
+                }
+                let can_start = self.ops[op_id.index()]
+                    .spec
+                    .resources
+                    .iter()
+                    .all(|r| self.resources[r.index()].has_slot());
+                if !can_start {
+                    if !is_waiting[op_id.index()] {
+                        is_waiting[op_id.index()] = true;
+                        for r in &self.ops[op_id.index()].spec.resources {
+                            waiting_on[r.index()].insert((seq, op_id));
+                        }
+                    }
+                    continue;
+                }
+                if is_waiting[op_id.index()] {
+                    is_waiting[op_id.index()] = false;
+                    for r in &self.ops[op_id.index()].spec.resources {
+                        waiting_on[r.index()].remove(&(seq, op_id));
+                    }
+                }
+                let dur = {
+                    let op = &mut self.ops[op_id.index()];
+                    op.start = Some(now);
+                    op.spec.duration
+                };
+                let resources = self.ops[op_id.index()].spec.resources.clone();
+                for r in &resources {
+                    self.resources[r.index()].acquire();
+                    busy[r.index()] += dur;
+                    // Ops waiting on a resource we just filled cannot
+                    // start now, but they stay indexed for the next
+                    // release — nothing to do here.
+                }
+                events.push(Reverse((now + dur, event_seq, op_id)));
+                event_seq += 1;
+            }
+
+            // Pull the next completion; if none, we are done (or stuck).
+            let Some(Reverse((t, _, first))) = events.pop() else {
+                break;
+            };
+            now = t;
+            let mut finished = vec![first];
+            // Drain all completions at the same instant so the next
+            // start pass sees every slot freed at `now`.
+            while let Some(&Reverse((t2, _, _))) = events.peek() {
+                if t2 == now {
+                    let Reverse((_, _, op)) = events.pop().expect("peeked");
+                    finished.push(op);
+                } else {
+                    break;
+                }
+            }
+
+            for op_id in finished {
+                let (kind, class, tag, start, resources) = {
+                    let op = &mut self.ops[op_id.index()];
+                    op.finish = Some(now);
+                    (
+                        op.spec.kind.clone(),
+                        op.spec.class,
+                        op.spec.tag,
+                        op.start.expect("finished op has start"),
+                        op.spec.resources.clone(),
+                    )
+                };
+                for r in &resources {
+                    self.resources[r.index()].release();
+                    // Everything blocked on this resource becomes a
+                    // candidate for the next start pass.
+                    for &entry in &waiting_on[r.index()] {
+                        candidates.insert(entry);
+                    }
+                }
+                bytes.record(&kind, class);
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEntry {
+                        op: op_id,
+                        kind: kind.clone(),
+                        tag,
+                        start,
+                        finish: now,
+                    });
+                }
+                makespan = makespan.max(now);
+                completed += 1;
+
+                let dependents = self.ops[op_id.index()].dependents.clone();
+                for dep in dependents {
+                    let d = &mut self.ops[dep.index()];
+                    d.unmet_deps -= 1;
+                    if d.unmet_deps == 0 {
+
+                        candidates.insert((ready_seq, dep));
+                        ready_seq += 1;
+                    }
+                }
+            }
+        }
+
+
+        if completed != self.ops.len() {
+            // All deps are acyclic by construction and ops need one slot
+            // per distinct resource, so this indicates an engine bug.
+            let stuck: Vec<OpId> = is_waiting
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w)
+                .map(|(i, _)| OpId(i as u32))
+                .collect();
+            return Err(SimError::Stuck { ready: stuck });
+        }
+
+        let critical_path = self.critical_path();
+        let usage = self
+            .resources
+            .iter()
+            .zip(busy)
+            .map(|(r, b)| ResourceUsage {
+                name: r.name.clone(),
+                capacity: r.capacity,
+                busy: b,
+            })
+            .collect();
+
+        Ok(SimReport {
+            makespan: makespan.since(SimTime::ZERO),
+            critical_path,
+            op_count: self.ops.len(),
+            resources: usage,
+            bytes,
+            trace: self.trace,
+        })
+    }
+
+    /// Longest dependency chain through the DAG, ignoring resource
+    /// contention — a lower bound on the makespan.
+    fn critical_path(&self) -> SimDuration {
+        let mut longest: Vec<SimDuration> = vec![SimDuration::ZERO; self.ops.len()];
+        let mut best = SimDuration::ZERO;
+        for (i, op) in self.ops.iter().enumerate() {
+            let start: SimDuration = op
+                .spec
+                .deps
+                .iter()
+                .map(|d| longest[d.index()])
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            longest[i] = start + op.spec.duration;
+            best = best.max(longest[i]);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, TransferClass};
+
+    fn compute(node: u32, d: u64) -> OpSpec {
+        OpSpec::new(OpKind::Compute { node, units: 1 }).duration(SimDuration::from_nanos(d))
+    }
+
+    #[test]
+    fn empty_simulation_reports_zero() {
+        let report = Simulator::new().run().unwrap();
+        assert_eq!(report.makespan, SimDuration::ZERO);
+        assert_eq!(report.op_count, 0);
+    }
+
+    #[test]
+    fn serial_chain_sums_durations() {
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource("cpu", 1);
+        let a = sim.add_op(compute(0, 10).uses(cpu));
+        let b = sim.add_op(compute(0, 20).uses(cpu).after(a));
+        let _c = sim.add_op(compute(0, 30).uses(cpu).after(b));
+        let report = sim.run().unwrap();
+        assert_eq!(report.makespan, SimDuration::from_nanos(60));
+        assert_eq!(report.critical_path, SimDuration::from_nanos(60));
+    }
+
+    #[test]
+    fn independent_ops_run_in_parallel_up_to_capacity() {
+        // Four 10ns ops on a capacity-2 resource: two waves of two.
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource("cpu", 2);
+        for _ in 0..4 {
+            sim.add_op(compute(0, 10).uses(cpu));
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(report.makespan, SimDuration::from_nanos(20));
+        // Critical path ignores contention.
+        assert_eq!(report.critical_path, SimDuration::from_nanos(10));
+    }
+
+    #[test]
+    fn fifo_with_skip_lets_unblocked_ops_pass() {
+        // op0 occupies cpu for 100; op1 (ready second) needs cpu; op2
+        // needs only the nic and must not wait behind op1.
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource("cpu", 1);
+        let nic = sim.add_resource("nic", 1);
+        let _hog = sim.add_op(compute(0, 100).uses(cpu));
+        let _blocked = sim.add_op(compute(0, 10).uses(cpu));
+        let free = sim.add_op(
+            OpSpec::new(OpKind::NetTransfer { src: 0, dst: 1, bytes: 8 })
+                .duration(SimDuration::from_nanos(5))
+                .uses(nic)
+                .class(TransferClass::ClientServer),
+        );
+        let mut sim2 = Simulator::new();
+        // Rebuild with trace to inspect start times.
+        let cpu2 = sim2.add_resource("cpu", 1);
+        let nic2 = sim2.add_resource("nic", 1);
+        sim2.enable_trace();
+        let _ = sim2.add_op(compute(0, 100).uses(cpu2));
+        let _ = sim2.add_op(compute(0, 10).uses(cpu2));
+        let free2 = sim2.add_op(
+            OpSpec::new(OpKind::NetTransfer { src: 0, dst: 1, bytes: 8 })
+                .duration(SimDuration::from_nanos(5))
+                .uses(nic2)
+                .class(TransferClass::ClientServer),
+        );
+        let report = sim2.run().unwrap();
+        let trace = report.trace.as_ref().unwrap();
+        let entry = trace.entries().iter().find(|e| e.op == free2).unwrap();
+        assert_eq!(entry.start, SimTime::ZERO, "nic op must not queue behind cpu");
+        assert_eq!(report.makespan, SimDuration::from_nanos(110));
+        let _ = (free, cpu, nic);
+    }
+
+    #[test]
+    fn multi_resource_ops_acquire_atomically() {
+        // A transfer occupying both NICs overlaps with nothing on either.
+        let mut sim = Simulator::new();
+        let nic0 = sim.add_resource("nic0", 1);
+        let nic1 = sim.add_resource("nic1", 1);
+        let t01 = sim.add_op(
+            OpSpec::new(OpKind::NetTransfer { src: 0, dst: 1, bytes: 1 })
+                .duration(SimDuration::from_nanos(10))
+                .uses(nic0)
+                .uses(nic1),
+        );
+        let _t10 = sim.add_op(
+            OpSpec::new(OpKind::NetTransfer { src: 1, dst: 0, bytes: 1 })
+                .duration(SimDuration::from_nanos(10))
+                .uses(nic0)
+                .uses(nic1),
+        );
+        let report = sim.run().unwrap();
+        assert_eq!(report.makespan, SimDuration::from_nanos(20));
+        let _ = t01;
+    }
+
+    #[test]
+    fn byte_counters_split_by_class() {
+        let mut sim = Simulator::new();
+        let nic = sim.add_resource("nic", 4);
+        sim.add_op(
+            OpSpec::new(OpKind::NetTransfer { src: 0, dst: 1, bytes: 100 })
+                .uses(nic)
+                .class(TransferClass::ClientServer),
+        );
+        sim.add_op(
+            OpSpec::new(OpKind::NetTransfer { src: 1, dst: 2, bytes: 40 })
+                .uses(nic)
+                .class(TransferClass::ServerServer),
+        );
+        sim.add_op(OpSpec::new(OpKind::DiskRead { node: 0, bytes: 7 }));
+        sim.add_op(OpSpec::new(OpKind::DiskWrite { node: 0, bytes: 3 }));
+        let report = sim.run().unwrap();
+        assert_eq!(report.bytes.net_client_server, 100);
+        assert_eq!(report.bytes.net_server_server, 40);
+        assert_eq!(report.bytes.disk_read, 7);
+        assert_eq!(report.bytes.disk_write, 3);
+        assert_eq!(report.bytes.net_total(), 140);
+    }
+
+    #[test]
+    fn zero_duration_ops_complete_immediately() {
+        let mut sim = Simulator::new();
+        let a = sim.add_op(OpSpec::new(OpKind::Barrier));
+        let b = sim.add_op(OpSpec::new(OpKind::Barrier).after(a));
+        let _ = b;
+        let report = sim.run().unwrap();
+        assert_eq!(report.makespan, SimDuration::ZERO);
+        assert_eq!(report.op_count, 2);
+    }
+
+    #[test]
+    fn duplicate_resources_collapse() {
+        // An op listing the same resource twice needs one slot, not two.
+        let mut sim = Simulator::new();
+        let r = sim.add_resource("r", 1);
+        sim.add_op(compute(0, 5).uses(r).uses(r));
+        let report = sim.run().unwrap();
+        assert_eq!(report.makespan, SimDuration::from_nanos(5));
+    }
+
+    #[test]
+    fn resource_busy_time_accumulates() {
+        let mut sim = Simulator::new();
+        let cpu = sim.add_resource("cpu", 1);
+        sim.add_op(compute(0, 10).uses(cpu));
+        sim.add_op(compute(0, 15).uses(cpu));
+        let report = sim.run().unwrap();
+        assert_eq!(report.resources[0].busy, SimDuration::from_nanos(25));
+        assert!((report.resources[0].utilization(report.makespan) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on not-yet-added")]
+    fn forward_dependency_rejected() {
+        let mut sim = Simulator::new();
+        sim.add_op(OpSpec::new(OpKind::Barrier).after(OpId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn unknown_resource_rejected() {
+        let mut sim = Simulator::new();
+        sim.add_op(OpSpec::new(OpKind::Barrier).uses(ResourceId(3)));
+    }
+
+    #[test]
+    fn diamond_dag_critical_path() {
+        //    a(10)
+        //   /     \
+        // b(5)   c(20)
+        //   \     /
+        //    d(1)
+        let mut sim = Simulator::new();
+        let a = sim.add_op(compute(0, 10));
+        let b = sim.add_op(compute(0, 5).after(a));
+        let c = sim.add_op(compute(0, 20).after(a));
+        let _d = sim.add_op(compute(0, 1).after(b).after(c));
+        let report = sim.run().unwrap();
+        assert_eq!(report.critical_path, SimDuration::from_nanos(31));
+        assert_eq!(report.makespan, SimDuration::from_nanos(31));
+    }
+}

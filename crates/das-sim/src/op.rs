@@ -1,0 +1,191 @@
+//! Operations: the unit of simulated work.
+//!
+//! An operation occupies a set of resources for a fixed duration once
+//! all of its dependencies have completed. Byte-carrying kinds
+//! ([`OpKind::DiskRead`], [`OpKind::DiskWrite`], [`OpKind::NetTransfer`])
+//! are accounted in [`crate::ByteCounters`] so experiments can report
+//! data movement per category — the quantity the DAS paper's analysis
+//! revolves around.
+
+use crate::time::SimDuration;
+use crate::ResourceId;
+
+/// Identifier of an operation inside one [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// The raw index of the op in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Classifies a network transfer for byte accounting.
+///
+/// The DAS paper distinguishes traffic between compute nodes (clients)
+/// and storage nodes from dependence traffic *among* storage nodes;
+/// the former is the cost of traditional storage (TS), the latter is
+/// what sinks naive active storage (NAS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferClass {
+    /// Storage server ↔ compute client (normal I/O path).
+    ClientServer,
+    /// Storage server ↔ storage server (dependence traffic).
+    ServerServer,
+}
+
+/// What an operation does. Node indices are opaque to the engine; the
+/// cluster model in `das-runtime` assigns them meaning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// Read `bytes` from the disk of `node`.
+    DiskRead {
+        /// Node whose disk is read.
+        node: u32,
+        /// Number of bytes read.
+        bytes: u64,
+    },
+    /// Write `bytes` to the disk of `node`.
+    DiskWrite {
+        /// Node whose disk is written.
+        node: u32,
+        /// Number of bytes written.
+        bytes: u64,
+    },
+    /// Move `bytes` from `src` to `dst` over the network.
+    NetTransfer {
+        /// Sending node.
+        src: u32,
+        /// Receiving node.
+        dst: u32,
+        /// Number of bytes moved.
+        bytes: u64,
+    },
+    /// Spend CPU time on `node` (kernel execution, request service, …).
+    Compute {
+        /// Node whose CPU is occupied.
+        node: u32,
+        /// Work units (elements processed); informational.
+        units: u64,
+    },
+    /// Zero-byte synchronization point (holds no resources by default).
+    Barrier,
+}
+
+impl OpKind {
+    /// Bytes carried by the operation (0 for compute/barrier).
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            OpKind::DiskRead { bytes, .. }
+            | OpKind::DiskWrite { bytes, .. }
+            | OpKind::NetTransfer { bytes, .. } => bytes,
+            OpKind::Compute { .. } | OpKind::Barrier => 0,
+        }
+    }
+}
+
+/// Specification of one operation: what it is, how long it takes, what
+/// it occupies, and what must finish first.
+#[derive(Debug, Clone)]
+pub struct OpSpec {
+    /// The operation kind (drives byte accounting and traces).
+    pub kind: OpKind,
+    /// How long the operation occupies its resources.
+    pub duration: SimDuration,
+    /// Resources acquired atomically at start and released at end.
+    pub resources: Vec<ResourceId>,
+    /// Operations that must complete before this one may start.
+    pub deps: Vec<OpId>,
+    /// Transfer classification for [`OpKind::NetTransfer`] accounting.
+    pub class: Option<TransferClass>,
+    /// Optional label surfaced in traces.
+    pub tag: Option<&'static str>,
+}
+
+impl OpSpec {
+    /// Start building an op of the given kind with zero duration, no
+    /// resources and no dependencies.
+    pub fn new(kind: OpKind) -> Self {
+        OpSpec {
+            kind,
+            duration: SimDuration::ZERO,
+            resources: Vec::new(),
+            deps: Vec::new(),
+            class: None,
+            tag: None,
+        }
+    }
+
+    /// Set the duration.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Occupy `r` for the whole duration (may be called repeatedly).
+    pub fn uses(mut self, r: ResourceId) -> Self {
+        self.resources.push(r);
+        self
+    }
+
+    /// Occupy every resource in `rs`.
+    pub fn uses_all(mut self, rs: impl IntoIterator<Item = ResourceId>) -> Self {
+        self.resources.extend(rs);
+        self
+    }
+
+    /// Require `dep` to complete first (may be called repeatedly).
+    pub fn after(mut self, dep: OpId) -> Self {
+        self.deps.push(dep);
+        self
+    }
+
+    /// Require every op in `deps` to complete first.
+    pub fn after_all(mut self, deps: impl IntoIterator<Item = OpId>) -> Self {
+        self.deps.extend(deps);
+        self
+    }
+
+    /// Classify a network transfer (client↔server vs server↔server).
+    pub fn class(mut self, c: TransferClass) -> Self {
+        self.class = Some(c);
+        self
+    }
+
+    /// Attach a static label for traces.
+    pub fn tag(mut self, t: &'static str) -> Self {
+        self.tag = Some(t);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let spec = OpSpec::new(OpKind::Barrier)
+            .duration(SimDuration::from_nanos(5))
+            .uses(ResourceId(0))
+            .uses(ResourceId(1))
+            .after(OpId(7))
+            .tag("sync");
+        assert_eq!(spec.resources, vec![ResourceId(0), ResourceId(1)]);
+        assert_eq!(spec.deps, vec![OpId(7)]);
+        assert_eq!(spec.duration, SimDuration::from_nanos(5));
+        assert_eq!(spec.tag, Some("sync"));
+    }
+
+    #[test]
+    fn byte_accounting_by_kind() {
+        assert_eq!(OpKind::DiskRead { node: 0, bytes: 10 }.bytes(), 10);
+        assert_eq!(OpKind::Compute { node: 0, units: 99 }.bytes(), 0);
+        assert_eq!(OpKind::Barrier.bytes(), 0);
+        assert_eq!(
+            OpKind::NetTransfer { src: 0, dst: 1, bytes: 3 }.bytes(),
+            3
+        );
+    }
+}

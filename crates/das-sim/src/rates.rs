@@ -1,0 +1,99 @@
+//! Bandwidth/latency arithmetic shared by the cluster models.
+//!
+//! A [`LinkRate`] converts byte counts into [`SimDuration`]s with a
+//! fixed per-message latency plus a throughput term — the standard
+//! first-order model (`t = α + β·n`) of both network messages and disk
+//! accesses used throughout parallel-I/O literature, including the
+//! bandwidth analysis of the DAS paper (Section III-C).
+
+use crate::time::SimDuration;
+
+/// A latency + bandwidth cost model for a communication or storage link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkRate {
+    /// Fixed cost per message/access.
+    pub latency: SimDuration,
+    /// Sustained throughput in bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl LinkRate {
+    /// Build from a latency and a throughput in **MiB/s**.
+    ///
+    /// # Panics
+    /// Panics unless `mib_per_sec` is finite and positive.
+    pub fn new(latency: SimDuration, mib_per_sec: f64) -> Self {
+        assert!(
+            mib_per_sec.is_finite() && mib_per_sec > 0.0,
+            "throughput must be positive, got {mib_per_sec}"
+        );
+        LinkRate {
+            latency,
+            bytes_per_sec: mib_per_sec * 1024.0 * 1024.0,
+        }
+    }
+
+    /// Time to move `bytes` in a single message: `latency + bytes/bw`.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.latency + SimDuration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Time to move `bytes` split over `messages` messages (each paying
+    /// the latency once). `messages` is clamped to at least 1.
+    pub fn transfer_time_msgs(&self, bytes: u64, messages: u64) -> SimDuration {
+        let m = messages.max(1);
+        self.latency * m + SimDuration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// The effective bandwidth achieved moving `bytes` in one message,
+    /// in bytes/second (reported in bandwidth figures).
+    pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
+        let t = self.transfer_time(bytes).as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            bytes as f64 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_bandwidth_term() {
+        let r = LinkRate::new(SimDuration::ZERO, 1.0); // 1 MiB/s
+        assert_eq!(r.transfer_time(1 << 20), SimDuration::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let r = LinkRate::new(SimDuration::from_micros(100), 1024.0);
+        let t = r.transfer_time(64);
+        assert!(t >= SimDuration::from_micros(100));
+        assert!(t < SimDuration::from_micros(101));
+    }
+
+    #[test]
+    fn message_count_multiplies_latency_only() {
+        let r = LinkRate::new(SimDuration::from_micros(10), 1.0);
+        let one = r.transfer_time_msgs(1 << 20, 1);
+        let four = r.transfer_time_msgs(1 << 20, 4);
+        assert_eq!(four - one, SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak() {
+        let r = LinkRate::new(SimDuration::from_micros(100), 1024.0);
+        let eff = r.effective_bandwidth(1 << 20);
+        assert!(eff < r.bytes_per_sec);
+        assert!(eff > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput must be positive")]
+    fn non_positive_throughput_rejected() {
+        let _ = LinkRate::new(SimDuration::ZERO, 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Simulation results: makespan, per-resource usage and byte movement.
+
+use crate::op::{OpKind, TransferClass};
+use crate::time::SimDuration;
+use crate::trace::TraceLog;
+
+/// Bytes moved during a simulation, split the way the DAS paper's
+/// analysis splits them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteCounters {
+    /// Bytes read from disks.
+    pub disk_read: u64,
+    /// Bytes written to disks.
+    pub disk_write: u64,
+    /// Network bytes between compute clients and storage servers
+    /// (the traditional-storage data path).
+    pub net_client_server: u64,
+    /// Network bytes among storage servers (dependence traffic — the
+    /// cost naive active storage pays and DAS eliminates).
+    pub net_server_server: u64,
+    /// Network bytes on transfers that carried no [`TransferClass`].
+    pub net_unclassified: u64,
+}
+
+impl ByteCounters {
+    pub(crate) fn record(&mut self, kind: &OpKind, class: Option<TransferClass>) {
+        match kind {
+            OpKind::DiskRead { bytes, .. } => self.disk_read += bytes,
+            OpKind::DiskWrite { bytes, .. } => self.disk_write += bytes,
+            OpKind::NetTransfer { bytes, .. } => match class {
+                Some(TransferClass::ClientServer) => self.net_client_server += bytes,
+                Some(TransferClass::ServerServer) => self.net_server_server += bytes,
+                None => self.net_unclassified += bytes,
+            },
+            OpKind::Compute { .. } | OpKind::Barrier => {}
+        }
+    }
+
+    /// Total bytes that crossed the network.
+    pub fn net_total(&self) -> u64 {
+        self.net_client_server + self.net_server_server + self.net_unclassified
+    }
+
+    /// Total bytes touched on disks.
+    pub fn disk_total(&self) -> u64 {
+        self.disk_read + self.disk_write
+    }
+}
+
+/// How busy one resource was over the run.
+#[derive(Debug, Clone)]
+pub struct ResourceUsage {
+    /// Resource name as registered.
+    pub name: String,
+    /// Concurrency capacity.
+    pub capacity: u32,
+    /// Total occupied time summed over slots.
+    pub busy: SimDuration,
+}
+
+impl ResourceUsage {
+    /// Fraction of capacity·makespan the resource was occupied
+    /// (0.0 when the makespan is zero).
+    pub fn utilization(&self, makespan: SimDuration) -> f64 {
+        let denom = makespan.as_secs_f64() * f64::from(self.capacity);
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / denom
+        }
+    }
+}
+
+/// The result of running a [`crate::Simulator`] to completion.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Completion time of the last operation.
+    pub makespan: SimDuration,
+    /// Longest dependency chain ignoring contention (lower bound on the
+    /// makespan); the gap between the two measures queueing delay.
+    pub critical_path: SimDuration,
+    /// Number of operations executed.
+    pub op_count: usize,
+    /// Per-resource occupancy, in registration order.
+    pub resources: Vec<ResourceUsage>,
+    /// Data movement by category.
+    pub bytes: ByteCounters,
+    /// Present when tracing was enabled.
+    pub trace: Option<TraceLog>,
+}
+
+impl SimReport {
+    /// Queueing delay: makespan minus critical path.
+    pub fn contention_overhead(&self) -> SimDuration {
+        self.makespan.saturating_sub(self.critical_path)
+    }
+
+    /// Human-readable run summary: timing, data movement, and the
+    /// most-utilized resources (the bottleneck view).
+    pub fn summary(&self) -> String {
+        let mut by_util: Vec<&ResourceUsage> = self.resources.iter().collect();
+        by_util.sort_by(|a, b| {
+            b.utilization(self.makespan)
+                .total_cmp(&a.utilization(self.makespan))
+        });
+        let mut out = format!(
+            "makespan {}  critical-path {}  contention {}  ops {}\n\
+             bytes: disk r/w {}/{} MiB, net client {} MiB, net server {} MiB\n\
+             busiest resources:\n",
+            self.makespan,
+            self.critical_path,
+            self.contention_overhead(),
+            self.op_count,
+            self.bytes.disk_read / (1 << 20),
+            self.bytes.disk_write / (1 << 20),
+            self.bytes.net_client_server / (1 << 20),
+            self.bytes.net_server_server / (1 << 20),
+        );
+        for r in by_util.iter().take(5) {
+            out.push_str(&format!(
+                "  {:<16} {:>6.1}% busy ({})\n",
+                r.name,
+                r.utilization(self.makespan) * 100.0,
+                r.busy
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_handles_zero_makespan() {
+        let u = ResourceUsage {
+            name: "cpu".into(),
+            capacity: 2,
+            busy: SimDuration::ZERO,
+        };
+        assert_eq!(u.utilization(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn counters_totals() {
+        let c = ByteCounters {
+            disk_read: 1,
+            disk_write: 2,
+            net_client_server: 4,
+            net_server_server: 8,
+            net_unclassified: 16,
+        };
+        assert_eq!(c.net_total(), 28);
+        assert_eq!(c.disk_total(), 3);
+    }
+}

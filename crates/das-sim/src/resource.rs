@@ -1,0 +1,78 @@
+//! Contended resources: CPUs, NICs, disks, switches.
+//!
+//! A [`Resource`] has a fixed integer capacity (number of operations it
+//! can execute concurrently). The cluster models in `das-runtime` create
+//! one CPU resource per node (capacity = cores dedicated to the storage
+//! service), one NIC resource per node, and one disk resource per
+//! storage node; contention between offloaded kernels and dependence
+//! requests then falls out of the scheduler instead of being assumed.
+
+/// Identifier of a resource inside one [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    /// The raw index of the resource in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named, capacity-limited resource.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Human-readable name used in traces and reports (e.g. `"nic3"`).
+    pub name: String,
+    /// Number of operations the resource can run concurrently (≥ 1).
+    pub capacity: u32,
+    pub(crate) in_use: u32,
+}
+
+impl Resource {
+    pub(crate) fn new(name: impl Into<String>, capacity: u32) -> Self {
+        assert!(capacity >= 1, "resource capacity must be >= 1");
+        Resource {
+            name: name.into(),
+            capacity,
+            in_use: 0,
+        }
+    }
+
+    /// Whether at least one slot is free.
+    pub(crate) fn has_slot(&self) -> bool {
+        self.in_use < self.capacity
+    }
+
+    pub(crate) fn acquire(&mut self) {
+        debug_assert!(self.has_slot(), "acquire on saturated resource {}", self.name);
+        self.in_use += 1;
+    }
+
+    pub(crate) fn release(&mut self) {
+        debug_assert!(self.in_use > 0, "release on idle resource {}", self.name);
+        self.in_use -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_gates_slots() {
+        let mut r = Resource::new("cpu", 2);
+        assert!(r.has_slot());
+        r.acquire();
+        assert!(r.has_slot());
+        r.acquire();
+        assert!(!r.has_slot());
+        r.release();
+        assert!(r.has_slot());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_capacity_rejected() {
+        let _ = Resource::new("bad", 0);
+    }
+}

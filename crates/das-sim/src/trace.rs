@@ -1,0 +1,188 @@
+//! Optional execution traces for debugging and Gantt-style inspection.
+
+use crate::op::{OpId, OpKind};
+use crate::time::SimTime;
+
+/// One executed operation: what ran and when.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// The operation.
+    pub op: OpId,
+    /// Kind (with byte counts / endpoints).
+    pub kind: OpKind,
+    /// Static label attached at construction, if any.
+    pub tag: Option<&'static str>,
+    /// Start instant.
+    pub start: SimTime,
+    /// Completion instant.
+    pub finish: SimTime,
+}
+
+/// Chronological (by completion) record of every operation executed.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceLog {
+    pub(crate) fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries, ordered by completion time.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries whose tag equals `tag`.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.tag == Some(tag))
+    }
+
+    /// Total operation time grouped by tag (untagged ops under `"-"`).
+    /// Resource-seconds, not wall time: concurrent ops both count.
+    /// The per-phase view behind "where did this scheme spend its
+    /// time".
+    pub fn time_by_tag(&self) -> std::collections::BTreeMap<&'static str, crate::SimDuration> {
+        let mut out = std::collections::BTreeMap::new();
+        for e in &self.entries {
+            let dur = e.finish.since(e.start);
+            *out.entry(e.tag.unwrap_or("-"))
+                .or_insert(crate::SimDuration::ZERO) += dur;
+        }
+        out
+    }
+
+    /// Render a text Gantt chart: one lane per (node, activity class),
+    /// `width` characters across the full makespan. Overlapping ops in
+    /// a lane merge (a lane shows *busy* intervals). Useful for
+    /// eyeballing where a scheme's time goes:
+    ///
+    /// ```text
+    /// node 0 cpu  |████··████████···|
+    /// node 0 net  |··██··········██·|
+    /// ```
+    pub fn render_gantt(&self, width: usize) -> String {
+        use crate::op::OpKind;
+        use std::collections::BTreeMap;
+
+        let width = width.max(10);
+        let end = self
+            .entries
+            .iter()
+            .map(|e| e.finish.as_nanos())
+            .max()
+            .unwrap_or(0);
+        if end == 0 {
+            return String::from("(empty trace)\n");
+        }
+
+        // (node, class) → busy cells.
+        let mut lanes: BTreeMap<(u32, &'static str), Vec<bool>> = BTreeMap::new();
+        let cell = |t: u64| ((t as u128 * width as u128) / (end as u128 + 1)) as usize;
+        for e in &self.entries {
+            let targets: Vec<(u32, &'static str)> = match e.kind {
+                OpKind::Compute { node, .. } => vec![(node, "cpu ")],
+                OpKind::DiskRead { node, .. } | OpKind::DiskWrite { node, .. } => {
+                    vec![(node, "disk")]
+                }
+                OpKind::NetTransfer { src, dst, .. } => vec![(src, "net "), (dst, "net ")],
+                OpKind::Barrier => continue,
+            };
+            let (a, b) = (cell(e.start.as_nanos()), cell(e.finish.as_nanos()));
+            for key in targets {
+                let lane = lanes.entry(key).or_insert_with(|| vec![false; width]);
+                for c in &mut lane[a..=b.min(width - 1)] {
+                    *c = true;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        for ((node, class), lane) in lanes {
+            out.push_str(&format!("node {node:>3} {class} |"));
+            for busy in lane {
+                out.push(if busy { '█' } else { '·' });
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_by_tag_sums_resource_seconds() {
+        let mut log = TraceLog::default();
+        for (tag, start, finish) in
+            [(Some("read"), 0u64, 10u64), (Some("read"), 5, 25), (None, 0, 7)]
+        {
+            log.push(TraceEntry {
+                op: OpId(0),
+                kind: OpKind::Barrier,
+                tag,
+                start: SimTime::from_nanos(start),
+                finish: SimTime::from_nanos(finish),
+            });
+        }
+        let by_tag = log.time_by_tag();
+        assert_eq!(by_tag["read"], crate::SimDuration::from_nanos(30));
+        assert_eq!(by_tag["-"], crate::SimDuration::from_nanos(7));
+    }
+
+    #[test]
+    fn gantt_renders_lanes_and_gaps() {
+        let mut log = TraceLog::default();
+        log.push(TraceEntry {
+            op: OpId(0),
+            kind: OpKind::Compute { node: 0, units: 1 },
+            tag: None,
+            start: SimTime::from_nanos(0),
+            finish: SimTime::from_nanos(50),
+        });
+        log.push(TraceEntry {
+            op: OpId(1),
+            kind: OpKind::NetTransfer { src: 0, dst: 1, bytes: 8 },
+            tag: None,
+            start: SimTime::from_nanos(50),
+            finish: SimTime::from_nanos(100),
+        });
+        let chart = log.render_gantt(20);
+        assert!(chart.contains("node   0 cpu "));
+        assert!(chart.contains("node   0 net "));
+        assert!(chart.contains("node   1 net "));
+        // The cpu lane is busy early and idle late; net the reverse.
+        let cpu_line = chart.lines().find(|l| l.contains("cpu")).unwrap();
+        assert!(cpu_line.contains('█') && cpu_line.contains('·'));
+        assert_eq!(chart.lines().count(), 3);
+    }
+
+    #[test]
+    fn gantt_handles_empty_trace() {
+        assert_eq!(TraceLog::default().render_gantt(40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn tag_filter_selects() {
+        let mut log = TraceLog::default();
+        log.push(TraceEntry {
+            op: OpId(0),
+            kind: OpKind::Barrier,
+            tag: Some("x"),
+            start: SimTime::ZERO,
+            finish: SimTime::ZERO,
+        });
+        log.push(TraceEntry {
+            op: OpId(1),
+            kind: OpKind::Barrier,
+            tag: Some("y"),
+            start: SimTime::ZERO,
+            finish: SimTime::ZERO,
+        });
+        assert_eq!(log.with_tag("x").count(), 1);
+        assert_eq!(log.entries().len(), 2);
+    }
+}

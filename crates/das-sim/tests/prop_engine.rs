@@ -1,0 +1,181 @@
+//! Property tests for the discrete-event engine: on arbitrary DAGs the
+//! schedule must respect dependencies, respect capacities, conserve
+//! bytes, and sit between the critical-path and serialized bounds.
+
+use das_sim::{OpId, OpKind, OpSpec, SimDuration, Simulator, TransferClass};
+use proptest::prelude::*;
+
+/// A generated op: duration, subset of earlier ops as deps, subset of
+/// resources, byte payload.
+#[derive(Debug, Clone)]
+struct GenOp {
+    duration_ns: u64,
+    deps: Vec<usize>,
+    resources: Vec<usize>,
+    bytes: u64,
+}
+
+fn gen_dag(max_ops: usize, n_resources: usize) -> impl Strategy<Value = Vec<GenOp>> {
+    prop::collection::vec(
+        (
+            0u64..1_000,
+            prop::collection::vec(any::<prop::sample::Index>(), 0..4),
+            prop::collection::vec(0..n_resources, 0..3),
+            0u64..10_000,
+        ),
+        0..max_ops,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (duration_ns, dep_idx, resources, bytes))| GenOp {
+                duration_ns,
+                // Deps may only point at earlier ops (acyclic by construction).
+                deps: if i == 0 {
+                    vec![]
+                } else {
+                    dep_idx.iter().map(|d| d.index(i)).collect()
+                },
+                resources,
+                bytes,
+            })
+            .collect()
+    })
+}
+
+fn build(ops: &[GenOp], capacities: &[u32]) -> (Simulator, Vec<OpId>) {
+    let mut sim = Simulator::new();
+    sim.enable_trace();
+    let rids: Vec<_> = capacities
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| sim.add_resource(format!("r{i}"), c))
+        .collect();
+    let mut ids = Vec::new();
+    for op in ops {
+        let mut spec = OpSpec::new(OpKind::NetTransfer {
+            src: 0,
+            dst: 1,
+            bytes: op.bytes,
+        })
+        .duration(SimDuration::from_nanos(op.duration_ns))
+        .class(TransferClass::ServerServer);
+        for &d in &op.deps {
+            spec = spec.after(ids[d]);
+        }
+        for &r in &op.resources {
+            spec = spec.uses(rids[r]);
+        }
+        ids.push(sim.add_op(spec));
+    }
+    (sim, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn schedule_respects_dependencies(
+        ops in gen_dag(40, 3),
+        caps in prop::collection::vec(1u32..4, 3),
+    ) {
+        let (sim, ids) = build(&ops, &caps);
+        let report = sim.run().unwrap();
+        let trace = report.trace.as_ref().unwrap();
+        let mut start = vec![None; ops.len()];
+        let mut finish = vec![None; ops.len()];
+        for e in trace.entries() {
+            let i = ids.iter().position(|&id| id == e.op).unwrap();
+            start[i] = Some(e.start);
+            finish[i] = Some(e.finish);
+        }
+        for (i, op) in ops.iter().enumerate() {
+            for &d in &op.deps {
+                prop_assert!(finish[d].unwrap() <= start[i].unwrap(),
+                    "op {i} started before dep {d} finished");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_never_exceeded(
+        ops in gen_dag(40, 2),
+        caps in prop::collection::vec(1u32..3, 2),
+    ) {
+        let (sim, ids) = build(&ops, &caps);
+        let report = sim.run().unwrap();
+        let trace = report.trace.as_ref().unwrap();
+        // Sweep events per resource: +1 at start, -1 at finish; running
+        // count must never exceed capacity. Zero-duration ops hold their
+        // slot for an instant only; process finishes before starts at
+        // equal times, matching the engine's release-then-start order.
+        for (r, &cap) in caps.iter().enumerate() {
+            let mut events: Vec<(u64, i32)> = Vec::new();
+            for e in trace.entries() {
+                let i = ids.iter().position(|&id| id == e.op).unwrap();
+                if ops[i].resources.contains(&r) && e.finish > e.start {
+                    events.push((e.start.as_nanos(), 1));
+                    events.push((e.finish.as_nanos(), -1));
+                }
+            }
+            events.sort_by_key(|&(t, delta)| (t, delta)); // -1 before +1 at ties
+            let mut in_use = 0i32;
+            for (_, delta) in events {
+                in_use += delta;
+                prop_assert!(in_use <= cap as i32, "resource {r} oversubscribed");
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_are_conserved(ops in gen_dag(60, 2)) {
+        let caps = vec![2, 2];
+        let (sim, _) = build(&ops, &caps);
+        let report = sim.run().unwrap();
+        let expected: u64 = ops.iter().map(|o| o.bytes).sum();
+        prop_assert_eq!(report.bytes.net_server_server, expected);
+        prop_assert_eq!(report.bytes.net_total(), expected);
+    }
+
+    #[test]
+    fn makespan_bounded_by_critical_path_and_serial_sum(
+        ops in gen_dag(40, 2),
+        caps in prop::collection::vec(1u32..4, 2),
+    ) {
+        let (sim, _) = build(&ops, &caps);
+        let report = sim.run().unwrap();
+        let serial: u64 = ops.iter().map(|o| o.duration_ns).sum();
+        prop_assert!(report.critical_path <= report.makespan);
+        prop_assert!(report.makespan <= SimDuration::from_nanos(serial));
+    }
+
+    #[test]
+    fn deterministic_replay(ops in gen_dag(30, 2)) {
+        let caps = vec![1, 2];
+        let (sim_a, _) = build(&ops, &caps);
+        let (sim_b, _) = build(&ops, &caps);
+        let a = sim_a.run().unwrap();
+        let b = sim_b.run().unwrap();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.bytes, b.bytes);
+        let ta = a.trace.as_ref().unwrap().entries();
+        let tb = b.trace.as_ref().unwrap().entries();
+        prop_assert_eq!(ta.len(), tb.len());
+        for (ea, eb) in ta.iter().zip(tb) {
+            prop_assert_eq!(ea.op, eb.op);
+            prop_assert_eq!(ea.start, eb.start);
+            prop_assert_eq!(ea.finish, eb.finish);
+        }
+    }
+
+    #[test]
+    fn all_ops_complete(ops in gen_dag(80, 3)) {
+        let caps = vec![1, 1, 1];
+        let (sim, _) = build(&ops, &caps);
+        let report = sim.run().unwrap();
+        prop_assert_eq!(report.op_count, ops.len());
+        if let Some(trace) = &report.trace {
+            prop_assert_eq!(trace.entries().len(), ops.len());
+        }
+    }
+}

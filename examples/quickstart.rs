@@ -1,0 +1,72 @@
+//! Quickstart: one offloaded operation under all three schemes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a fractal terrain raster, runs the paper's flow-routing
+//! kernel under TS (traditional storage), NAS (naive active storage)
+//! and DAS (the paper's dynamic active storage), and prints the
+//! execution time, sustained bandwidth and data movement of each —
+//! a one-screen version of the paper's Fig. 11.
+
+use das::prelude::*;
+
+fn main() {
+    // The paper's first experiment: 24 nodes, half storage and half
+    // compute (ClusterConfig::paper_default is 12+12), data scaled
+    // from the paper's 24 GB to 24 MiB (see DESIGN.md).
+    let cfg = ClusterConfig::paper_default();
+    let dem = das::runtime::sweep::figure_workload(24, 2012);
+
+    println!("input: {} ({} strips of {} KiB on {} servers)\n",
+        dem,
+        dem.byte_len().div_ceil(cfg.strip_size as u64),
+        cfg.strip_size / 1024,
+        cfg.storage_nodes,
+    );
+
+    let mut fingerprints = Vec::new();
+    for scheme in [SchemeKind::Nas, SchemeKind::Das, SchemeKind::Ts] {
+        let report = run_scheme(&cfg, scheme, &FlowRouting, &dem);
+        println!("{}", report.row());
+        if let Some(das) = &report.das {
+            println!(
+                "     └─ decision: offloaded={}, layout={}, predicted dependence bytes={}",
+                das.offloaded,
+                das.layout.name(),
+                das.predicted_server_bytes
+            );
+        }
+        fingerprints.push(report.output_fingerprint);
+    }
+
+    assert!(fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "all schemes must produce bit-identical outputs");
+    println!("\nall schemes produced bit-identical outputs ✔");
+
+    // Where does the time go? Re-run DAS at a small size with tracing
+    // and render the per-node activity Gantt (█ = busy, · = idle).
+    let mut traced = ClusterConfig::paper_default();
+    traced.trace = true;
+    traced.storage_nodes = 4;
+    traced.compute_nodes = 4;
+    let small = das::runtime::sweep::figure_workload(2, 2012);
+    let das = run_scheme(&traced, SchemeKind::Das, &FlowRouting, &small);
+    println!("\nDAS activity at 2 MiB on 4+4 nodes:");
+    print!("{}", das.trace.as_ref().expect("tracing enabled").render_gantt(64));
+
+    // And the same run's time, grouped by phase (resource-seconds).
+    println!("\nwhere the time goes (per phase, summed over nodes):");
+    for scheme in [SchemeKind::Nas, SchemeKind::Das, SchemeKind::Ts] {
+        let r = run_scheme(&traced, scheme, &FlowRouting, &small);
+        let by_tag = r.trace.as_ref().unwrap().time_by_tag();
+        let mut phases: Vec<String> = by_tag
+            .iter()
+            .filter(|(_, d)| d.as_nanos() > 0)
+            .map(|(tag, d)| format!("{tag} {d}"))
+            .collect();
+        phases.sort();
+        println!("  {:<4} {}", scheme.name(), phases.join(", "));
+    }
+}

@@ -1,0 +1,70 @@
+//! Reproducibility driver: run the paper's experiment grid and write
+//! machine-readable results.
+//!
+//! ```text
+//! cargo run --release --example run_experiments -- [outdir]
+//! ```
+//!
+//! Executes the Fig. 10–14 grid (three schemes × Table I kernels ×
+//! the size and node sweeps) and writes one JSON-lines file per
+//! figure under `outdir` (default `results/`). Every run is
+//! deterministic, so the artifacts are stable across machines — diff
+//! them to detect behavioural changes.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+use das::prelude::*;
+
+const SIZES: [u64; 4] = [24, 36, 48, 60];
+const NODES: [u32; 4] = [24, 36, 48, 60];
+const KERNELS: [&str; 3] = ["flow-routing", "flow-accumulation", "gaussian-filter"];
+const SEED: u64 = 2012;
+
+fn write_lines(path: &PathBuf, lines: &[String]) {
+    let mut f = fs::File::create(path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+    for line in lines {
+        writeln!(f, "{line}").expect("write result line");
+    }
+    println!("wrote {} runs -> {}", lines.len(), path.display());
+}
+
+fn main() {
+    let outdir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&outdir).expect("create output directory");
+    let cfg = ClusterConfig::paper_default();
+
+    // Figs. 10–12: scheme × kernel × size grid at 24 nodes.
+    let mut grid = Vec::new();
+    for kernel in KERNELS {
+        for scheme in [SchemeKind::Nas, SchemeKind::Das, SchemeKind::Ts] {
+            for p in size_sweep(&cfg, scheme, kernel, &SIZES, SEED) {
+                grid.push(p.report.to_json());
+            }
+        }
+    }
+    write_lines(&outdir.join("size_grid.jsonl"), &grid);
+
+    // Fig. 13: node sweep at 60 MiB.
+    let mut nodes = Vec::new();
+    for scheme in [SchemeKind::Das, SchemeKind::Ts] {
+        for p in node_sweep(&cfg, scheme, "flow-routing", 60, &NODES, SEED) {
+            nodes.push(p.report.to_json());
+        }
+    }
+    write_lines(&outdir.join("node_sweep.jsonl"), &nodes);
+
+    // Cross-checks before declaring the artifacts good: identical
+    // outputs per cell and the headline ordering.
+    let a = &size_sweep(&cfg, SchemeKind::Das, "flow-routing", &[24], SEED)[0].report;
+    let b = &size_sweep(&cfg, SchemeKind::Ts, "flow-routing", &[24], SEED)[0].report;
+    let c = &size_sweep(&cfg, SchemeKind::Nas, "flow-routing", &[24], SEED)[0].report;
+    assert_eq!(a.output_fingerprint, b.output_fingerprint);
+    assert_eq!(a.output_fingerprint, c.output_fingerprint);
+    assert!(a.exec_time < b.exec_time && b.exec_time < c.exec_time);
+    println!("verification: outputs identical, DAS < TS < NAS at 24 MiB ✔");
+}

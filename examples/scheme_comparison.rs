@@ -1,0 +1,92 @@
+//! Scheme comparison CLI: sweep kernels, sizes and node counts.
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison -- \
+//!     [--kernel <name>] [--sizes 24,36,48,60] [--nodes 24] [--seed N]
+//! ```
+//!
+//! Runs TS, NAS and DAS over the requested grid and prints one table
+//! per kernel — a configurable version of the paper's Figs. 10–12.
+//! Kernel names: flow-routing, flow-accumulation, gaussian-filter,
+//! median-filter, slope-analysis, or `all`.
+
+use das::prelude::*;
+
+struct Args {
+    kernels: Vec<String>,
+    sizes: Vec<u64>,
+    nodes: u32,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        kernels: vec!["flow-routing".into()],
+        sizes: vec![24],
+        nodes: 24,
+        seed: 2012,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = String>| {
+            it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--kernel" => {
+                let v = value(&mut it);
+                args.kernels = if v == "all" {
+                    das::kernels::kernel_names().iter().map(|s| s.to_string()).collect()
+                } else {
+                    vec![v]
+                };
+            }
+            "--sizes" => {
+                args.sizes = value(&mut it)
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("sizes are integers (MiB)"))
+                    .collect();
+            }
+            "--nodes" => args.nodes = value(&mut it).parse().expect("nodes is an integer"),
+            "--seed" => args.seed = value(&mut it).parse().expect("seed is an integer"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: scheme_comparison [--kernel <name>|all] [--sizes 24,36,48,60] \
+                     [--nodes N] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = ClusterConfig::paper_default().with_total_nodes(args.nodes);
+    println!(
+        "cluster: {} storage + {} compute nodes, {} KiB strips\n",
+        cfg.storage_nodes,
+        cfg.compute_nodes,
+        cfg.strip_size / 1024
+    );
+
+    for kernel in &args.kernels {
+        println!("=== {kernel} ===");
+        for &mib in &args.sizes {
+            let mut rows = Vec::new();
+            let mut fps = Vec::new();
+            for scheme in [SchemeKind::Nas, SchemeKind::Das, SchemeKind::Ts] {
+                let points = size_sweep(&cfg, scheme, kernel, &[mib], args.seed);
+                let report = &points[0].report;
+                rows.push(report.row());
+                fps.push(report.output_fingerprint);
+            }
+            assert!(fps.windows(2).all(|w| w[0] == w[1]), "scheme outputs diverged");
+            for row in rows {
+                println!("{row}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration: the three schemes must be functionally
+//! interchangeable — bit-identical outputs for every kernel — while
+//! moving data on entirely different paths, and the measured movement
+//! must match the das-core predictor.
+
+use das::prelude::*;
+use das::kernels::{kernel_names, workload};
+
+fn test_input() -> das::kernels::Raster {
+    // ~1 MiB: 256 × 1024 f32. With the small_test 2 KiB strips each
+    // strip holds two rows, so the 8-neighbor dependence reaches at
+    // most the adjacent strip (the geometry the DAS layout covers).
+    workload::fbm_dem(256, 1024, 1234)
+}
+
+#[test]
+fn all_kernels_all_schemes_bit_identical() {
+    let cfg = ClusterConfig::small_test();
+    let input = test_input();
+    for &name in kernel_names() {
+        let kernel = kernel_by_name(name).expect("registered kernel");
+        let reference = kernel.apply(&input).fingerprint();
+        for scheme in [SchemeKind::Ts, SchemeKind::Nas, SchemeKind::Das] {
+            let report = run_scheme(&cfg, scheme, kernel.as_ref(), &input);
+            assert_eq!(
+                report.output_fingerprint, reference,
+                "{name} under {} diverged from the reference",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn data_paths_differ_as_designed() {
+    let cfg = ClusterConfig::small_test();
+    let input = test_input();
+    let kernel = kernel_by_name("flow-routing").unwrap();
+
+    let ts = run_scheme(&cfg, SchemeKind::Ts, kernel.as_ref(), &input);
+    let nas = run_scheme(&cfg, SchemeKind::Nas, kernel.as_ref(), &input);
+    let das = run_scheme(&cfg, SchemeKind::Das, kernel.as_ref(), &input);
+
+    // TS: everything crosses client links, nothing between servers.
+    assert!(ts.bytes.net_client_server >= 2 * input.byte_len());
+    assert_eq!(ts.bytes.net_server_server, 0);
+
+    // NAS: nothing to clients, heavy server↔server (amplified).
+    assert_eq!(nas.bytes.net_client_server, 0);
+    assert!(nas.bytes.net_server_server > input.byte_len());
+
+    // DAS: nothing to clients, only replica maintenance between
+    // servers — strictly less than NAS's dependence traffic.
+    assert_eq!(das.bytes.net_client_server, 0);
+    assert!(das.bytes.net_server_server < nas.bytes.net_server_server / 2);
+
+    // Active storage reads from local disks instead.
+    assert!(das.bytes.disk_read >= input.byte_len());
+}
+
+#[test]
+fn measured_nas_traffic_equals_prediction() {
+    // The predictor (das-core) and the executor (das-runtime) are
+    // independent implementations of the same model; they must agree
+    // exactly on every kernel and size.
+    use das::core::StripingParams;
+    use das::pfs::Layout;
+
+    let cfg = ClusterConfig::small_test();
+    for (w, h) in [(256u64, 256u64), (512, 384)] {
+        let input = workload::fbm_dem(w, h, 9);
+        for &name in kernel_names() {
+            let kernel = kernel_by_name(name).unwrap();
+            let report = run_scheme(&cfg, SchemeKind::Nas, kernel.as_ref(), &input);
+            let params = StripingParams {
+                element_size: 4,
+                strip_size: cfg.strip_size as u64,
+                layout: Layout::new(LayoutPolicy::RoundRobin, cfg.storage_nodes),
+            };
+            let predicted =
+                params.predict_nas_fetches(&kernel.dependence_offsets(w), input.byte_len());
+            assert_eq!(
+                report.bytes.net_server_server, predicted.bytes,
+                "{name} at {w}x{h}: measured vs predicted NAS traffic"
+            );
+        }
+    }
+}
+
+#[test]
+fn das_offloads_and_predicts_zero_dependence_bytes() {
+    let cfg = ClusterConfig::small_test();
+    let input = test_input();
+    for &name in kernel_names() {
+        if name == "gaussian-filter-5x5" {
+            // Radius-2 at this geometry (2-row strips) legitimately
+            // spans two strips; covered by the dedicated test below.
+            continue;
+        }
+        let kernel = kernel_by_name(name).unwrap();
+        let report = run_scheme(&cfg, SchemeKind::Das, kernel.as_ref(), &input);
+        let das = report.das.as_ref().expect("DAS outcome");
+        assert!(das.offloaded, "{name} must offload");
+        assert_eq!(das.predicted_server_bytes, 0, "{name} plan must be satisfied");
+    }
+}
+
+#[test]
+fn radius2_kernel_offloads_when_strips_cover_it() {
+    // gaussian-filter-5x5 reaches ±(2·W + 2) elements. With the paper
+    // geometry (64 KiB strips = 8 rows of width 2048) that stays
+    // within the adjacent strip, so the improved layout covers it and
+    // DAS offloads; with one-row strips it cannot, and the dynamic
+    // decision falls back to normal service. Both behaviours are
+    // correct — and both produce the right answer.
+    let kernel = kernel_by_name("gaussian-filter-5x5").unwrap();
+
+    let mut wide = ClusterConfig::paper_default();
+    wide.storage_nodes = 4;
+    wide.compute_nodes = 4;
+    let input = das::runtime::sweep::figure_workload(4, 9); // width 2048
+    let covered = run_scheme(&wide, SchemeKind::Das, kernel.as_ref(), &input);
+    let das = covered.das.as_ref().unwrap();
+    assert!(das.offloaded, "8-row strips cover radius 2");
+    assert_eq!(das.predicted_server_bytes, 0);
+    assert_eq!(covered.output_fingerprint, kernel.apply(&input).fingerprint());
+
+    let mut narrow = ClusterConfig::paper_default();
+    narrow.storage_nodes = 4;
+    narrow.compute_nodes = 4;
+    narrow.strip_size = 2048 * 4; // one-row strips
+    let fallback = run_scheme(&narrow, SchemeKind::Das, kernel.as_ref(), &input);
+    let das = fallback.das.as_ref().unwrap();
+    assert!(!das.offloaded, "one-row strips cannot cover radius 2");
+    assert_eq!(fallback.output_fingerprint, kernel.apply(&input).fingerprint());
+}
+
+#[test]
+fn dependence_free_kernel_is_the_ideal_offload() {
+    // The paper's Section I ideal: "each active storage node does not
+    // need to request dependent data from other storage nodes". For a
+    // pointwise operator the planner keeps round-robin, NAS and DAS
+    // move identical (zero) dependence bytes, and both beat TS.
+    let cfg = ClusterConfig::small_test();
+    let input = test_input();
+    let kernel = kernel_by_name("pointwise-scale").unwrap();
+    let nas = run_scheme(&cfg, SchemeKind::Nas, kernel.as_ref(), &input);
+    let das = run_scheme(&cfg, SchemeKind::Das, kernel.as_ref(), &input);
+    let ts = run_scheme(&cfg, SchemeKind::Ts, kernel.as_ref(), &input);
+    assert_eq!(nas.bytes.net_server_server, 0);
+    assert_eq!(das.bytes.net_server_server, 0);
+    assert_eq!(nas.output_fingerprint, das.output_fingerprint);
+    assert!(das.exec_time < ts.exec_time);
+    assert!(nas.exec_time < ts.exec_time, "NAS == DAS when dependence-free");
+    assert_eq!(
+        das.das.as_ref().unwrap().layout,
+        LayoutPolicy::RoundRobin,
+        "no layout change needed for dependence-free operators"
+    );
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let cfg = ClusterConfig::small_test();
+    let input = workload::fbm_dem(128, 128, 3);
+    let report = run_scheme(&cfg, SchemeKind::Das, &FlowRouting, &input);
+    let json = report.to_json();
+    assert!(json.contains("\"scheme\":\"DAS\""));
+    assert!(json.contains("\"offloaded\":true"));
+}

@@ -1,0 +1,58 @@
+//! The shipped descriptor files (`descriptors/`) must stay consistent
+//! with the compiled kernels and with each other — they are the
+//! user-facing configuration surface of the DAS prototype.
+
+use das::core::FeatureRegistry;
+use das::kernels::{kernel_by_name, kernel_names};
+use std::path::PathBuf;
+
+fn descriptor_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("descriptors").join(name)
+}
+
+#[test]
+fn shipped_text_descriptors_cover_every_kernel() {
+    let mut reg = FeatureRegistry::new();
+    let n = reg
+        .load_text_file(descriptor_path("kernels.txt"))
+        .expect("descriptors/kernels.txt parses");
+    assert_eq!(n, kernel_names().len(), "one record per registered kernel");
+
+    for &name in kernel_names() {
+        let kernel = kernel_by_name(name).unwrap();
+        let features = reg.get(name).unwrap_or_else(|| panic!("{name} missing from file"));
+        for w in [64u64, 2048] {
+            let mut a = features.offsets(w);
+            let mut b = kernel.dependence_offsets(w);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{name} at width {w}: file vs implementation");
+        }
+    }
+}
+
+#[test]
+fn shipped_xml_descriptors_agree_with_text() {
+    let mut text = FeatureRegistry::new();
+    text.load_text_file(descriptor_path("kernels.txt")).unwrap();
+    let mut xml = FeatureRegistry::new();
+    let n = xml
+        .load_xml_file(descriptor_path("kernels.xml"))
+        .expect("descriptors/kernels.xml parses");
+    assert!(n >= 3, "XML file carries the Table I kernels at least");
+
+    for name in xml.names() {
+        assert_eq!(
+            xml.get(name).unwrap().offsets(777),
+            text.get(name).unwrap().offsets(777),
+            "{name}: XML and text descriptors diverge"
+        );
+    }
+}
+
+#[test]
+fn missing_descriptor_file_is_an_error_not_a_panic() {
+    let mut reg = FeatureRegistry::new();
+    let err = reg.load_text_file(descriptor_path("no-such-file.txt")).unwrap_err();
+    assert!(err.reason.contains("cannot read file"));
+}

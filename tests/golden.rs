@@ -1,0 +1,38 @@
+//! Golden regression pins: exact fingerprints and simulated times for
+//! fixed seeds. Everything in this workspace is deterministic — same
+//! seed, same bytes, same schedule — so any change to these values
+//! flags a behavioural change (intended or not) that EXPERIMENTS.md
+//! numbers would silently inherit. Update the constants deliberately,
+//! never to "make CI green".
+
+use das::kernels::workload;
+use das::prelude::*;
+
+#[test]
+fn workload_generators_are_pinned() {
+    assert_eq!(workload::fbm_dem(64, 96, 42).fingerprint(), 0xbd73d0c5f36b19ca);
+    assert_eq!(workload::white_noise(32, 32, 7).fingerprint(), 0x2ded558199abc656);
+    assert_eq!(workload::diamond_square(5, 9, 0.6).fingerprint(), 0xd378e034e780c416);
+}
+
+#[test]
+fn kernel_outputs_are_pinned() {
+    let dem = workload::fbm_dem(64, 96, 42);
+    assert_eq!(FlowRouting.apply(&dem).fingerprint(), 0x8ec04a8177d42925);
+    assert_eq!(GaussianFilter.apply(&dem).fingerprint(), 0x531ffb4aefad54b8);
+}
+
+#[test]
+fn simulated_times_are_pinned() {
+    // The scheduler is deterministic: the exact nanosecond makespans
+    // for this configuration are part of the contract. A diff here
+    // means the cost model or the engine changed.
+    let cfg = ClusterConfig::small_test();
+    let dem = workload::fbm_dem(64, 96, 42);
+    let das = run_scheme(&cfg, SchemeKind::Das, &FlowRouting, &dem);
+    let ts = run_scheme(&cfg, SchemeKind::Ts, &FlowRouting, &dem);
+    let nas = run_scheme(&cfg, SchemeKind::Nas, &FlowRouting, &dem);
+    assert_eq!(das.exec_time.as_nanos(), 7_809_540);
+    assert_eq!(ts.exec_time.as_nanos(), 8_213_145);
+    assert_eq!(nas.exec_time.as_nanos(), 16_006_353);
+}

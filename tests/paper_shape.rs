@@ -1,0 +1,106 @@
+//! The paper's headline result shapes, asserted at calibrated scale
+//! (paper-default 12+12 cluster, 64 KiB strips, the Fig. 11 setup
+//! scaled from GB to MiB per DESIGN.md).
+
+use das::prelude::*;
+use das::runtime::sweep::figure_workload;
+
+/// One modest calibrated-scale run per scheme (8 MiB keeps debug-mode
+/// CI fast; EXPERIMENTS.md records the full 24–60 MiB sweeps).
+fn fig11_runs(kernel: &str) -> (RunReport, RunReport, RunReport) {
+    let cfg = ClusterConfig::paper_default();
+    let input = figure_workload(8, 2012);
+    let k = kernel_by_name(kernel).unwrap();
+    (
+        run_scheme(&cfg, SchemeKind::Ts, k.as_ref(), &input),
+        run_scheme(&cfg, SchemeKind::Nas, k.as_ref(), &input),
+        run_scheme(&cfg, SchemeKind::Das, k.as_ref(), &input),
+    )
+}
+
+#[test]
+fn fig11_ordering_das_fastest_nas_slowest() {
+    for kernel in ["flow-routing", "flow-accumulation", "gaussian-filter"] {
+        let (ts, nas, das) = fig11_runs(kernel);
+        assert!(
+            das.exec_time < ts.exec_time && ts.exec_time < nas.exec_time,
+            "{kernel}: expected DAS < TS < NAS, got DAS={} TS={} NAS={}",
+            das.exec_time,
+            ts.exec_time,
+            nas.exec_time
+        );
+    }
+}
+
+#[test]
+fn fig11_magnitudes_roughly_match_paper() {
+    // Paper: DAS ≥ ~30% over TS and ~60% over NAS. Accept a band
+    // around those factors — the shape, not the third digit.
+    let (ts, nas, das) = fig11_runs("flow-routing");
+    let das_vs_ts = 1.0 - das.exec_secs() / ts.exec_secs();
+    let das_vs_nas = 1.0 - das.exec_secs() / nas.exec_secs();
+    assert!(
+        (0.15..=0.55).contains(&das_vs_ts),
+        "DAS improvement over TS = {das_vs_ts:.2}, expected ≈ 0.30"
+    );
+    assert!(
+        (0.40..=0.75).contains(&das_vs_nas),
+        "DAS improvement over NAS = {das_vs_nas:.2}, expected ≈ 0.60"
+    );
+}
+
+#[test]
+fn fig14_bandwidth_ordering_and_gain() {
+    // Paper Fig. 14: DAS has the highest sustained bandwidth, NAS the
+    // lowest. (The paper quotes "nearly one fold" over TS, which is
+    // arithmetically inconsistent with its own Fig. 11 time gain of
+    // ~30%; EXPERIMENTS.md discusses this. We assert the ordering and
+    // a solid gain.)
+    let (ts, nas, das) = fig11_runs("flow-routing");
+    let ratio = das.sustained_bandwidth_mib() / ts.sustained_bandwidth_mib();
+    assert!(
+        (1.15..=2.7).contains(&ratio),
+        "DAS/TS bandwidth ratio = {ratio:.2}, expected well above 1"
+    );
+    assert!(nas.sustained_bandwidth_mib() < ts.sustained_bandwidth_mib());
+}
+
+#[test]
+fn fig12_das_scales_most_gently_with_data_size() {
+    // Growing the data must cost DAS the least *additional* time (it
+    // pays disk bandwidth where the others pay network and service),
+    // and DAS must also grow no faster than TS in relative terms.
+    let cfg = ClusterConfig::paper_default();
+    let run_pair = |scheme| {
+        let points = size_sweep(&cfg, scheme, "flow-routing", &[4, 8], 99);
+        (points[0].report.exec_secs(), points[1].report.exec_secs())
+    };
+    let (ts0, ts1) = run_pair(SchemeKind::Ts);
+    let (nas0, nas1) = run_pair(SchemeKind::Nas);
+    let (das0, das1) = run_pair(SchemeKind::Das);
+    let (d_ts, d_nas, d_das) = (ts1 - ts0, nas1 - nas0, das1 - das0);
+    assert!(
+        d_das <= d_ts && d_das <= d_nas,
+        "DAS Δt {d_das:.4}s must be the smallest (TS {d_ts:.4}s, NAS {d_nas:.4}s)"
+    );
+    assert!(
+        das1 / das0 <= ts1 / ts0 + 1e-9,
+        "DAS relative growth {:.2} must not exceed TS {:.2}",
+        das1 / das0,
+        ts1 / ts0
+    );
+}
+
+#[test]
+fn fig13_both_ts_and_das_scale_with_nodes() {
+    // Paper Fig. 13: both schemes get faster as the cluster grows.
+    let cfg = ClusterConfig::paper_default();
+    for scheme in [SchemeKind::Ts, SchemeKind::Das] {
+        let points = node_sweep(&cfg, scheme, "flow-routing", 8, &[8, 24], 5);
+        assert!(
+            points[1].report.exec_secs() < points[0].report.exec_secs(),
+            "{}: 24 nodes must beat 8 nodes",
+            scheme.name()
+        );
+    }
+}
