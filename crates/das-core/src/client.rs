@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use das_pfs::{FileId, PfsCluster, PfsError, TrafficLog};
+use das_pfs::{DistributionInfo, FileId, PfsCluster, PfsError, TrafficLog};
 
 use crate::decide::{decide, Decision, DecisionInput};
 use crate::features::FeatureRegistry;
@@ -121,13 +121,26 @@ impl ActiveStorageClient {
         operator: &str,
         opts: &RequestOptions,
     ) -> Result<Decision, ClientError> {
+        self.decide_from_distribution(pfs.distribution_info(file)?, operator, opts)
+    }
+
+    /// The distribution-driven half of [`Self::decide`], for callers
+    /// that obtained the file's [`DistributionInfo`] some other way —
+    /// in particular the networked service, where the client fetches it
+    /// over an RPC and the storage daemon validates requests against
+    /// its own copy rather than an in-process [`PfsCluster`].
+    pub fn decide_from_distribution(
+        &self,
+        dist: DistributionInfo,
+        operator: &str,
+        opts: &RequestOptions,
+    ) -> Result<Decision, ClientError> {
         let features = self
             .registry
             .get(operator)
             .ok_or_else(|| ClientError::UnknownOperator(operator.to_string()))?;
-        let dist = pfs.distribution_info(file)?;
         let row_bytes = opts.img_width * opts.element_size;
-        if row_bytes == 0 || dist.file_len % row_bytes != 0 {
+        if row_bytes == 0 || !dist.file_len.is_multiple_of(row_bytes) {
             return Err(ClientError::GeometryMismatch {
                 file_len: dist.file_len,
                 img_width: opts.img_width,

@@ -66,4 +66,4 @@ pub use client::{ActiveStorageClient, RequestOptions};
 pub use decide::{decide, decide_timed, Decision, DecisionInput, LinkCost, RejectReason};
 pub use features::{FeatureRegistry, KernelFeatures, OffsetExpr, ParseError};
 pub use plan::{plan_distribution, LayoutPlan, PlanOptions};
-pub use predict::{DependencePrediction, NasFetchPrediction, StripingParams};
+pub use predict::{dependent_strips, DependencePrediction, NasFetchPrediction, StripingParams};

@@ -29,7 +29,44 @@
 //! aggregating runs of elements whose dependence lands in the same
 //! strip.
 
+use std::collections::BTreeSet;
+
 use das_pfs::{DistributionInfo, Layout, LayoutPolicy, ServerId, StripId};
+
+/// The strips other than `t` itself containing any dependence of any
+/// element of strip `t`: the union over `offsets` of the strips
+/// overlapped by `[t·se + o, (t+1)·se + o) ∩ [0, n)`, for `se`
+/// elements per strip and `n` total elements.
+///
+/// This is the strip-granular dependence set every layer needs — the
+/// predictor (to price NAS re-fetching), the simulated schemes (to
+/// assemble exactly the strips a node touches), and the networked
+/// executor (to know what to pull from peer servers).
+pub fn dependent_strips(
+    t: u64,
+    offsets: &[i64],
+    elems_per_strip: u64,
+    total_elements: u64,
+) -> BTreeSet<u64> {
+    let base = t * elems_per_strip;
+    let len_t = elems_per_strip.min(total_elements.saturating_sub(base));
+    let mut needed = BTreeSet::new();
+    for &o in offsets {
+        let lo = (base as i64 + o).max(0);
+        let hi = ((base + len_t) as i64 + o).min(total_elements as i64);
+        if lo >= hi {
+            continue;
+        }
+        let u0 = lo as u64 / elems_per_strip;
+        let u1 = (hi as u64 - 1) / elems_per_strip;
+        for u in u0..=u1 {
+            if u != t {
+                needed.insert(u);
+            }
+        }
+    }
+    needed
+}
 
 /// The inputs of the prediction model: element size `E` plus the
 /// striping/distribution of the file (strip size, server count `D`,
@@ -184,33 +221,42 @@ impl StripingParams {
         let mut distinct = std::collections::BTreeSet::new();
 
         for t in 0..strips {
-            let base = t * se;
-            let len_t = se.min(n - base);
             let server = self.layout.primary(StripId(t));
-            let mut needed = std::collections::BTreeSet::new();
-            for &o in offsets {
-                let lo = (base as i64 + o).max(0);
-                let hi = ((base + len_t) as i64 + o).min(n as i64);
-                if lo >= hi {
-                    continue;
-                }
-                let u0 = lo as u64 / se;
-                let u1 = (hi as u64 - 1) / se;
-                for u in u0..=u1 {
-                    if u != t && !self.layout.holds(server, StripId(u)) {
-                        needed.insert(u);
-                    }
-                }
-            }
-            for u in needed {
+            for u in self.remote_dependent_strips(server, t, offsets, n) {
                 fetches += 1;
-                let strip_len = (n * self.element_size - u * self.strip_size).min(self.strip_size);
-                bytes += strip_len;
+                bytes += self.strip_len_bytes(u, file_len);
                 distinct.insert(u);
             }
         }
 
         NasFetchPrediction { fetches, bytes, distinct_strips: distinct.len() as u64 }
+    }
+
+    /// [`dependent_strips`] of strip `t` under these parameters.
+    pub fn dependent_strips(&self, t: u64, offsets: &[i64], total_elements: u64) -> BTreeSet<u64> {
+        dependent_strips(t, offsets, self.elements_per_strip(), total_elements)
+    }
+
+    /// The dependent strips of `t` that `server` holds no copy of —
+    /// what an active-storage executor on `server` must fetch from
+    /// peers before processing strip `t`.
+    pub fn remote_dependent_strips(
+        &self,
+        server: ServerId,
+        t: u64,
+        offsets: &[i64],
+        total_elements: u64,
+    ) -> BTreeSet<u64> {
+        self.dependent_strips(t, offsets, total_elements)
+            .into_iter()
+            .filter(|&u| !self.layout.holds(server, StripId(u)))
+            .collect()
+    }
+
+    /// Byte length of strip `u` in a file of `file_len` bytes (the
+    /// final strip may be partial).
+    pub fn strip_len_bytes(&self, u: u64, file_len: u64) -> u64 {
+        file_len.saturating_sub(u * self.strip_size).min(self.strip_size)
     }
 
     /// The layout these parameters assume.

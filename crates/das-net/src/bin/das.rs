@@ -1,0 +1,194 @@
+//! `das` — the active-storage client CLI.
+//!
+//! ```text
+//! das ping    --cluster a,b,c,d
+//! das put     --cluster ... --name dem.raw --strip-size 4096 --input dem.bin
+//! das gen     --cluster ... --name dem.raw --strip-size 4096 --width 256 --height 128 [--seed 42]
+//! das info    --cluster ... --name dem.raw
+//! das get     --cluster ... --name dem.raw --output dem.bin
+//! das exec    --cluster ... --name dem.raw --kernel gaussian-filter --width 256 --scheme das [--out NAME]
+//! das stats   --cluster ...
+//! das reset-stats --cluster ...
+//! das shutdown    --cluster ...
+//! ```
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use das_kernels::kernel_names;
+use das_kernels::workload;
+use das_net::{run_net_scheme, DasCluster, NetScheme};
+use das_pfs::LayoutPolicy;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: das <command> --cluster <addr0,addr1,...> [options]\n\
+         \n\
+         commands:\n\
+         \x20 ping                         probe every server\n\
+         \x20 put    --name N --strip-size S --input PATH [--policy rr|grouped:R|grouped-rep:R]\n\
+         \x20 gen    --name N --strip-size S --width W --height H [--seed K] [--policy ...]\n\
+         \x20 info   --name N               show a file's distribution\n\
+         \x20 get    --name N --output PATH gather a file to a local path\n\
+         \x20 exec   --name N --kernel K --width W --scheme ts|nas|das [--out NAME]\n\
+         \x20 stats                        per-server wire-byte counters\n\
+         \x20 reset-stats                  zero the counters\n\
+         \x20 shutdown                     stop every daemon\n\
+         \n\
+         kernels: {}",
+        kernel_names().join(", ")
+    );
+    exit(2);
+}
+
+fn parse_policy(s: &str) -> Option<LayoutPolicy> {
+    if s == "rr" || s == "round-robin" {
+        return Some(LayoutPolicy::RoundRobin);
+    }
+    if let Some(r) = s.strip_prefix("grouped-rep:") {
+        return r.parse().ok().map(|group| LayoutPolicy::GroupedReplicated { group });
+    }
+    if let Some(r) = s.strip_prefix("grouped:") {
+        return r.parse().ok().map(|group| LayoutPolicy::Grouped { group });
+    }
+    None
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("das: {msg}");
+    exit(1);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args.remove(0);
+
+    let mut opts: HashMap<String, String> = HashMap::new();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            eprintln!("expected --flag, got {flag:?}");
+            usage();
+        };
+        let Some(value) = it.next() else {
+            eprintln!("--{key} needs a value");
+            usage();
+        };
+        opts.insert(key.to_string(), value);
+    }
+
+    let Some(cluster_arg) = opts.get("cluster") else {
+        eprintln!("--cluster is required");
+        usage();
+    };
+    let addrs: Vec<String> = cluster_arg.split(',').map(|s| s.trim().to_string()).collect();
+    let mut cluster = match DasCluster::connect(&addrs) {
+        Ok(c) => c,
+        Err(e) => fail(format!("connecting to cluster: {e}")),
+    };
+
+    let req = |key: &str| -> &String {
+        opts.get(key).unwrap_or_else(|| {
+            eprintln!("--{key} is required for `{command}`");
+            usage();
+        })
+    };
+
+    match command.as_str() {
+        "ping" => {
+            cluster.ping_all().unwrap_or_else(|e| fail(e));
+            println!("{} servers alive", addrs.len());
+        }
+        "put" | "gen" => {
+            let name = req("name").clone();
+            let strip_size: u32 = req("strip-size").parse().unwrap_or_else(|_| fail("bad --strip-size"));
+            let policy = opts
+                .get("policy")
+                .map(|p| parse_policy(p).unwrap_or_else(|| fail(format!("bad --policy {p:?}"))))
+                .unwrap_or(LayoutPolicy::RoundRobin);
+            let data = if command == "put" {
+                std::fs::read(req("input")).unwrap_or_else(|e| fail(format!("reading --input: {e}")))
+            } else {
+                let width: u64 = req("width").parse().unwrap_or_else(|_| fail("bad --width"));
+                let height: u64 = req("height").parse().unwrap_or_else(|_| fail("bad --height"));
+                let seed: u64 = opts.get("seed").map_or(42, |s| s.parse().unwrap_or(42));
+                workload::fbm_dem(width, height, seed).to_bytes()
+            };
+            let file = cluster
+                .create_file(&name, data.len() as u64, strip_size, policy)
+                .unwrap_or_else(|e| fail(e));
+            cluster.put_file(file, &data).unwrap_or_else(|e| fail(e));
+            println!("stored {name:?} ({} bytes) as file {file}", data.len());
+        }
+        "info" => {
+            let (file, dist) = cluster.lookup(req("name")).unwrap_or_else(|e| fail(e));
+            println!(
+                "file {file}: {} bytes, strip {} B, {} servers, layout {}",
+                dist.file_len,
+                dist.strip_size,
+                dist.servers,
+                dist.policy.name()
+            );
+        }
+        "get" => {
+            let (file, _) = cluster.lookup(req("name")).unwrap_or_else(|e| fail(e));
+            let data = cluster.read_file(file).unwrap_or_else(|e| fail(e));
+            std::fs::write(req("output"), &data).unwrap_or_else(|e| fail(format!("writing --output: {e}")));
+            println!("wrote {} bytes", data.len());
+        }
+        "exec" => {
+            let (file, _) = cluster.lookup(req("name")).unwrap_or_else(|e| fail(e));
+            let kernel = req("kernel").clone();
+            let width: u64 = req("width").parse().unwrap_or_else(|_| fail("bad --width"));
+            let scheme = match req("scheme").as_str() {
+                "ts" => NetScheme::Ts,
+                "nas" => NetScheme::Nas,
+                "das" => NetScheme::Das,
+                other => fail(format!("bad --scheme {other:?} (want ts|nas|das)")),
+            };
+            let out_name = opts
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| format!("{}.{}.out", req("name"), scheme.name().to_lowercase()));
+            let report = run_net_scheme(&mut cluster, scheme, file, &out_name, &kernel, width)
+                .unwrap_or_else(|e| fail(e));
+            println!(
+                "{} {} -> {out_name:?}: offloaded={} layout={} fingerprint={:#018x}",
+                report.scheme.name(),
+                report.kernel,
+                report.offloaded,
+                report.layout.name(),
+                report.output_fingerprint
+            );
+            println!(
+                "  wire bytes: client<->server {}  server<->server {} (redistribution {})",
+                report.client_bytes, report.server_bytes, report.redistribution_bytes
+            );
+            let fetches: u64 = report.exec.iter().map(|e| e.dep_fetches).sum();
+            let fetch_bytes: u64 = report.exec.iter().map(|e| e.dep_fetch_bytes).sum();
+            if report.offloaded {
+                println!("  dependence fetches: {fetches} ({fetch_bytes} bytes)");
+            }
+        }
+        "stats" => {
+            for (i, s) in cluster.stats().unwrap_or_else(|e| fail(e)).iter().enumerate() {
+                println!(
+                    "server {i}: client in/out {}/{}  server in/out {}/{}",
+                    s.client_in, s.client_out, s.server_in, s.server_out
+                );
+            }
+        }
+        "reset-stats" => {
+            cluster.reset_stats().unwrap_or_else(|e| fail(e));
+            println!("counters zeroed");
+        }
+        "shutdown" => {
+            cluster.shutdown_all().unwrap_or_else(|e| fail(e));
+            println!("cluster shut down");
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,76 @@
+//! `dasd` — the active-storage server daemon.
+//!
+//! ```text
+//! dasd --id 0 --cluster 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004
+//! ```
+//!
+//! Listens on `cluster[id]`, serves strips and offloaded kernels, and
+//! exits when a client sends Shutdown.
+
+use std::net::TcpListener;
+use std::process::exit;
+
+use das_net::{spawn, DasdConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dasd --id <N> --cluster <addr0,addr1,...> [--pool <threads>]\n\
+         \n\
+         --id       this server's index into the cluster address list\n\
+         --cluster  listen address of every server, comma-separated, in id order\n\
+         --pool     connection-handler threads (default 16)"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut id: Option<u32> = None;
+    let mut cluster: Option<Vec<String>> = None;
+    let mut pool = 16usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--id" => id = args.next().and_then(|v| v.parse().ok()),
+            "--cluster" => {
+                cluster = args.next().map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+            }
+            "--pool" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(p) => pool = p,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let (Some(id), Some(cluster)) = (id, cluster) else { usage() };
+    if (id as usize) >= cluster.len() {
+        eprintln!("--id {id} is outside the {}-server cluster", cluster.len());
+        exit(2);
+    }
+
+    let listen = cluster[id as usize].clone();
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("dasd: cannot listen on {listen}: {e}");
+            exit(1);
+        }
+    };
+    eprintln!("dasd {id}: listening on {listen} ({} servers in cluster)", cluster.len());
+
+    let mut cfg = DasdConfig::new(id, cluster);
+    cfg.pool = pool;
+    match spawn(cfg, listener) {
+        Ok(handle) => handle.join(),
+        Err(e) => {
+            eprintln!("dasd: failed to start: {e}");
+            exit(1);
+        }
+    }
+    eprintln!("dasd {id}: shut down");
+}

@@ -1,0 +1,470 @@
+//! The `das` client library: one connection per storage server, the
+//! striped data plane (client-side gather/scatter), and drivers for
+//! the paper's three evaluation schemes over real sockets.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use das_core::{ActiveStorageClient, Decision, RequestOptions};
+use das_kernels::kernel_by_name;
+use das_kernels::Raster;
+use das_pfs::{DistributionInfo, Layout, LayoutPolicy, StripId, StripeSpec};
+
+use crate::codec::{read_message, write_message, CountingStream, NetError};
+use crate::proto::{ErrorCode, Message, Role, WireStats};
+
+/// Connections to every `dasd` of a cluster, indexed by server id.
+pub struct DasCluster {
+    conns: Vec<CountingStream<TcpStream>>,
+}
+
+/// One server's execution summary (from [`Message::ExecuteOk`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecSummary {
+    /// Primary strips computed.
+    pub strips_computed: u64,
+    /// Dependence fetches the server issued to peers.
+    pub dep_fetches: u64,
+    /// Payload bytes those fetches moved.
+    pub dep_fetch_bytes: u64,
+}
+
+impl DasCluster {
+    /// Connect to every server and shake hands.
+    pub fn connect(addrs: &[String]) -> Result<Self, NetError> {
+        let mut conns = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let raw = TcpStream::connect(addr)?;
+            let _ = raw.set_nodelay(true);
+            let _ = raw.set_read_timeout(Some(Duration::from_secs(60)));
+            let mut stream = CountingStream::new(raw);
+            write_message(&mut stream, &Message::Hello { role: Role::Client, peer_id: 0 })?;
+            match read_message(&mut stream)? {
+                Some(Message::HelloOk { .. }) => {}
+                Some(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
+                None => return Err(NetError::Protocol("server closed during handshake".into())),
+            }
+            conns.push(stream);
+        }
+        Ok(DasCluster { conns })
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> u32 {
+        self.conns.len() as u32
+    }
+
+    /// One request/response exchange with server `s`.
+    pub fn call(&mut self, s: usize, msg: &Message) -> Result<Message, NetError> {
+        let stream = &mut self.conns[s];
+        write_message(stream, msg)?;
+        match read_message(stream)? {
+            Some(Message::Error { code, message }) => Err(NetError::Remote { code, message }),
+            Some(reply) => Ok(reply),
+            None => Err(NetError::Protocol("server closed mid-call".into())),
+        }
+    }
+
+    fn call_all(&mut self, msg: &Message) -> Result<Vec<Message>, NetError> {
+        (0..self.conns.len()).map(|s| self.call(s, msg)).collect()
+    }
+
+    /// Ping every server.
+    pub fn ping_all(&mut self) -> Result<(), NetError> {
+        for reply in self.call_all(&Message::Ping)? {
+            if reply != Message::Pong {
+                return Err(NetError::Unexpected { opcode: reply.opcode() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Register a file on every server; returns the (cluster-agreed)
+    /// file id.
+    pub fn create_file(
+        &mut self,
+        name: &str,
+        file_len: u64,
+        strip_size: u32,
+        policy: LayoutPolicy,
+    ) -> Result<u32, NetError> {
+        let servers = self.servers();
+        let msg = Message::CreateFile {
+            name: name.to_string(),
+            file_len,
+            strip_size,
+            policy,
+            servers,
+        };
+        let mut id = None;
+        for reply in self.call_all(&msg)? {
+            match reply {
+                Message::CreateFileOk { file } => match id {
+                    None => id = Some(file),
+                    Some(prev) if prev == file => {}
+                    Some(prev) => {
+                        return Err(NetError::Protocol(format!(
+                            "servers disagree on file id ({prev} vs {file}) — metadata drift"
+                        )))
+                    }
+                },
+                other => return Err(NetError::Unexpected { opcode: other.opcode() }),
+            }
+        }
+        Ok(id.expect("at least one server"))
+    }
+
+    /// Resolve a name to `(file id, distribution)`.
+    pub fn lookup(&mut self, name: &str) -> Result<(u32, DistributionInfo), NetError> {
+        match self.call(0, &Message::Lookup { name: name.to_string() })? {
+            Message::LookupOk { file, dist } => Ok((file, dist)),
+            other => Err(NetError::Unexpected { opcode: other.opcode() }),
+        }
+    }
+
+    /// Query a file's distribution information.
+    pub fn distribution(&mut self, file: u32) -> Result<DistributionInfo, NetError> {
+        match self.call(0, &Message::GetDistribution { file })? {
+            Message::DistributionResp { dist } => Ok(dist),
+            other => Err(NetError::Unexpected { opcode: other.opcode() }),
+        }
+    }
+
+    /// Scatter `data` over the cluster: each strip goes to every
+    /// server that holds it under the file's layout.
+    pub fn put_file(&mut self, file: u32, data: &[u8]) -> Result<(), NetError> {
+        let dist = self.distribution(file)?;
+        if data.len() as u64 != dist.file_len {
+            return Err(NetError::Protocol(format!(
+                "payload is {} bytes, file is {}",
+                data.len(),
+                dist.file_len
+            )));
+        }
+        let spec = StripeSpec::new(dist.strip_size);
+        let layout = Layout::new(dist.policy, dist.servers);
+        for s in 0..spec.strip_count(dist.file_len) {
+            let sid = StripId(s);
+            let start = spec.strip_start(sid) as usize;
+            let end = start + spec.strip_len(sid, dist.file_len);
+            for holder in layout.holders(sid) {
+                match self.call(
+                    holder.index(),
+                    &Message::PutStrip { file, strip: s, payload: data[start..end].to_vec() },
+                )? {
+                    Message::PutStripOk => {}
+                    other => return Err(NetError::Unexpected { opcode: other.opcode() }),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Gather a whole file from the primaries (client-side scatter
+    /// read — the "normal I/O" read path).
+    pub fn read_file(&mut self, file: u32) -> Result<Vec<u8>, NetError> {
+        let dist = self.distribution(file)?;
+        let spec = StripeSpec::new(dist.strip_size);
+        let layout = Layout::new(dist.policy, dist.servers);
+        let mut out = Vec::with_capacity(dist.file_len as usize);
+        for s in 0..spec.strip_count(dist.file_len) {
+            let sid = StripId(s);
+            let primary = layout.primary(sid);
+            match self.call(primary.index(), &Message::GetStrip { file, strip: s })? {
+                Message::StripData { payload } => {
+                    if payload.len() != spec.strip_len(sid, dist.file_len) {
+                        return Err(NetError::Protocol(format!(
+                            "strip {s}: wanted {} bytes, got {}",
+                            spec.strip_len(sid, dist.file_len),
+                            payload.len()
+                        )));
+                    }
+                    out.extend_from_slice(&payload);
+                }
+                other => return Err(NetError::Unexpected { opcode: other.opcode() }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Two-phase redistribution to `policy`: every server prepares
+    /// (pulling its new strips from the old layout's primaries), then
+    /// every server commits. Returns total bytes pulled between
+    /// servers.
+    pub fn redistribute(&mut self, file: u32, policy: LayoutPolicy) -> Result<u64, NetError> {
+        let mut moved = 0u64;
+        for reply in self.call_all(&Message::RedistPrepare { file, policy })? {
+            match reply {
+                Message::RedistPrepareOk { fetched_bytes, .. } => moved += fetched_bytes,
+                other => return Err(NetError::Unexpected { opcode: other.opcode() }),
+            }
+        }
+        for reply in self.call_all(&Message::RedistCommit { file, policy })? {
+            match reply {
+                Message::RedistCommitOk => {}
+                other => return Err(NetError::Unexpected { opcode: other.opcode() }),
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Offload `kernel` over `file` on every server. `Ok(Err(reason))`
+    /// means a server's decision workflow rejected the request
+    /// ([`ErrorCode::FallbackToNormalIo`]) and the caller must run the
+    /// normal-I/O path instead.
+    #[allow(clippy::type_complexity)]
+    pub fn execute(
+        &mut self,
+        file: u32,
+        out_file: u32,
+        kernel: &str,
+        img_width: u64,
+        successive: bool,
+        force: bool,
+    ) -> Result<Result<Vec<ExecSummary>, String>, NetError> {
+        let msg = Message::Execute {
+            file,
+            out_file,
+            kernel: kernel.to_string(),
+            img_width,
+            element_size: 4,
+            successive,
+            force,
+        };
+        let mut summaries = Vec::with_capacity(self.conns.len());
+        for s in 0..self.conns.len() {
+            match self.call(s, &msg) {
+                Ok(Message::ExecuteOk { strips_computed, dep_fetches, dep_fetch_bytes }) => {
+                    summaries.push(ExecSummary { strips_computed, dep_fetches, dep_fetch_bytes })
+                }
+                Ok(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
+                Err(NetError::Remote { code: ErrorCode::FallbackToNormalIo, message }) => {
+                    // All servers share the metadata and decide
+                    // identically; the first rejection settles it.
+                    return Ok(Err(message));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Ok(summaries))
+    }
+
+    /// Per-server traffic counters.
+    pub fn stats(&mut self) -> Result<Vec<WireStats>, NetError> {
+        self.call_all(&Message::Stats)?
+            .into_iter()
+            .map(|reply| match reply {
+                Message::StatsResp(s) => Ok(s),
+                other => Err(NetError::Unexpected { opcode: other.opcode() }),
+            })
+            .collect()
+    }
+
+    /// Zero every server's traffic counters.
+    pub fn reset_stats(&mut self) -> Result<(), NetError> {
+        for reply in self.call_all(&Message::ResetStats)? {
+            if reply != Message::ResetStatsOk {
+                return Err(NetError::Unexpected { opcode: reply.opcode() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Ask every daemon to exit.
+    pub fn shutdown_all(&mut self) -> Result<(), NetError> {
+        for reply in self.call_all(&Message::Shutdown)? {
+            if reply != Message::ShutdownOk {
+                return Err(NetError::Unexpected { opcode: reply.opcode() });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which of the paper's three evaluation schemes to run over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetScheme {
+    /// Traditional storage: gather to the client, compute there,
+    /// scatter the output back.
+    Ts,
+    /// Naive active storage: offload unconditionally on the current
+    /// layout.
+    Nas,
+    /// Dynamic active storage: decide, optionally redistribute, then
+    /// offload — or fall back to TS on rejection.
+    Das,
+}
+
+impl NetScheme {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetScheme::Ts => "TS",
+            NetScheme::Nas => "NAS",
+            NetScheme::Das => "DAS",
+        }
+    }
+}
+
+/// What a networked scheme run did and moved.
+#[derive(Debug, Clone)]
+pub struct NetRunReport {
+    /// The scheme.
+    pub scheme: NetScheme,
+    /// Kernel name.
+    pub kernel: String,
+    /// Whether the work ran on the storage servers.
+    pub offloaded: bool,
+    /// The input file's layout when execution ran.
+    pub layout: LayoutPolicy,
+    /// Raw output bytes (row-major little-endian `f32`).
+    pub output: Vec<u8>,
+    /// Bit-exact fingerprint of the output raster.
+    pub output_fingerprint: u64,
+    /// Measured client↔server wire bytes (sum over servers, both
+    /// directions).
+    pub client_bytes: u64,
+    /// Measured server↔server wire bytes (sum of per-server sends, so
+    /// each transfer counts once).
+    pub server_bytes: u64,
+    /// Bytes moved by redistribution (DAS only; included in
+    /// `server_bytes`).
+    pub redistribution_bytes: u64,
+    /// Per-server execution summaries (empty for TS).
+    pub exec: Vec<ExecSummary>,
+}
+
+/// Run one scheme end-to-end over the wire: the input file (already
+/// ingested under round-robin) is processed by `kernel_name`, the
+/// output lands in a new file `out_name`, and traffic counters are
+/// reset before and read after, so the report's byte counts cover
+/// exactly this run.
+pub fn run_net_scheme(
+    cluster: &mut DasCluster,
+    scheme: NetScheme,
+    file: u32,
+    out_name: &str,
+    kernel_name: &str,
+    img_width: u64,
+) -> Result<NetRunReport, NetError> {
+    let dist = cluster.distribution(file)?;
+    cluster.reset_stats()?;
+
+    let mut redistribution_bytes = 0;
+    let mut offloaded = false;
+    let mut exec = Vec::new();
+
+    match scheme {
+        NetScheme::Ts => {
+            run_normal_io(cluster, file, out_name, kernel_name, img_width, &dist)?;
+        }
+        NetScheme::Nas => {
+            let out_file =
+                cluster.create_file(out_name, dist.file_len, dist.strip_size as u32, dist.policy)?;
+            match cluster.execute(file, out_file, kernel_name, img_width, false, true)? {
+                Ok(summaries) => {
+                    offloaded = true;
+                    exec = summaries;
+                }
+                Err(reason) => {
+                    return Err(NetError::Protocol(format!("forced offload rejected: {reason}")))
+                }
+            }
+        }
+        NetScheme::Das => {
+            // Client half of Fig. 3: fetch the distribution, predict,
+            // and reconfigure the layout when a successive operation
+            // justifies it.
+            let as_client = ActiveStorageClient::with_builtin_features();
+            let opts = RequestOptions { img_width, successive: true, ..Default::default() };
+            let decision = as_client
+                .decide_from_distribution(dist, kernel_name, &opts)
+                .map_err(|e| NetError::Protocol(e.to_string()))?;
+            match decision {
+                Decision::Offload { replan, .. } => {
+                    if let Some(plan) = replan {
+                        redistribution_bytes = cluster.redistribute(file, plan.policy)?;
+                    }
+                    let dist = cluster.distribution(file)?;
+                    let out_file = cluster.create_file(
+                        out_name,
+                        dist.file_len,
+                        dist.strip_size as u32,
+                        dist.policy,
+                    )?;
+                    match cluster.execute(file, out_file, kernel_name, img_width, true, false)? {
+                        Ok(summaries) => {
+                            offloaded = true;
+                            exec = summaries;
+                        }
+                        Err(_) => {
+                            // Server-side double-check disagreed; fall
+                            // back to normal I/O (output file already
+                            // registered, so reuse it).
+                            run_ts_into(cluster, file, out_file, kernel_name, img_width)?;
+                        }
+                    }
+                }
+                Decision::Reject { .. } => {
+                    run_normal_io(cluster, file, out_name, kernel_name, img_width, &dist)?;
+                }
+            }
+        }
+    }
+
+    // Snapshot the counters before the verification read-back below,
+    // which is not part of any scheme's traffic.
+    let stats = cluster.stats()?;
+    let client_bytes: u64 = stats.iter().map(|s| s.client_in + s.client_out).sum();
+    let server_bytes: u64 = stats.iter().map(|s| s.server_out).sum();
+
+    let (out_id, out_dist) = cluster.lookup(out_name)?;
+    let output = cluster.read_file(out_id)?;
+    let height = out_dist.file_len / (img_width * 4);
+    let output_fingerprint = Raster::from_bytes(img_width, height, &output).fingerprint();
+    let layout = cluster.distribution(file)?.policy;
+
+    Ok(NetRunReport {
+        scheme,
+        kernel: kernel_name.to_string(),
+        offloaded,
+        layout,
+        output,
+        output_fingerprint,
+        client_bytes,
+        server_bytes,
+        redistribution_bytes,
+        exec,
+    })
+}
+
+/// The TS path: gather the input, apply the kernel client-side,
+/// register the output file, scatter it back.
+fn run_normal_io(
+    cluster: &mut DasCluster,
+    file: u32,
+    out_name: &str,
+    kernel_name: &str,
+    img_width: u64,
+    dist: &DistributionInfo,
+) -> Result<(), NetError> {
+    let out_file =
+        cluster.create_file(out_name, dist.file_len, dist.strip_size as u32, dist.policy)?;
+    run_ts_into(cluster, file, out_file, kernel_name, img_width)
+}
+
+fn run_ts_into(
+    cluster: &mut DasCluster,
+    file: u32,
+    out_file: u32,
+    kernel_name: &str,
+    img_width: u64,
+) -> Result<(), NetError> {
+    let kernel = kernel_by_name(kernel_name)
+        .ok_or_else(|| NetError::Protocol(format!("no kernel {kernel_name:?}")))?;
+    let input = cluster.read_file(file)?;
+    let height = input.len() as u64 / (img_width * 4);
+    let raster = Raster::from_bytes(img_width, height, &input);
+    let output = kernel.apply(&raster);
+    cluster.put_file(out_file, &output.to_bytes())
+}

@@ -1,0 +1,256 @@
+//! Frame I/O over byte streams, plus the byte-counting stream wrapper
+//! that backs the per-class traffic accounting.
+//!
+//! Frame layout (12-byte header, all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "DASN"
+//!      4     1  protocol version (1)
+//!      5     1  opcode
+//!      6     2  flags (reserved, must be 0)
+//!      8     4  payload length
+//!     12     n  payload (see proto module)
+//! ```
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::proto::{DecodeError, ErrorCode, Message, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
+
+/// Anything that can go wrong talking to a peer.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport-level failure.
+    Io(io::Error),
+    /// The byte stream violated the framing or encoding rules.
+    Protocol(String),
+    /// The remote replied with a typed [`Message::Error`].
+    Remote {
+        /// Error code sent by the peer.
+        code: ErrorCode,
+        /// Detail message sent by the peer.
+        message: String,
+    },
+    /// The remote replied with a message the caller did not expect.
+    Unexpected {
+        /// Opcode of the surprising reply.
+        opcode: u8,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            NetError::Remote { code, message } => {
+                write!(f, "remote error {code:?}: {message}")
+            }
+            NetError::Unexpected { opcode } => {
+                write!(f, "unexpected reply opcode 0x{opcode:02x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<DecodeError> for NetError {
+    fn from(e: DecodeError) -> Self {
+        NetError::Protocol(e.to_string())
+    }
+}
+
+/// Serialize `msg` as one frame onto `w` and flush.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    let payload = msg.encode_payload();
+    assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds MAX_PAYLOAD");
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(msg.opcode());
+    frame.extend_from_slice(&0u16.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Read exactly one frame from `r` and decode it. An EOF *before the
+/// first header byte* surfaces as `Ok(None)` (clean connection close);
+/// an EOF mid-frame is an error.
+///
+/// Sockets with a read timeout: a timeout while *waiting* for a frame
+/// (no header byte read yet) surfaces as the I/O error so the caller
+/// can poll a shutdown flag and retry; a timeout *mid-frame* retries
+/// internally, since giving up there would desynchronize the stream.
+pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Message>, NetError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(NetError::Protocol(format!(
+                    "connection closed mid-header ({got} of {HEADER_LEN} bytes)"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) && got > 0 => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    if header[0..4] != MAGIC {
+        return Err(NetError::Protocol("bad frame magic".into()));
+    }
+    if header[4] != VERSION {
+        return Err(NetError::Protocol(format!(
+            "unsupported protocol version {} (want {VERSION})",
+            header[4]
+        )));
+    }
+    let opcode = header[5];
+    let flags = u16::from_le_bytes(header[6..8].try_into().unwrap());
+    if flags != 0 {
+        return Err(NetError::Protocol(format!("nonzero flags 0x{flags:04x}")));
+    }
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(NetError::Protocol(format!(
+            "payload length {len} exceeds cap {MAX_PAYLOAD}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(NetError::Protocol("connection closed mid-payload".into())),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted || is_timeout(&e) => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(Some(Message::decode(opcode, &payload)?))
+}
+
+/// A `Read + Write` wrapper that counts every byte crossing it, in
+/// both directions, into shared atomic counters. The daemon registers
+/// each connection's counters under its traffic class (client↔server
+/// or server↔server) once the peer's [`Message::Hello`] arrives —
+/// the counters are shared, so bytes that crossed before
+/// classification are not lost.
+#[derive(Debug)]
+pub struct CountingStream<S> {
+    inner: S,
+    bytes_in: Arc<AtomicU64>,
+    bytes_out: Arc<AtomicU64>,
+}
+
+impl<S> CountingStream<S> {
+    /// Wrap `inner` with fresh zeroed counters.
+    pub fn new(inner: S) -> Self {
+        CountingStream {
+            inner,
+            bytes_in: Arc::new(AtomicU64::new(0)),
+            bytes_out: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Handle on the receive counter.
+    pub fn bytes_in(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.bytes_in)
+    }
+
+    /// Handle on the send counter.
+    pub fn bytes_out(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.bytes_out)
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read> Read for CountingStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for CountingStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip_and_counting() {
+        let msg = Message::PutStrip { file: 2, strip: 5, payload: vec![9; 100] };
+        let mut sink = CountingStream::new(Cursor::new(Vec::new()));
+        write_message(&mut sink, &msg).unwrap();
+        let written = sink.bytes_out().load(Ordering::Relaxed);
+        let buf = sink.get_ref().get_ref().clone();
+        assert_eq!(written as usize, buf.len());
+        assert_eq!(buf.len(), HEADER_LEN + msg.encode_payload().len());
+
+        let mut src = CountingStream::new(Cursor::new(buf));
+        let back = read_message(&mut src).unwrap().unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(src.bytes_in().load(Ordering::Relaxed), written);
+        // Clean EOF after the frame.
+        assert!(read_message(&mut src).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_magic_is_a_protocol_error() {
+        let msg = Message::Ping;
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        buf[0] = b'X';
+        match read_message(&mut Cursor::new(buf)) {
+            Err(NetError::Protocol(m)) => assert!(m.contains("magic")),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(0x50);
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        match read_message(&mut Cursor::new(buf)) {
+            Err(NetError::Protocol(m)) => assert!(m.contains("cap")),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # das-net — the networked active-storage service
+//!
+//! Everything else in this workspace exercises the DAS architecture
+//! *in process*: `das-pfs` strips live in one address space and the
+//! "network" is a simulator. This crate puts the same architecture on
+//! real sockets, the deployment shape of the paper's prototype (an
+//! active-storage service embedded in the storage servers of a
+//! parallel file system):
+//!
+//! * [`server`] — the **`dasd`** daemon, one per storage server. It
+//!   stores that server's strips (reusing [`das_pfs::StorageServer`]),
+//!   answers the client data plane, and executes offloaded kernels,
+//!   fetching dependent strips from peer daemons exactly as the
+//!   in-process NAS/DAS schemes (and the bandwidth predictor) model.
+//! * [`client`] — the **`das`** client library: striped gather/scatter
+//!   reads and writes, the redistribution driver, and
+//!   [`client::run_net_scheme`] running the paper's TS / NAS / DAS
+//!   evaluation schemes end-to-end over TCP.
+//! * [`proto`] + [`codec`] — the versioned, length-prefixed binary
+//!   protocol (documented in `docs/PROTOCOL.md`), hand-rolled over
+//!   `std::net` with zero external dependencies.
+//!
+//! Both binaries — `dasd` and `das` — are thin CLI wrappers over
+//! these modules.
+//!
+//! Every daemon counts actual wire bytes per connection class
+//! (client↔server vs server↔server), so integration tests can check
+//! the *measured* traffic of each scheme against the analytic
+//! predictions of `das-core` — the strongest end-to-end validation of
+//! the paper's bandwidth model this repo has.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod peer;
+pub mod proto;
+pub mod server;
+
+pub use client::{run_net_scheme, DasCluster, ExecSummary, NetRunReport, NetScheme};
+pub use codec::{read_message, write_message, CountingStream, NetError};
+pub use proto::{ErrorCode, Message, Role, WireStats, MAX_PAYLOAD, VERSION};
+pub use server::{spawn, ConnClass, DasdConfig, DasdHandle, StatsRegistry};

@@ -1,0 +1,123 @@
+//! Server→server connections: lazy, persistent, one per peer.
+//!
+//! A `dasd` talks to its peers for three reasons, all mirroring the
+//! in-process runtime's traffic classes: dependence fetches during an
+//! offloaded execution (the NAS cost the predictor prices), pulls
+//! during redistribution's prepare phase, and forwarding of output
+//! replica strips. Each peer link is opened on first use, greets with
+//! `Hello { role: Server }`, and stays up for the daemon's lifetime;
+//! concurrent workers serialize on the link's mutex, which mirrors the
+//! synchronous per-strip RPCs the paper's model assumes.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+use crate::codec::{read_message, write_message, CountingStream, NetError};
+use crate::proto::{ErrorCode, Message, Role};
+use crate::server::{ConnClass, StatsRegistry};
+
+/// Addresses of every server in the cluster, indexed by server id,
+/// plus the live outbound connections of one daemon.
+pub struct PeerTable {
+    self_id: u32,
+    addrs: Vec<String>,
+    conns: Mutex<HashMap<u32, Arc<Mutex<CountingStream<TcpStream>>>>>,
+    stats: Arc<StatsRegistry>,
+}
+
+impl PeerTable {
+    /// A table for server `self_id` in a cluster whose `addrs[i]` is
+    /// the listen address of server `i`. Outbound traffic is counted
+    /// into `stats` under the server↔server class.
+    pub fn new(self_id: u32, addrs: Vec<String>, stats: Arc<StatsRegistry>) -> Self {
+        PeerTable { self_id, addrs, conns: Mutex::new(HashMap::new()), stats }
+    }
+
+    /// Number of servers in the cluster.
+    pub fn cluster_size(&self) -> u32 {
+        self.addrs.len() as u32
+    }
+
+    /// This daemon's id.
+    pub fn self_id(&self) -> u32 {
+        self.self_id
+    }
+
+    fn conn(&self, target: u32) -> Result<Arc<Mutex<CountingStream<TcpStream>>>, NetError> {
+        if target == self.self_id {
+            return Err(NetError::Protocol("refusing peer connection to self".into()));
+        }
+        let addr = self
+            .addrs
+            .get(target as usize)
+            .ok_or(NetError::Remote {
+                code: ErrorCode::NoSuchServer,
+                message: format!("no server {target} in a {}-server cluster", self.addrs.len()),
+            })?
+            .clone();
+        if let Some(c) = self.conns.lock().unwrap().get(&target) {
+            return Ok(Arc::clone(c));
+        }
+        // Connect outside the map lock; a racing worker may connect
+        // twice, in which case the loser's link is dropped unused.
+        let mut stream = CountingStream::new(TcpStream::connect(&addr)?);
+        self.stats.register(ConnClass::Server, stream.bytes_in(), stream.bytes_out());
+        write_message(&mut stream, &Message::Hello { role: Role::Server, peer_id: self.self_id })?;
+        match read_message(&mut stream)? {
+            Some(Message::HelloOk { .. }) => {}
+            Some(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
+            None => {
+                return Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed during handshake",
+                )))
+            }
+        }
+        let conn = Arc::new(Mutex::new(stream));
+        Ok(Arc::clone(
+            self.conns.lock().unwrap().entry(target).or_insert(conn),
+        ))
+    }
+
+    /// One synchronous request/response exchange with server `target`.
+    /// A typed remote error becomes [`NetError::Remote`].
+    pub fn call(&self, target: u32, msg: &Message) -> Result<Message, NetError> {
+        let conn = self.conn(target)?;
+        let mut stream = conn.lock().unwrap();
+        let result = (|| {
+            write_message(&mut *stream, msg)?;
+            match read_message(&mut *stream)? {
+                Some(Message::Error { code, message }) => Err(NetError::Remote { code, message }),
+                Some(reply) => Ok(reply),
+                None => Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-call",
+                ))),
+            }
+        })();
+        if matches!(result, Err(NetError::Io(_) | NetError::Protocol(_))) {
+            // The link is in an unknown state; drop it so the next
+            // call reconnects.
+            self.conns.lock().unwrap().remove(&target);
+        }
+        result
+    }
+
+    /// Fetch one strip of `file` from `target`.
+    pub fn get_strip(&self, target: u32, file: u32, strip: u64) -> Result<Vec<u8>, NetError> {
+        match self.call(target, &Message::GetStrip { file, strip })? {
+            Message::StripData { payload } => Ok(payload),
+            other => Err(NetError::Unexpected { opcode: other.opcode() }),
+        }
+    }
+
+    /// Store one strip of `file` on `target` (replica forwarding).
+    pub fn put_strip(&self, target: u32, file: u32, strip: u64, payload: Vec<u8>) -> Result<(), NetError> {
+        match self.call(target, &Message::PutStrip { file, strip, payload })? {
+            Message::PutStripOk => Ok(()),
+            other => Err(NetError::Unexpected { opcode: other.opcode() }),
+        }
+    }
+}

@@ -1,0 +1,659 @@
+//! The das-net wire protocol: message types and payload encoding.
+//!
+//! Every message travels in one frame (see [`crate::codec`]): a
+//! 12-byte header — magic `"DASN"`, protocol version, opcode, flags,
+//! payload length — followed by the payload encoded by this module.
+//! Integers are little-endian; strings are length-prefixed (`u16`)
+//! UTF-8; strip payloads are length-prefixed (`u32`) byte blobs.
+//!
+//! The full frame layout and per-RPC semantics are documented in
+//! `docs/PROTOCOL.md`.
+
+use das_pfs::{DistributionInfo, LayoutPolicy};
+
+/// Frame magic, first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"DASN";
+/// Protocol version spoken by this build.
+pub const VERSION: u8 = 1;
+/// Upper bound on a frame payload (64 MiB). Caps allocation from a
+/// hostile or corrupted length field; comfortably above the largest
+/// legitimate payload (one strip plus framing).
+pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Who is on the other end of a connection — drives the byte-class a
+/// connection's traffic is accounted under (client↔server vs
+/// server↔server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A compute-node client (`das` CLI / client library).
+    Client,
+    /// Another `dasd` storage server (dependence fetches, replica
+    /// forwarding, redistribution pulls).
+    Server,
+}
+
+/// Typed error codes carried by [`Message::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The file id or name is unknown on this server.
+    NoSuchFile = 1,
+    /// A file with this name already exists.
+    DuplicateName = 2,
+    /// Offset/length outside the file (or strip index out of range).
+    OutOfBounds = 3,
+    /// The addressed server id is not part of the cluster.
+    NoSuchServer = 4,
+    /// The requested strip is not stored on this server.
+    StripNotLocal = 5,
+    /// A strip payload's length does not match the file's geometry.
+    StripLengthMismatch = 6,
+    /// No kernel / feature record registered under that name.
+    UnknownOperator = 7,
+    /// File length is not a whole number of image rows.
+    GeometryMismatch = 8,
+    /// The decision workflow rejected the offload; the client must
+    /// serve the request as normal I/O (the paper's fallback path).
+    FallbackToNormalIo = 9,
+    /// Malformed or semantically invalid request.
+    BadRequest = 10,
+    /// Unexpected server-side failure.
+    Internal = 11,
+}
+
+impl ErrorCode {
+    /// Decode a wire value.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match v {
+            1 => NoSuchFile,
+            2 => DuplicateName,
+            3 => OutOfBounds,
+            4 => NoSuchServer,
+            5 => StripNotLocal,
+            6 => StripLengthMismatch,
+            7 => UnknownOperator,
+            8 => GeometryMismatch,
+            9 => FallbackToNormalIo,
+            10 => BadRequest,
+            11 => Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Per-connection-class byte counters reported by [`Message::StatsResp`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Bytes received on client↔server connections.
+    pub client_in: u64,
+    /// Bytes sent on client↔server connections.
+    pub client_out: u64,
+    /// Bytes received on server↔server connections.
+    pub server_in: u64,
+    /// Bytes sent on server↔server connections.
+    pub server_out: u64,
+}
+
+/// Every RPC of the protocol. Requests and responses share the enum;
+/// the opcode namespaces them (responses are `request | 1` except the
+/// catch-all [`Message::Error`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// First frame on every connection: who am I?
+    Hello {
+        /// Connection class.
+        role: Role,
+        /// Sender's server id when `role` is [`Role::Server`]; 0 for
+        /// clients.
+        peer_id: u32,
+    },
+    /// Accepts a [`Message::Hello`]; identifies the serving daemon.
+    HelloOk {
+        /// The responding server's id.
+        server_id: u32,
+    },
+
+    /// Register a file's metadata (no data — strips arrive via
+    /// [`Message::PutStrip`]). Sent to **every** server; ids are
+    /// assigned in creation order and must agree across the cluster.
+    CreateFile {
+        /// Unique file name.
+        name: String,
+        /// Length in bytes.
+        file_len: u64,
+        /// Strip size in bytes.
+        strip_size: u32,
+        /// Placement policy.
+        policy: LayoutPolicy,
+        /// Number of servers the layout is computed over.
+        servers: u32,
+    },
+    /// File created; carries the assigned id.
+    CreateFileOk {
+        /// Assigned file id.
+        file: u32,
+    },
+    /// Upload one strip to a server that holds it under the file's
+    /// layout (primary or replica — the server decides which).
+    PutStrip {
+        /// File id.
+        file: u32,
+        /// Strip index.
+        strip: u64,
+        /// Strip bytes; must be exactly the strip's length.
+        payload: Vec<u8>,
+    },
+    /// Strip stored.
+    PutStripOk,
+    /// Fetch one locally-stored strip.
+    GetStrip {
+        /// File id.
+        file: u32,
+        /// Strip index.
+        strip: u64,
+    },
+    /// The requested strip's bytes.
+    StripData {
+        /// Strip bytes.
+        payload: Vec<u8>,
+    },
+    /// Resolve a file name to its id and distribution.
+    Lookup {
+        /// File name.
+        name: String,
+    },
+    /// Lookup result.
+    LookupOk {
+        /// File id.
+        file: u32,
+        /// Current distribution.
+        dist: DistributionInfo,
+    },
+    /// Query a file's distribution information (the paper's
+    /// Section III-C client query).
+    GetDistribution {
+        /// File id.
+        file: u32,
+    },
+    /// Distribution information.
+    DistributionResp {
+        /// Current distribution.
+        dist: DistributionInfo,
+    },
+
+    /// Phase one of a redistribution: fetch every strip this server
+    /// gains under `policy` from its current primary (server↔server
+    /// traffic), staging without touching the live layout.
+    RedistPrepare {
+        /// File id.
+        file: u32,
+        /// Target placement policy.
+        policy: LayoutPolicy,
+    },
+    /// Staging done.
+    RedistPrepareOk {
+        /// Strips fetched from peers.
+        fetched_strips: u64,
+        /// Payload bytes fetched from peers.
+        fetched_bytes: u64,
+    },
+    /// Phase two: swap the file to `policy` — adopt staged strips,
+    /// re-flag retained ones, evict strips no longer held.
+    RedistCommit {
+        /// File id.
+        file: u32,
+        /// Target placement policy (must match the prepare).
+        policy: LayoutPolicy,
+    },
+    /// Layout swapped.
+    RedistCommitOk,
+
+    /// Run `kernel` over this server's primary strips of `file`,
+    /// writing output strips of `out_file` (same geometry, created
+    /// beforehand on every server).
+    Execute {
+        /// Input file id.
+        file: u32,
+        /// Output file id.
+        out_file: u32,
+        /// Kernel registry name (e.g. `"flow-routing"`).
+        kernel: String,
+        /// Image width in elements.
+        img_width: u64,
+        /// Element size in bytes (4 — f32 rasters).
+        element_size: u32,
+        /// Successive-operation hint for the decision workflow.
+        successive: bool,
+        /// Skip the decision workflow (the NAS scheme: offload
+        /// unconditionally, dependence cost be damned).
+        force: bool,
+    },
+    /// Execution finished on this server.
+    ExecuteOk {
+        /// Primary strips computed.
+        strips_computed: u64,
+        /// Dependence fetches issued to peers (per task, as the
+        /// predictor counts them).
+        dep_fetches: u64,
+        /// Payload bytes those fetches moved.
+        dep_fetch_bytes: u64,
+    },
+
+    /// Query the per-class byte counters.
+    Stats,
+    /// Byte counters since start / last reset.
+    StatsResp(WireStats),
+    /// Zero the byte counters.
+    ResetStats,
+    /// Counters zeroed.
+    ResetStatsOk,
+
+    /// Liveness probe.
+    Ping,
+    /// Liveness reply.
+    Pong,
+    /// Ask the daemon to exit after replying.
+    Shutdown,
+    /// Acknowledged; the daemon is going down.
+    ShutdownOk,
+
+    /// Any request-level failure.
+    Error {
+        /// Typed error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Message {
+    /// The opcode identifying this message in the frame header.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0x01,
+            Message::HelloOk { .. } => 0x02,
+            Message::CreateFile { .. } => 0x10,
+            Message::CreateFileOk { .. } => 0x11,
+            Message::PutStrip { .. } => 0x12,
+            Message::PutStripOk => 0x13,
+            Message::GetStrip { .. } => 0x14,
+            Message::StripData { .. } => 0x15,
+            Message::Lookup { .. } => 0x16,
+            Message::LookupOk { .. } => 0x17,
+            Message::GetDistribution { .. } => 0x18,
+            Message::DistributionResp { .. } => 0x19,
+            Message::RedistPrepare { .. } => 0x20,
+            Message::RedistPrepareOk { .. } => 0x21,
+            Message::RedistCommit { .. } => 0x22,
+            Message::RedistCommitOk => 0x23,
+            Message::Execute { .. } => 0x30,
+            Message::ExecuteOk { .. } => 0x31,
+            Message::Stats => 0x40,
+            Message::StatsResp(_) => 0x41,
+            Message::ResetStats => 0x42,
+            Message::ResetStatsOk => 0x43,
+            Message::Ping => 0x50,
+            Message::Pong => 0x51,
+            Message::Shutdown => 0x52,
+            Message::ShutdownOk => 0x53,
+            Message::Error { .. } => 0x7F,
+        }
+    }
+
+    /// Encode the payload (everything after the frame header).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Message::Hello { role, peer_id } => {
+                put_u8(&mut b, match role {
+                    Role::Client => 0,
+                    Role::Server => 1,
+                });
+                put_u32(&mut b, *peer_id);
+            }
+            Message::HelloOk { server_id } => put_u32(&mut b, *server_id),
+            Message::CreateFile { name, file_len, strip_size, policy, servers } => {
+                put_str(&mut b, name);
+                put_u64(&mut b, *file_len);
+                put_u32(&mut b, *strip_size);
+                put_policy(&mut b, *policy);
+                put_u32(&mut b, *servers);
+            }
+            Message::CreateFileOk { file } => put_u32(&mut b, *file),
+            Message::PutStrip { file, strip, payload } => {
+                put_u32(&mut b, *file);
+                put_u64(&mut b, *strip);
+                put_blob(&mut b, payload);
+            }
+            Message::PutStripOk => {}
+            Message::GetStrip { file, strip } => {
+                put_u32(&mut b, *file);
+                put_u64(&mut b, *strip);
+            }
+            Message::StripData { payload } => put_blob(&mut b, payload),
+            Message::Lookup { name } => put_str(&mut b, name),
+            Message::LookupOk { file, dist } => {
+                put_u32(&mut b, *file);
+                put_dist(&mut b, dist);
+            }
+            Message::GetDistribution { file } => put_u32(&mut b, *file),
+            Message::DistributionResp { dist } => put_dist(&mut b, dist),
+            Message::RedistPrepare { file, policy } | Message::RedistCommit { file, policy } => {
+                put_u32(&mut b, *file);
+                put_policy(&mut b, *policy);
+            }
+            Message::RedistPrepareOk { fetched_strips, fetched_bytes } => {
+                put_u64(&mut b, *fetched_strips);
+                put_u64(&mut b, *fetched_bytes);
+            }
+            Message::RedistCommitOk => {}
+            Message::Execute { file, out_file, kernel, img_width, element_size, successive, force } => {
+                put_u32(&mut b, *file);
+                put_u32(&mut b, *out_file);
+                put_str(&mut b, kernel);
+                put_u64(&mut b, *img_width);
+                put_u32(&mut b, *element_size);
+                put_u8(&mut b, *successive as u8);
+                put_u8(&mut b, *force as u8);
+            }
+            Message::ExecuteOk { strips_computed, dep_fetches, dep_fetch_bytes } => {
+                put_u64(&mut b, *strips_computed);
+                put_u64(&mut b, *dep_fetches);
+                put_u64(&mut b, *dep_fetch_bytes);
+            }
+            Message::Stats
+            | Message::ResetStats
+            | Message::ResetStatsOk
+            | Message::Ping
+            | Message::Pong
+            | Message::Shutdown
+            | Message::ShutdownOk => {}
+            Message::StatsResp(s) => {
+                put_u64(&mut b, s.client_in);
+                put_u64(&mut b, s.client_out);
+                put_u64(&mut b, s.server_in);
+                put_u64(&mut b, s.server_out);
+            }
+            Message::Error { code, message } => {
+                put_u16(&mut b, *code as u16);
+                put_str(&mut b, message);
+            }
+        }
+        b
+    }
+
+    /// Decode a payload for `opcode`. Fails on unknown opcodes, short
+    /// or over-long payloads, and malformed fields.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Message, DecodeError> {
+        let mut d = Dec { buf: payload, pos: 0 };
+        let msg = match opcode {
+            0x01 => {
+                let role = match d.take_u8()? {
+                    0 => Role::Client,
+                    1 => Role::Server,
+                    v => return Err(DecodeError::new(format!("bad role {v}"))),
+                };
+                Message::Hello { role, peer_id: d.take_u32()? }
+            }
+            0x02 => Message::HelloOk { server_id: d.take_u32()? },
+            0x10 => Message::CreateFile {
+                name: d.take_str()?,
+                file_len: d.take_u64()?,
+                strip_size: d.take_u32()?,
+                policy: d.take_policy()?,
+                servers: d.take_u32()?,
+            },
+            0x11 => Message::CreateFileOk { file: d.take_u32()? },
+            0x12 => Message::PutStrip {
+                file: d.take_u32()?,
+                strip: d.take_u64()?,
+                payload: d.take_blob()?,
+            },
+            0x13 => Message::PutStripOk,
+            0x14 => Message::GetStrip { file: d.take_u32()?, strip: d.take_u64()? },
+            0x15 => Message::StripData { payload: d.take_blob()? },
+            0x16 => Message::Lookup { name: d.take_str()? },
+            0x17 => Message::LookupOk { file: d.take_u32()?, dist: d.take_dist()? },
+            0x18 => Message::GetDistribution { file: d.take_u32()? },
+            0x19 => Message::DistributionResp { dist: d.take_dist()? },
+            0x20 => Message::RedistPrepare { file: d.take_u32()?, policy: d.take_policy()? },
+            0x21 => Message::RedistPrepareOk {
+                fetched_strips: d.take_u64()?,
+                fetched_bytes: d.take_u64()?,
+            },
+            0x22 => Message::RedistCommit { file: d.take_u32()?, policy: d.take_policy()? },
+            0x23 => Message::RedistCommitOk,
+            0x30 => Message::Execute {
+                file: d.take_u32()?,
+                out_file: d.take_u32()?,
+                kernel: d.take_str()?,
+                img_width: d.take_u64()?,
+                element_size: d.take_u32()?,
+                successive: d.take_u8()? != 0,
+                force: d.take_u8()? != 0,
+            },
+            0x31 => Message::ExecuteOk {
+                strips_computed: d.take_u64()?,
+                dep_fetches: d.take_u64()?,
+                dep_fetch_bytes: d.take_u64()?,
+            },
+            0x40 => Message::Stats,
+            0x41 => Message::StatsResp(WireStats {
+                client_in: d.take_u64()?,
+                client_out: d.take_u64()?,
+                server_in: d.take_u64()?,
+                server_out: d.take_u64()?,
+            }),
+            0x42 => Message::ResetStats,
+            0x43 => Message::ResetStatsOk,
+            0x50 => Message::Ping,
+            0x51 => Message::Pong,
+            0x52 => Message::Shutdown,
+            0x53 => Message::ShutdownOk,
+            0x7F => {
+                let raw = d.take_u16()?;
+                let code = ErrorCode::from_u16(raw)
+                    .ok_or_else(|| DecodeError::new(format!("unknown error code {raw}")))?;
+                Message::Error { code, message: d.take_str()? }
+            }
+            op => return Err(DecodeError::new(format!("unknown opcode 0x{op:02x}"))),
+        };
+        d.finish()?;
+        Ok(msg)
+    }
+}
+
+/// A payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl DecodeError {
+    fn new(reason: impl Into<String>) -> Self {
+        DecodeError { reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---- encoding primitives -------------------------------------------------
+
+fn put_u8(b: &mut Vec<u8>, v: u8) {
+    b.push(v);
+}
+
+fn put_u16(b: &mut Vec<u8>, v: u16) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(b: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "string field too long");
+    put_u16(b, s.len() as u16);
+    b.extend_from_slice(s.as_bytes());
+}
+
+fn put_blob(b: &mut Vec<u8>, blob: &[u8]) {
+    assert!(blob.len() <= u32::MAX as usize, "blob field too long");
+    put_u32(b, blob.len() as u32);
+    b.extend_from_slice(blob);
+}
+
+fn put_policy(b: &mut Vec<u8>, p: LayoutPolicy) {
+    match p {
+        LayoutPolicy::RoundRobin => {
+            put_u8(b, 0);
+            put_u64(b, 0);
+        }
+        LayoutPolicy::Grouped { group } => {
+            put_u8(b, 1);
+            put_u64(b, group);
+        }
+        LayoutPolicy::GroupedReplicated { group } => {
+            put_u8(b, 2);
+            put_u64(b, group);
+        }
+    }
+}
+
+fn put_dist(b: &mut Vec<u8>, d: &DistributionInfo) {
+    put_u64(b, d.strip_size as u64);
+    put_u32(b, d.servers);
+    put_policy(b, d.policy);
+    put_u64(b, d.file_len);
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError::new(format!(
+                "truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn take_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn take_str(&mut self) -> Result<String, DecodeError> {
+        let len = self.take_u16()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::new("string not UTF-8"))
+    }
+
+    fn take_blob(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.take_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn take_policy(&mut self) -> Result<LayoutPolicy, DecodeError> {
+        let tag = self.take_u8()?;
+        let group = self.take_u64()?;
+        match tag {
+            0 => Ok(LayoutPolicy::RoundRobin),
+            1 if group >= 1 => Ok(LayoutPolicy::Grouped { group }),
+            2 if group >= 1 => Ok(LayoutPolicy::GroupedReplicated { group }),
+            _ => Err(DecodeError::new(format!("bad policy tag {tag} / group {group}"))),
+        }
+    }
+
+    fn take_dist(&mut self) -> Result<DistributionInfo, DecodeError> {
+        Ok(DistributionInfo {
+            strip_size: self.take_u64()? as usize,
+            servers: self.take_u32()?,
+            policy: self.take_policy()?,
+            file_len: self.take_u64()?,
+        })
+    }
+
+    /// Reject trailing garbage: a payload must be consumed exactly.
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            return Err(DecodeError::new(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let payload = m.encode_payload();
+        let back = Message::decode(m.opcode(), &payload).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn representative_messages_roundtrip() {
+        roundtrip(Message::Hello { role: Role::Server, peer_id: 3 });
+        roundtrip(Message::CreateFile {
+            name: "dem.raw".into(),
+            file_len: 98304,
+            strip_size: 4096,
+            policy: LayoutPolicy::GroupedReplicated { group: 4 },
+            servers: 4,
+        });
+        roundtrip(Message::PutStrip { file: 1, strip: 9, payload: vec![1, 2, 3] });
+        roundtrip(Message::StripData { payload: vec![] });
+        roundtrip(Message::Error { code: ErrorCode::FallbackToNormalIo, message: "cost".into() });
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Message::Ping.encode_payload();
+        payload.push(0);
+        assert!(Message::decode(0x50, &payload).is_err());
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let payload = Message::GetStrip { file: 7, strip: 8 }.encode_payload();
+        assert!(Message::decode(0x14, &payload[..payload.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,625 @@
+//! The `dasd` storage-server daemon.
+//!
+//! One daemon per (simulated) storage server, listening on a real TCP
+//! port. It owns that server's strips — reusing [`das_pfs`]'s
+//! [`StorageServer`] as the strip store — plus a per-daemon copy of
+//! every file's metadata, kept consistent by the client issuing
+//! metadata operations to all servers in the same order.
+//!
+//! The interesting handler is [`Message::Execute`]: the daemon runs
+//! the paper's Fig. 3 decision workflow over its own metadata
+//! (`das_core::decide`), and on acceptance computes the kernel over
+//! its **primary** strips, fetching dependent strips it does not hold
+//! from peer daemons — per task, with no cross-task cache, exactly the
+//! traffic `das_core`'s `predict_nas_fetches` prices. A rejected
+//! request comes back as [`ErrorCode::FallbackToNormalIo`] and the
+//! client serves it as normal I/O.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use das_core::{dependent_strips, ActiveStorageClient, Decision, RequestOptions};
+use das_kernels::kernel_by_name;
+use das_pfs::{FileId, FileMeta, Layout, ServerId, StorageServer, StripId, StripeSpec};
+use das_runtime::StripAssembly;
+
+use crate::codec::{read_message, write_message, CountingStream, NetError};
+use crate::peer::PeerTable;
+use crate::proto::{ErrorCode, Message, Role, WireStats};
+
+/// How often an idle connection handler wakes to poll the shutdown
+/// flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Traffic class of a connection, fixed by the peer's `Hello`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnClass {
+    /// Client↔server: normal I/O, metadata, control.
+    Client,
+    /// Server↔server: dependence fetches, redistribution pulls,
+    /// replica forwarding.
+    Server,
+}
+
+/// Registry of every connection's byte counters, grouped by class.
+/// Counters are shared with the live [`CountingStream`]s, so sums are
+/// always current; closed connections keep contributing their totals.
+#[derive(Default)]
+pub struct StatsRegistry {
+    conns: Mutex<Vec<ConnCounters>>,
+}
+
+/// One connection's shared in/out counters and traffic class.
+type ConnCounters = (ConnClass, Arc<AtomicU64>, Arc<AtomicU64>);
+
+impl StatsRegistry {
+    /// Track a connection's counters under `class`.
+    pub fn register(&self, class: ConnClass, bytes_in: Arc<AtomicU64>, bytes_out: Arc<AtomicU64>) {
+        self.conns.lock().unwrap().push((class, bytes_in, bytes_out));
+    }
+
+    /// Current totals per class.
+    pub fn snapshot(&self) -> WireStats {
+        let mut s = WireStats::default();
+        for (class, bi, bo) in self.conns.lock().unwrap().iter() {
+            let (i, o) = (bi.load(Ordering::Relaxed), bo.load(Ordering::Relaxed));
+            match class {
+                ConnClass::Client => {
+                    s.client_in += i;
+                    s.client_out += o;
+                }
+                ConnClass::Server => {
+                    s.server_in += i;
+                    s.server_out += o;
+                }
+            }
+        }
+        s
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        for (_, bi, bo) in self.conns.lock().unwrap().iter() {
+            bi.store(0, Ordering::Relaxed);
+            bo.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Static configuration of one daemon.
+#[derive(Debug, Clone)]
+pub struct DasdConfig {
+    /// This server's id (index into `cluster`).
+    pub id: u32,
+    /// Listen address of **every** server in the cluster, by id.
+    pub cluster: Vec<String>,
+    /// Connection-handler pool size. Must exceed the number of
+    /// simultaneously open inbound connections (clients + peers).
+    pub pool: usize,
+}
+
+impl DasdConfig {
+    /// Config for server `id` of `cluster` with the default pool (16).
+    pub fn new(id: u32, cluster: Vec<String>) -> Self {
+        DasdConfig { id, cluster, pool: 16 }
+    }
+}
+
+/// Metadata + strip store of one daemon, behind the big lock. Network
+/// calls never happen while this is held.
+struct Inner {
+    store: StorageServer,
+    files: Vec<FileMeta>,
+    by_name: HashMap<String, FileId>,
+    /// Strips staged by `RedistPrepare`, keyed by file id.
+    staged: HashMap<u32, Vec<(StripId, Bytes)>>,
+}
+
+impl Inner {
+    fn meta(&self, file: u32) -> Result<&FileMeta, Message> {
+        self.files.get(file as usize).ok_or_else(|| err(ErrorCode::NoSuchFile, format!("no file {file}")))
+    }
+}
+
+/// State shared by every thread of one daemon.
+pub struct Shared {
+    id: ServerId,
+    inner: Mutex<Inner>,
+    as_client: ActiveStorageClient,
+    peers: PeerTable,
+    stats: Arc<StatsRegistry>,
+    shutdown: AtomicBool,
+    listen_addr: SocketAddr,
+}
+
+/// A running daemon (listener + worker threads).
+pub struct DasdHandle {
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl DasdHandle {
+    /// The daemon's actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the daemon has shut down (a client sent
+    /// [`Message::Shutdown`]) and every thread exited.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start a daemon on an already-bound listener. Binding is the
+/// caller's job so a test harness can grab ephemeral ports for the
+/// whole cluster *before* any daemon needs the full address list.
+pub fn spawn(cfg: DasdConfig, listener: TcpListener) -> std::io::Result<DasdHandle> {
+    assert!((cfg.id as usize) < cfg.cluster.len(), "id {} outside cluster of {}", cfg.id, cfg.cluster.len());
+    assert!(cfg.pool >= 2, "need at least two connection handlers");
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(StatsRegistry::default());
+    let shared = Arc::new(Shared {
+        id: ServerId(cfg.id),
+        inner: Mutex::new(Inner {
+            store: StorageServer::new(ServerId(cfg.id)),
+            files: Vec::new(),
+            by_name: HashMap::new(),
+            staged: HashMap::new(),
+        }),
+        as_client: ActiveStorageClient::with_builtin_features(),
+        peers: PeerTable::new(cfg.id, cfg.cluster, Arc::clone(&stats)),
+        stats,
+        shutdown: AtomicBool::new(false),
+        listen_addr: addr,
+    });
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut threads = Vec::with_capacity(cfg.pool + 1);
+    for _ in 0..cfg.pool {
+        let rx = Arc::clone(&rx);
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || loop {
+            let stream = match rx.lock().unwrap().recv() {
+                Ok(s) => s,
+                Err(_) => break,
+            };
+            handle_conn(&shared, stream);
+        }));
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Dropping `tx` releases the worker pool.
+        }));
+    }
+    Ok(DasdHandle { addr, threads })
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> Message {
+    Message::Error { code, message: message.into() }
+}
+
+/// Serve one connection until EOF or daemon shutdown.
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut stream = CountingStream::new(stream);
+
+    // First frame must be a Hello; it fixes the traffic class.
+    let hello = loop {
+        match read_message(&mut stream) {
+            Ok(Some(m)) => break m,
+            Ok(None) => return,
+            Err(NetError::Io(e))
+                if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    };
+    let class = match hello {
+        Message::Hello { role: Role::Client, .. } => ConnClass::Client,
+        Message::Hello { role: Role::Server, .. } => ConnClass::Server,
+        _ => {
+            let _ = write_message(&mut stream, &err(ErrorCode::BadRequest, "expected Hello"));
+            return;
+        }
+    };
+    shared.stats.register(class, stream.bytes_in(), stream.bytes_out());
+    if write_message(&mut stream, &Message::HelloOk { server_id: shared.id.0 }).is_err() {
+        return;
+    }
+
+    loop {
+        let msg = match read_message(&mut stream) {
+            Ok(Some(m)) => m,
+            Ok(None) => return,
+            Err(NetError::Io(e))
+                if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let is_shutdown = matches!(msg, Message::Shutdown);
+        let reply = dispatch(shared, msg);
+        if write_message(&mut stream, &reply).is_err() {
+            return;
+        }
+        if is_shutdown {
+            initiate_shutdown(shared);
+            return;
+        }
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Unblock the accept loop with a throwaway connection.
+    let _ = TcpStream::connect(shared.listen_addr);
+}
+
+fn dispatch(shared: &Shared, msg: Message) -> Message {
+    match msg {
+        Message::Hello { .. } => err(ErrorCode::BadRequest, "duplicate Hello"),
+        Message::Ping => Message::Pong,
+        Message::Shutdown => Message::ShutdownOk,
+        Message::Stats => Message::StatsResp(shared.stats.snapshot()),
+        Message::ResetStats => {
+            shared.stats.reset();
+            Message::ResetStatsOk
+        }
+        Message::CreateFile { name, file_len, strip_size, policy, servers } => {
+            if servers != shared.peers.cluster_size() {
+                return err(
+                    ErrorCode::BadRequest,
+                    format!("layout over {servers} servers in a {}-server cluster", shared.peers.cluster_size()),
+                );
+            }
+            if strip_size == 0 {
+                return err(ErrorCode::BadRequest, "zero strip size");
+            }
+            let mut inner = shared.inner.lock().unwrap();
+            if inner.by_name.contains_key(&name) {
+                return err(ErrorCode::DuplicateName, format!("file {name:?} already exists"));
+            }
+            let id = FileId(inner.files.len() as u32);
+            inner.by_name.insert(name.clone(), id);
+            inner.files.push(FileMeta {
+                id,
+                name,
+                len: file_len,
+                spec: StripeSpec::new(strip_size as usize),
+                layout: Layout::new(policy, servers),
+            });
+            Message::CreateFileOk { file: id.0 }
+        }
+        Message::Lookup { name } => {
+            let inner = shared.inner.lock().unwrap();
+            match inner.by_name.get(&name) {
+                Some(id) => {
+                    let meta = &inner.files[id.0 as usize];
+                    Message::LookupOk { file: id.0, dist: dist_of(meta) }
+                }
+                None => err(ErrorCode::NoSuchFile, format!("no file named {name:?}")),
+            }
+        }
+        Message::GetDistribution { file } => {
+            let inner = shared.inner.lock().unwrap();
+            match inner.meta(file) {
+                Ok(meta) => Message::DistributionResp { dist: dist_of(meta) },
+                Err(e) => e,
+            }
+        }
+        Message::PutStrip { file, strip, payload } => {
+            let mut inner = shared.inner.lock().unwrap();
+            let (id, expected, holds, primary) = match inner.meta(file) {
+                Ok(meta) => {
+                    if strip >= meta.strip_count() {
+                        return err(
+                            ErrorCode::OutOfBounds,
+                            format!("strip {strip} of {}-strip file", meta.strip_count()),
+                        );
+                    }
+                    let sid = StripId(strip);
+                    (
+                        meta.id,
+                        meta.spec.strip_len(sid, meta.len),
+                        meta.layout.holds(shared.id, sid),
+                        meta.layout.primary(sid) == shared.id,
+                    )
+                }
+                Err(e) => return e,
+            };
+            if !holds {
+                return err(
+                    ErrorCode::StripNotLocal,
+                    format!("server {} does not hold strip {strip}", shared.id.0),
+                );
+            }
+            if payload.len() != expected {
+                return err(
+                    ErrorCode::StripLengthMismatch,
+                    format!("strip {strip} wants {expected} bytes, got {}", payload.len()),
+                );
+            }
+            inner.store.store(id, StripId(strip), Bytes::from(payload), primary);
+            Message::PutStripOk
+        }
+        Message::GetStrip { file, strip } => {
+            let inner = shared.inner.lock().unwrap();
+            let meta = match inner.meta(file) {
+                Ok(m) => m,
+                Err(e) => return e,
+            };
+            if strip >= meta.strip_count() {
+                return err(
+                    ErrorCode::OutOfBounds,
+                    format!("strip {strip} of {}-strip file", meta.strip_count()),
+                );
+            }
+            match inner.store.read_strip(meta.id, StripId(strip)) {
+                Ok(data) => Message::StripData { payload: data.to_vec() },
+                Err(_) => err(
+                    ErrorCode::StripNotLocal,
+                    format!("server {} does not hold strip {strip}", shared.id.0),
+                ),
+            }
+        }
+        Message::RedistPrepare { file, policy } => redist_prepare(shared, file, policy),
+        Message::RedistCommit { file, policy } => redist_commit(shared, file, policy),
+        Message::Execute { file, out_file, kernel, img_width, element_size, successive, force } => {
+            execute(shared, file, out_file, &kernel, img_width, element_size, successive, force)
+        }
+        // Response opcodes arriving as requests.
+        other => err(ErrorCode::BadRequest, format!("unexpected opcode 0x{:02x}", other.opcode())),
+    }
+}
+
+fn dist_of(meta: &FileMeta) -> das_pfs::DistributionInfo {
+    das_pfs::DistributionInfo {
+        strip_size: meta.spec.strip_size,
+        servers: meta.layout.servers,
+        policy: meta.layout.policy,
+        file_len: meta.len,
+    }
+}
+
+/// Phase one of redistribution: pull every strip this server gains
+/// under `policy` from its current primary, into the staging area.
+/// The live layout is untouched until every server has prepared.
+fn redist_prepare(shared: &Shared, file: u32, policy: das_pfs::LayoutPolicy) -> Message {
+    let (id, old_layout, spec, len, strip_count) = {
+        let inner = shared.inner.lock().unwrap();
+        match inner.meta(file) {
+            Ok(m) => (m.id, m.layout, m.spec, m.len, m.strip_count()),
+            Err(e) => return e,
+        }
+    };
+    let new_layout = Layout::new(policy, old_layout.servers);
+    let mut wanted = Vec::new();
+    {
+        let inner = shared.inner.lock().unwrap();
+        for s in 0..strip_count {
+            let sid = StripId(s);
+            if new_layout.holds(shared.id, sid) && !inner.store.holds(id, sid) {
+                wanted.push(sid);
+            }
+        }
+    }
+    let mut staged = Vec::with_capacity(wanted.len());
+    let mut fetched_bytes = 0u64;
+    for sid in wanted {
+        let source = old_layout.primary(sid);
+        let payload = match shared.peers.get_strip(source.0, file, sid.0) {
+            Ok(p) => p,
+            Err(e) => return err(ErrorCode::Internal, format!("fetch strip {} from {}: {e}", sid.0, source.0)),
+        };
+        if payload.len() != spec.strip_len(sid, len) {
+            return err(
+                ErrorCode::StripLengthMismatch,
+                format!("peer returned {} bytes for strip {}", payload.len(), sid.0),
+            );
+        }
+        fetched_bytes += payload.len() as u64;
+        staged.push((sid, Bytes::from(payload)));
+    }
+    let fetched_strips = staged.len() as u64;
+    shared.inner.lock().unwrap().staged.insert(file, staged);
+    Message::RedistPrepareOk { fetched_strips, fetched_bytes }
+}
+
+/// Phase two: adopt staged strips, re-flag survivors, evict strips no
+/// longer held, and swap the file's layout.
+fn redist_commit(shared: &Shared, file: u32, policy: das_pfs::LayoutPolicy) -> Message {
+    let mut inner = shared.inner.lock().unwrap();
+    let (id, servers, strip_count) = match inner.meta(file) {
+        Ok(m) => (m.id, m.layout.servers, m.strip_count()),
+        Err(e) => return e,
+    };
+    let new_layout = Layout::new(policy, servers);
+    let staged = inner.staged.remove(&file).unwrap_or_default();
+    for s in 0..strip_count {
+        let sid = StripId(s);
+        if !inner.store.holds(id, sid) {
+            continue;
+        }
+        if new_layout.holds(shared.id, sid) {
+            // Survivor: refresh the primary flag under the new layout.
+            let data = inner.store.read_strip(id, sid).expect("held strip readable");
+            inner.store.store(id, sid, data, new_layout.primary(sid) == shared.id);
+        } else {
+            inner.store.evict(id, sid);
+        }
+    }
+    for (sid, data) in staged {
+        inner.store.store(id, sid, data, new_layout.primary(sid) == shared.id);
+    }
+    inner.files[file as usize].layout = new_layout;
+    Message::RedistCommitOk
+}
+
+/// The active-storage execution path (paper Fig. 3 right branch).
+#[allow(clippy::too_many_arguments)]
+fn execute(
+    shared: &Shared,
+    file: u32,
+    out_file: u32,
+    kernel_name: &str,
+    img_width: u64,
+    element_size: u32,
+    successive: bool,
+    force: bool,
+) -> Message {
+    if element_size != 4 {
+        return err(ErrorCode::BadRequest, format!("unsupported element size {element_size}"));
+    }
+    // Snapshot metadata and local strips under the lock; everything
+    // network-bound below runs without it.
+    let (out_id, layout, spec, len, strip_count, local) = {
+        let inner = shared.inner.lock().unwrap();
+        let meta = match inner.meta(file) {
+            Ok(m) => m,
+            Err(e) => return e,
+        };
+        let out = match inner.meta(out_file) {
+            Ok(m) => m,
+            Err(e) => return e,
+        };
+        if out.len != meta.len || out.spec.strip_size != meta.spec.strip_size {
+            return err(ErrorCode::GeometryMismatch, "output geometry differs from input".to_string());
+        }
+        if out.layout != meta.layout {
+            return err(ErrorCode::BadRequest, "output layout differs from input".to_string());
+        }
+        let mut local = Vec::new();
+        for sid in inner.store.all_strips(meta.id) {
+            local.push((sid, inner.store.read_strip(meta.id, sid).expect("held strip readable")));
+        }
+        (out.id, meta.layout, meta.spec, meta.len, meta.strip_count(), local)
+    };
+
+    let kernel = match kernel_by_name(kernel_name) {
+        Some(k) => k,
+        None => return err(ErrorCode::UnknownOperator, format!("no kernel {kernel_name:?}")),
+    };
+    let row_bytes = img_width * u64::from(element_size);
+    if row_bytes == 0 || len % row_bytes != 0 {
+        return err(
+            ErrorCode::GeometryMismatch,
+            format!("{len}-byte file is not whole {img_width}-element rows"),
+        );
+    }
+
+    // The decision workflow — skipped when the client forces the
+    // offload (the NAS scheme's "always offload" behaviour).
+    if !force {
+        let dist = das_pfs::DistributionInfo {
+            strip_size: spec.strip_size,
+            servers: layout.servers,
+            policy: layout.policy,
+            file_len: len,
+        };
+        let opts = RequestOptions { img_width, element_size: 4, successive, ..Default::default() };
+        match shared.as_client.decide_from_distribution(dist, kernel_name, &opts) {
+            Ok(Decision::Offload { .. }) => {}
+            Ok(Decision::Reject { reason, predicted }) => {
+                return err(
+                    ErrorCode::FallbackToNormalIo,
+                    format!(
+                        "{reason:?}: strip fetches would move {} bytes vs {} as normal I/O",
+                        predicted.nas.bytes, predicted.ts_client_bytes
+                    ),
+                );
+            }
+            Err(e) => return err(ErrorCode::BadRequest, e.to_string()),
+        }
+    }
+
+    let height = len / row_bytes;
+    let elems_per_strip = spec.strip_size as u64 / 4;
+    let total_elements = len / 4;
+    let offsets = kernel.dependence_offsets(img_width);
+    let local_ids: std::collections::HashSet<u64> = local.iter().map(|(s, _)| s.0).collect();
+    let tasks = layout.primary_strips(shared.id, strip_count);
+
+    let mut dep_fetches = 0u64;
+    let mut dep_fetch_bytes = 0u64;
+    for &t in &tasks {
+        // Fresh assembly per task: remote dependence strips are
+        // re-fetched for every task that needs them, with no cache —
+        // the synchronous per-strip traffic the predictor prices.
+        let mut asm = StripAssembly::new(img_width, height, spec.strip_size, format!("dasd{}", shared.id.0));
+        for (sid, data) in &local {
+            asm.insert(*sid, data.clone());
+        }
+        for u in dependent_strips(t.0, &offsets, elems_per_strip, total_elements) {
+            if local_ids.contains(&u) {
+                continue;
+            }
+            let source = layout.primary(StripId(u));
+            let payload = match shared.peers.get_strip(source.0, file, u) {
+                Ok(p) => p,
+                Err(e) => {
+                    return err(ErrorCode::Internal, format!("dependence fetch strip {u} from {}: {e}", source.0))
+                }
+            };
+            dep_fetches += 1;
+            dep_fetch_bytes += payload.len() as u64;
+            asm.insert(StripId(u), Bytes::from(payload));
+        }
+
+        let start = t.0 * elems_per_strip;
+        let end = (start + elems_per_strip).min(total_elements);
+        let mut out = vec![0f32; (end - start) as usize];
+        kernel.process_range(&asm, start, &mut out);
+        let mut out_bytes = Vec::with_capacity(out.len() * 4);
+        for v in &out {
+            out_bytes.extend_from_slice(&v.to_le_bytes());
+        }
+
+        shared.inner.lock().unwrap().store.store(out_id, t, Bytes::from(out_bytes.clone()), true);
+        for replica in layout.replicas(t) {
+            if replica == shared.id {
+                continue;
+            }
+            if let Err(e) = shared.peers.put_strip(replica.0, out_file, t.0, out_bytes.clone()) {
+                return err(
+                    ErrorCode::Internal,
+                    format!("replica forward strip {} to {}: {e}", t.0, replica.0),
+                );
+            }
+        }
+    }
+
+    Message::ExecuteOk { strips_computed: tasks.len() as u64, dep_fetches, dep_fetch_bytes }
+}

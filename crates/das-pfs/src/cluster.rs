@@ -212,9 +212,7 @@ impl PfsCluster {
         len: u64,
     ) -> Result<(Vec<u8>, TrafficLog), PfsError> {
         let meta = self.meta(file)?;
-        if offset + len > meta.len {
-            return Err(PfsError::OutOfBounds { offset, len, file_len: meta.len });
-        }
+        PfsError::check_range(offset, len, meta.len)?;
         let mut out = Vec::with_capacity(usize::try_from(len).expect("len fits usize"));
         let mut traffic = TrafficLog::default();
         for part in meta.spec.strips_for_range(offset, len) {
@@ -246,13 +244,7 @@ impl PfsCluster {
         data: &[u8],
     ) -> Result<TrafficLog, PfsError> {
         let meta = self.meta(file)?.clone();
-        if offset + data.len() as u64 > meta.len {
-            return Err(PfsError::OutOfBounds {
-                offset,
-                len: data.len() as u64,
-                file_len: meta.len,
-            });
-        }
+        PfsError::check_range(offset, data.len() as u64, meta.len)?;
         let mut traffic = TrafficLog::default();
         let mut consumed = 0usize;
         for part in meta.spec.strips_for_range(offset, data.len() as u64) {
@@ -394,9 +386,7 @@ impl PfsCluster {
         down: &[ServerId],
     ) -> Result<(Vec<u8>, TrafficLog), PfsError> {
         let meta = self.meta(file)?;
-        if offset + len > meta.len {
-            return Err(PfsError::OutOfBounds { offset, len, file_len: meta.len });
-        }
+        PfsError::check_range(offset, len, meta.len)?;
         let mut out = Vec::with_capacity(usize::try_from(len).expect("len fits usize"));
         let mut traffic = TrafficLog::default();
         for part in meta.spec.strips_for_range(offset, len) {

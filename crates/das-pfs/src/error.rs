@@ -43,6 +43,19 @@ pub enum PfsError {
     },
 }
 
+impl PfsError {
+    /// Validate that `[offset, offset+len)` lies within a file of
+    /// `file_len` bytes, treating `offset + len` overflow as out of
+    /// bounds rather than wrapping (which in release mode would
+    /// silently accept absurd ranges).
+    pub fn check_range(offset: u64, len: u64, file_len: u64) -> Result<(), PfsError> {
+        match offset.checked_add(len) {
+            Some(end) if end <= file_len => Ok(()),
+            _ => Err(PfsError::OutOfBounds { offset, len, file_len }),
+        }
+    }
+}
+
 impl fmt::Display for PfsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

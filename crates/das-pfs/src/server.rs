@@ -158,9 +158,7 @@ impl LocalFileView<'_> {
     /// Read `len` bytes at local offset `offset`, gathering across
     /// strip boundaries.
     pub fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
-        if offset + len > self.len() {
-            return Err(PfsError::OutOfBounds { offset, len, file_len: self.len() });
-        }
+        PfsError::check_range(offset, len, self.len())?;
         let mut out = Vec::with_capacity(usize::try_from(len).expect("len fits usize"));
         // Find the first strip containing `offset` by binary search on
         // the prefix sums.

@@ -1,0 +1,117 @@
+//! Offset/length edge cases at strip and file boundaries: every
+//! out-of-range access must return a typed [`PfsError::OutOfBounds`]
+//! — never a panic, wrap-around acceptance, or silent truncation.
+
+use das_pfs::{LayoutPolicy, PfsCluster, PfsError, ServerId, StripeSpec};
+
+const STRIP: usize = 8;
+const FILE_LEN: u64 = 20; // 2 full strips + a 4-byte tail strip
+
+fn cluster() -> (PfsCluster, das_pfs::FileId) {
+    let mut pfs = PfsCluster::new(3);
+    let data: Vec<u8> = (0..FILE_LEN as u8).collect();
+    let id = pfs
+        .create("f", &data, StripeSpec::new(STRIP), LayoutPolicy::RoundRobin)
+        .unwrap();
+    (pfs, id)
+}
+
+fn assert_oob<T: std::fmt::Debug>(r: Result<T, PfsError>, offset: u64, len: u64) {
+    match r {
+        Err(PfsError::OutOfBounds { offset: o, len: l, file_len }) => {
+            assert_eq!((o, l, file_len), (offset, len, FILE_LEN));
+        }
+        other => panic!("expected OutOfBounds for [{offset}, +{len}), got {other:?}"),
+    }
+}
+
+#[test]
+fn reads_at_exact_boundaries_succeed() {
+    let (pfs, id) = cluster();
+    // Whole file; empty read at start, interior, and EOF.
+    assert_eq!(pfs.read(id, 0, FILE_LEN).unwrap().0.len(), FILE_LEN as usize);
+    assert!(pfs.read(id, 0, 0).unwrap().0.is_empty());
+    assert!(pfs.read(id, 7, 0).unwrap().0.is_empty());
+    assert!(pfs.read(id, FILE_LEN, 0).unwrap().0.is_empty());
+    // Last byte; read straddling the final (short) strip boundary.
+    assert_eq!(pfs.read(id, FILE_LEN - 1, 1).unwrap().0, vec![19]);
+    assert_eq!(pfs.read(id, 15, 5).unwrap().0, vec![15, 16, 17, 18, 19]);
+    // Exactly one strip, aligned both ends.
+    assert_eq!(pfs.read(id, 8, 8).unwrap().0, (8..16).collect::<Vec<u8>>());
+}
+
+#[test]
+fn reads_past_eof_are_typed_errors() {
+    let (pfs, id) = cluster();
+    assert_oob(pfs.read(id, 0, FILE_LEN + 1), 0, FILE_LEN + 1);
+    assert_oob(pfs.read(id, FILE_LEN, 1), FILE_LEN, 1);
+    assert_oob(pfs.read(id, FILE_LEN + 5, 0), FILE_LEN + 5, 0);
+    assert_oob(pfs.read(id, FILE_LEN - 1, 2), FILE_LEN - 1, 2);
+    // One past a strip boundary crossing EOF on the tail strip.
+    assert_oob(pfs.read(id, 16, 5), 16, 5);
+}
+
+#[test]
+fn read_offset_len_overflow_is_out_of_bounds_not_wraparound() {
+    let (pfs, id) = cluster();
+    // offset + len wraps u64; a naive `offset + len > file_len` check
+    // would accept this in release builds.
+    assert_oob(pfs.read(id, u64::MAX, 2), u64::MAX, 2);
+    assert_oob(pfs.read(id, 2, u64::MAX), 2, u64::MAX);
+    assert_oob(pfs.read(id, u64::MAX, u64::MAX), u64::MAX, u64::MAX);
+}
+
+#[test]
+fn writes_at_exact_boundaries_succeed_and_persist() {
+    let (mut pfs, id) = cluster();
+    // Rewrite the last byte, then a range straddling strips 1|2.
+    pfs.write(id, FILE_LEN - 1, &[0xAA]).unwrap();
+    pfs.write(id, 14, &[1, 2, 3, 4]).unwrap();
+    // Zero-length writes are no-ops anywhere in range, including EOF.
+    pfs.write(id, 0, &[]).unwrap();
+    pfs.write(id, FILE_LEN, &[]).unwrap();
+    let (data, _) = pfs.read(id, 0, FILE_LEN).unwrap();
+    assert_eq!(&data[14..18], &[1, 2, 3, 4]);
+    assert_eq!(data[19], 0xAA);
+    assert_eq!(data[13], 13); // neighbours untouched
+    assert_eq!(data[18], 18);
+}
+
+#[test]
+fn writes_past_eof_are_typed_errors_and_mutate_nothing() {
+    let (mut pfs, id) = cluster();
+    assert_oob(pfs.write(id, FILE_LEN, &[9]), FILE_LEN, 1);
+    assert_oob(pfs.write(id, FILE_LEN - 1, &[9, 9]), FILE_LEN - 1, 2);
+    assert_oob(pfs.write(id, u64::MAX, &[9, 9]), u64::MAX, 2);
+    let (data, _) = pfs.read(id, 0, FILE_LEN).unwrap();
+    assert_eq!(data, (0..FILE_LEN as u8).collect::<Vec<u8>>());
+}
+
+#[test]
+fn degraded_reads_share_the_same_bounds_contract() {
+    let (pfs, id) = cluster();
+    let down = [ServerId(9)]; // not a holder; degraded path, full data
+    assert_eq!(pfs.read_degraded(0, id, 15, 5, &down).unwrap().0.len(), 5);
+    assert_oob(pfs.read_degraded(0, id, FILE_LEN, 1, &down), FILE_LEN, 1);
+    assert_oob(pfs.read_degraded(0, id, u64::MAX, 2, &down), u64::MAX, 2);
+}
+
+#[test]
+fn local_file_view_bounds_match_cluster_semantics() {
+    let (pfs, id) = cluster();
+    // Server 0 holds strips 0 and... round-robin over 3 servers: strips
+    // 0..3 → servers 0,1,2; server 0 holds only strip 0 (8 bytes).
+    let view = pfs.server(ServerId(0)).unwrap().local_file(id);
+    let local_len = view.len();
+    assert_eq!(local_len, 8);
+    assert_eq!(view.read(0, local_len).unwrap(), (0..8).collect::<Vec<u8>>());
+    assert!(view.read(local_len, 0).unwrap().is_empty());
+    assert!(matches!(
+        view.read(local_len, 1),
+        Err(PfsError::OutOfBounds { offset: 8, len: 1, file_len: 8 })
+    ));
+    assert!(matches!(
+        view.read(u64::MAX, 2),
+        Err(PfsError::OutOfBounds { .. })
+    ));
+}

@@ -2,7 +2,6 @@
 //! assert on.
 
 use das_sim::{ByteCounters, SimDuration, SimReport};
-use serde::Serialize;
 
 use crate::scheme::{DasOutcome, SchemeKind};
 
@@ -92,43 +91,52 @@ impl RunReport {
     }
 
     /// Serializable snapshot (JSON for the bench harness artifacts).
+    ///
+    /// Hand-rolled: the kernel name is the only string field, and
+    /// kernel names are ASCII identifiers, so escaping `"` and `\` is
+    /// sufficient. Floats use Rust's shortest-roundtrip `Display`.
     pub fn to_json(&self) -> String {
-        #[derive(Serialize)]
-        struct View<'a> {
-            scheme: &'a str,
-            kernel: &'a str,
-            data_bytes: u64,
-            storage_nodes: u32,
-            compute_nodes: u32,
-            exec_secs: f64,
-            critical_path_secs: f64,
-            op_count: usize,
-            disk_read: u64,
-            disk_write: u64,
-            net_client_server: u64,
-            net_server_server: u64,
-            sustained_bandwidth_mib: f64,
-            output_fingerprint: u64,
-            offloaded: Option<bool>,
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    c if (c as u32) < 0x20 => {
+                        format!("\\u{:04x}", c as u32).chars().collect()
+                    }
+                    c => vec![c],
+                })
+                .collect()
         }
-        serde_json::to_string(&View {
-            scheme: self.scheme.name(),
-            kernel: &self.kernel,
-            data_bytes: self.data_bytes,
-            storage_nodes: self.storage_nodes,
-            compute_nodes: self.compute_nodes,
-            exec_secs: self.exec_secs(),
-            critical_path_secs: self.critical_path.as_secs_f64(),
-            op_count: self.op_count,
-            disk_read: self.bytes.disk_read,
-            disk_write: self.bytes.disk_write,
-            net_client_server: self.bytes.net_client_server,
-            net_server_server: self.bytes.net_server_server,
-            sustained_bandwidth_mib: self.sustained_bandwidth_mib(),
-            output_fingerprint: self.output_fingerprint,
-            offloaded: self.das.as_ref().map(|d| d.offloaded),
-        })
-        .expect("report serializes")
+        let offloaded = match self.das.as_ref().map(|d| d.offloaded) {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"scheme\":\"{}\",\"kernel\":\"{}\",\"data_bytes\":{},",
+                "\"storage_nodes\":{},\"compute_nodes\":{},\"exec_secs\":{},",
+                "\"critical_path_secs\":{},\"op_count\":{},\"disk_read\":{},",
+                "\"disk_write\":{},\"net_client_server\":{},\"net_server_server\":{},",
+                "\"sustained_bandwidth_mib\":{},\"output_fingerprint\":{},",
+                "\"offloaded\":{}}}"
+            ),
+            esc(self.scheme.name()),
+            esc(&self.kernel),
+            self.data_bytes,
+            self.storage_nodes,
+            self.compute_nodes,
+            self.exec_secs(),
+            self.critical_path.as_secs_f64(),
+            self.op_count,
+            self.bytes.disk_read,
+            self.bytes.disk_write,
+            self.bytes.net_client_server,
+            self.bytes.net_server_server,
+            self.sustained_bandwidth_mib(),
+            self.output_fingerprint,
+            offloaded,
+        )
     }
 }
 

@@ -235,25 +235,10 @@ impl Ctx {
     }
 
     /// The strips (other than `t` itself) containing any dependence of
-    /// any element of strip `t`, under the given offsets.
+    /// any element of strip `t`, under the given offsets (shared with
+    /// the predictor and the networked executor).
     pub fn dependent_strips(&self, f: &FileCtx, t: u64, offsets: &[i64]) -> BTreeSet<u64> {
-        let (e0, e1) = self.strip_elem_range(f, t);
-        let mut needed = BTreeSet::new();
-        for &o in offsets {
-            let lo = (e0 as i64 + o).max(0);
-            let hi = (e1 as i64 + o).min(f.elements as i64);
-            if lo >= hi {
-                continue;
-            }
-            let u0 = lo as u64 / self.strip_elems;
-            let u1 = (hi as u64 - 1) / self.strip_elems;
-            for u in u0..=u1 {
-                if u != t {
-                    needed.insert(u);
-                }
-            }
-        }
-        needed
+        das_core::dependent_strips(t, offsets, self.strip_elems, f.elements)
     }
 
     /// Byte length of strip `t` of `f` (the final strip may be partial).

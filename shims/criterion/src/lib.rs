@@ -1,0 +1,136 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supplies the API surface the workspace's benches use
+//! (`Criterion::bench_function`, `Bencher::iter` / `iter_batched`,
+//! `BatchSize`, `criterion_group!` / `criterion_main!`) backed by a
+//! simple wall-clock harness: each benchmark is warmed up once, then
+//! timed over an adaptively chosen iteration count and reported as
+//! mean ns/iter on stdout. No statistics, plots, or baselines — the
+//! point is that `--all-targets` builds and `cargo bench` produces
+//! comparable numbers without registry access.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped. The harness runs one setup per
+/// routine call regardless of variant; the enum exists for call-site
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Total time spent in the measured routine.
+    elapsed: Duration,
+    /// Number of measured routine invocations.
+    iters: u64,
+}
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Hard cap on measured iterations.
+const MAX_ITERS: u64 = 10_000;
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration from a single untimed call.
+        let cal = Instant::now();
+        std::hint::black_box(routine());
+        let per = cal.elapsed().max(Duration::from_nanos(1));
+        let n = (TARGET.as_nanos() / per.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += n;
+    }
+
+    /// Time `routine` over fresh inputs built by `setup`; only the
+    /// routine is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let cal = Instant::now();
+        std::hint::black_box(routine(input));
+        let per = cal.elapsed().max(Duration::from_nanos(1));
+        let n = (TARGET.as_nanos() / per.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            std::hint::black_box(routine(input));
+        }
+        self.elapsed += start.elapsed();
+        self.iters += n;
+    }
+}
+
+/// Benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark and print its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0
+        } else {
+            (b.elapsed.as_nanos() / b.iters as u128) as u64
+        };
+        println!("bench {name:<48} {mean_ns:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,74 @@
+//! Collection strategies: `prop::collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Element-count bound for collection strategies, `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    /// Exactly `n` elements.
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.usize_in(self.size.lo, self.size.hi);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// `Vec`s of `size` elements drawn from `element`. `size` accepts a
+/// `usize` (exact length) or `Range<usize>` (half-open, as in the real
+/// crate).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_bounds_hold() {
+        let mut rng = TestRng::for_case("vec_bounds", 0);
+        let ranged = vec(0u8..10, 2..5);
+        let exact = vec(1u32..4, 3usize);
+        for _ in 0..200 {
+            let v = ranged.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+            let e = exact.new_value(&mut rng);
+            assert_eq!(e.len(), 3);
+            assert!(e.iter().all(|&x| (1..4).contains(&x)));
+        }
+    }
+}

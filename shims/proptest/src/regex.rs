@@ -1,0 +1,328 @@
+//! String generation from a regex subset.
+//!
+//! In proptest, a `&str` strategy literal is interpreted as a regex
+//! and generates matching strings. This module implements the
+//! *generator* direction for the subset the workspace's tests use:
+//! literals, `.`, escapes (`\n`, `\t`, `\r`, `\d`, `\w`, `\s`, and
+//! escaped punctuation), character classes `[...]` with ranges and
+//! leading-`^` negation, groups `(...)`, alternation `|`, and the
+//! repetitions `*`, `+`, `?`, `{m}`, `{m,}`, `{m,n}`. Unbounded
+//! repetitions draw small counts (0–8) to keep cases fast.
+
+use crate::test_runner::TestRng;
+
+/// Maximum repeat count substituted for `*`, `+`, and `{m,}`.
+const UNBOUNDED_CAP: u32 = 8;
+
+/// A parsed pattern; generates matching strings.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    root: Node,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One concrete character.
+    Literal(char),
+    /// Any printable ASCII except newline (`.`).
+    Dot,
+    /// A set of candidate characters (expanded class).
+    Class(Vec<char>),
+    /// Nodes generated in order.
+    Seq(Vec<Node>),
+    /// Uniform choice among branches.
+    Alt(Vec<Node>),
+    /// Inner node repeated `min..=max` times.
+    Repeat {
+        inner: Box<Node>,
+        min: u32,
+        max: u32,
+    },
+}
+
+impl Pattern {
+    /// Parse `pattern`; panics (test-time) on syntax this subset does
+    /// not cover.
+    pub fn parse(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let root = p.alternation();
+        assert!(
+            p.pos == p.chars.len(),
+            "unsupported regex (stopped at byte {} of {:?})",
+            p.pos,
+            pattern
+        );
+        Pattern { root }
+    }
+
+    /// Generate one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit(&self.root, rng, &mut out);
+        out
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Dot => {
+            // Printable ASCII 0x20..=0x7E.
+            out.push((0x20 + rng.below(0x5F) as u8) as char);
+        }
+        Node::Class(chars) => {
+            let i = rng.below(chars.len() as u64) as usize;
+            out.push(chars[i]);
+        }
+        Node::Seq(nodes) => {
+            for n in nodes {
+                emit(n, rng, out);
+            }
+        }
+        Node::Alt(branches) => {
+            let i = rng.below(branches.len() as u64) as usize;
+            emit(&branches[i], rng, out);
+        }
+        Node::Repeat { inner, min, max } => {
+            let n = *min + rng.below((*max - *min + 1) as u64) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        c
+    }
+
+    /// alternation := seq ('|' seq)*
+    fn alternation(&mut self) -> Node {
+        let mut branches = vec![self.seq()];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.seq());
+        }
+        if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Node::Alt(branches)
+        }
+    }
+
+    /// seq := (atom repeat?)*
+    fn seq(&mut self) -> Node {
+        let mut nodes = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom();
+            nodes.push(self.maybe_repeat(atom));
+        }
+        if nodes.len() == 1 {
+            nodes.pop().unwrap()
+        } else {
+            Node::Seq(nodes)
+        }
+    }
+
+    fn atom(&mut self) -> Node {
+        match self.bump() {
+            '(' => {
+                let inner = self.alternation();
+                assert_eq!(self.bump(), ')', "unclosed group in regex");
+                inner
+            }
+            '[' => self.class(),
+            '.' => Node::Dot,
+            '\\' => Node::from_escape(self.bump()),
+            c => Node::Literal(c),
+        }
+    }
+
+    /// `[...]` — expanded eagerly into the candidate character set.
+    fn class(&mut self) -> Node {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut members: Vec<char> = Vec::new();
+        loop {
+            let c = match self.bump() {
+                ']' => break,
+                '\\' => match Node::from_escape(self.bump()) {
+                    Node::Literal(l) => l,
+                    Node::Class(set) => {
+                        members.extend(set);
+                        continue;
+                    }
+                    _ => unreachable!(),
+                },
+                c => c,
+            };
+            // A `-` forms a range only between two members; at the
+            // edges ("[a-z-]", "[-+*]") it is a literal.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = self.bump();
+                assert!(c <= hi, "inverted class range in regex");
+                members.extend((c..=hi).filter(|ch| ch.is_ascii()));
+            } else {
+                members.push(c);
+            }
+        }
+        assert!(!members.is_empty(), "empty character class in regex");
+        if negated {
+            let set: Vec<char> = (0x20u8..=0x7E)
+                .map(|b| b as char)
+                .filter(|c| !members.contains(c))
+                .collect();
+            assert!(!set.is_empty(), "negated class excludes all candidates");
+            Node::Class(set)
+        } else {
+            Node::Class(members)
+        }
+    }
+
+    fn maybe_repeat(&mut self, atom: Node) -> Node {
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.bump();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                self.bump();
+                (0, 1)
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.number();
+                let max = match self.bump() {
+                    '}' => min, // {m}: exactly m
+                    ',' => {
+                        let max = if self.peek() == Some('}') {
+                            min + UNBOUNDED_CAP // {m,}
+                        } else {
+                            self.number() // {m,n}
+                        };
+                        assert_eq!(self.bump(), '}', "unclosed regex repetition");
+                        max
+                    }
+                    c => panic!("unexpected {c:?} in regex repetition"),
+                };
+                (min, max)
+            }
+            _ => return atom,
+        };
+        assert!(min <= max, "inverted repetition bounds in regex");
+        Node::Repeat {
+            inner: Box::new(atom),
+            min,
+            max,
+        }
+    }
+
+    fn number(&mut self) -> u32 {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        assert!(self.pos > start, "expected number in regex repetition");
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .expect("regex repetition count")
+    }
+}
+
+impl Node {
+    fn from_escape(c: char) -> Node {
+        match c {
+            'n' => Node::Literal('\n'),
+            't' => Node::Literal('\t'),
+            'r' => Node::Literal('\r'),
+            '0' => Node::Literal('\0'),
+            'd' => Node::Class(('0'..='9').collect()),
+            'w' => Node::Class(
+                ('a'..='z')
+                    .chain('A'..='Z')
+                    .chain('0'..='9')
+                    .chain(std::iter::once('_'))
+                    .collect(),
+            ),
+            's' => Node::Class(vec![' ', '\t', '\n']),
+            // Escaped punctuation is the literal character.
+            c => Node::Literal(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Pattern;
+    use crate::test_runner::TestRng;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let p = Pattern::parse(pattern);
+        let mut rng = TestRng::for_case(pattern, 0);
+        (0..n).map(|_| p.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn bounded_repetition_respects_counts() {
+        for s in samples("[a-z-]{1,12}", 200) {
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+        for s in samples("a{3}", 10) {
+            assert_eq!(s, "aaa");
+        }
+    }
+
+    #[test]
+    fn class_ranges_edge_dash_and_specials() {
+        for s in samples("[-+*() 0-9a-zA-Z_]{0,40}", 200) {
+            assert!(s.chars().all(|c| "-+*() _".contains(c)
+                || c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn alternation_groups_and_escapes() {
+        let mut saw_tag = false;
+        for s in samples("(<[a-z/!-]{0,8}>|[a-z0-9, +*-]{0,8}){0,30}", 300) {
+            if s.contains('<') {
+                saw_tag = true;
+            }
+        }
+        assert!(saw_tag, "alternation never chose the tag branch");
+        for s in samples("(.|\\n){0,300}", 50) {
+            assert!(s.chars().count() <= 300);
+        }
+        // `.` never generates newline; the explicit branch can.
+        assert!(samples(".*", 100)
+            .iter()
+            .all(|s| !s.contains('\n')));
+    }
+}

@@ -1,0 +1,69 @@
+//! Sampling helpers: `prop::sample::Index` and `prop::sample::select`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An index into a collection whose length is only known at use time.
+/// Obtained via `any::<Index>()`; resolved with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Index { raw }
+    }
+
+    /// Resolve against a collection of length `len` (uniform over
+    /// `0..len`). Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0): empty collection");
+        (((self.raw as u128) * (len as u128)) >> 64) as usize
+    }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].clone()
+    }
+}
+
+/// Pick uniformly from a fixed set of options. Panics if empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        for raw in [0, 1, u64::MAX / 2, u64::MAX] {
+            let idx = Index::from_raw(raw);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn select_draws_members() {
+        let mut rng = TestRng::for_case("select", 0);
+        let s = select(vec![256usize, 512, 1024, 4096]);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!([256, 512, 1024, 4096].contains(&v));
+        }
+    }
+}

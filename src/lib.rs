@@ -18,6 +18,7 @@
 //! | [`kernels`] (`das-kernels`) | flow-routing, flow-accumulation, Gaussian/median filters, slope; synthetic DEM workloads |
 //! | [`core`] (`das-core`) | **the paper's contribution**: kernel-features descriptors, bandwidth prediction (Eqs. 1–17), distribution planning, offload decisions |
 //! | [`runtime`] (`das-runtime`) | the TS / NAS / DAS evaluation schemes over the simulator |
+//! | [`net`] (`das-net`) | the networked service: `dasd` storage daemons + `das` client over real TCP |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 
 pub use das_core as core;
 pub use das_kernels as kernels;
+pub use das_net as net;
 pub use das_pfs as pfs;
 pub use das_runtime as runtime;
 pub use das_sim as sim;

@@ -11,8 +11,12 @@ use das::prelude::*;
 #[test]
 fn workload_generators_are_pinned() {
     assert_eq!(workload::fbm_dem(64, 96, 42).fingerprint(), 0xbd73d0c5f36b19ca);
-    assert_eq!(workload::white_noise(32, 32, 7).fingerprint(), 0x2ded558199abc656);
-    assert_eq!(workload::diamond_square(5, 9, 0.6).fingerprint(), 0xd378e034e780c416);
+    // white_noise / diamond_square draw from rand's StdRng; their pins
+    // moved (deliberately) when the workspace switched to the in-tree
+    // SplitMix64 `rand` shim (shims/README.md). fbm_dem is hash-based
+    // and its pin is backend-independent.
+    assert_eq!(workload::white_noise(32, 32, 7).fingerprint(), 0xe642b3a0f5580664);
+    assert_eq!(workload::diamond_square(5, 9, 0.6).fingerprint(), 0xbc1e4ba0e2e00cf4);
 }
 
 #[test]
