@@ -17,7 +17,7 @@ use std::process::exit;
 
 use das_kernels::kernel_names;
 use das_kernels::workload;
-use das_net::{run_net_scheme, DasCluster, NetScheme};
+use das_net::{run_net_scheme, DasCluster, NetScheme, RetryPolicy};
 use das_pfs::LayoutPolicy;
 
 fn usage() -> ! {
@@ -34,6 +34,10 @@ fn usage() -> ! {
          \x20 stats                        per-server wire-byte counters\n\
          \x20 reset-stats                  zero the counters\n\
          \x20 shutdown                     stop every daemon\n\
+         \n\
+         global options:\n\
+         \x20 --attempts N     retry budget per call (default 4)\n\
+         \x20 --timeout-ms MS  connect/read/write timeout per attempt (default 2000/15000/15000)\n\
          \n\
          kernels: {}",
         kernel_names().join(", ")
@@ -85,10 +89,24 @@ fn main() {
         usage();
     };
     let addrs: Vec<String> = cluster_arg.split(',').map(|s| s.trim().to_string()).collect();
-    let mut cluster = match DasCluster::connect(&addrs) {
+    let mut policy = RetryPolicy::default();
+    if let Some(a) = opts.get("attempts") {
+        policy.max_attempts = a.parse().unwrap_or_else(|_| fail("bad --attempts"));
+    }
+    if let Some(t) = opts.get("timeout-ms") {
+        let ms: u64 = t.parse().unwrap_or_else(|_| fail("bad --timeout-ms"));
+        let d = std::time::Duration::from_millis(ms);
+        policy.connect_timeout = d;
+        policy.read_timeout = d;
+        policy.write_timeout = d;
+    }
+    let mut cluster = match DasCluster::connect_with(&addrs, policy) {
         Ok(c) => c,
         Err(e) => fail(format!("connecting to cluster: {e}")),
     };
+    for s in cluster.down_servers() {
+        eprintln!("das: warning: server {s} ({}) is unreachable", addrs[s as usize]);
+    }
 
     let req = |key: &str| -> &String {
         opts.get(key).unwrap_or_else(|| {
@@ -171,6 +189,9 @@ fn main() {
             let fetch_bytes: u64 = report.exec.iter().map(|e| e.dep_fetch_bytes).sum();
             if report.offloaded {
                 println!("  dependence fetches: {fetches} ({fetch_bytes} bytes)");
+            }
+            for ev in &report.degradations {
+                println!("  degradation: {} ({ev:?})", ev.tag());
             }
         }
         "stats" => {

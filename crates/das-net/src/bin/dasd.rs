@@ -6,19 +6,32 @@
 //!
 //! Listens on `cluster[id]`, serves strips and offloaded kernels, and
 //! exits when a client sends Shutdown.
+//!
+//! Fault injection (for chaos testing): `--fault <spec>` (or the
+//! `DASD_FAULT` env var) loads a deterministic fault plan, seeded by
+//! `--fault-seed`/`DASD_FAULT_SEED`, e.g.
+//! `--fault client:drop:x2,server:retryable:p0.25`.
 
 use std::net::TcpListener;
 use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
 
-use das_net::{spawn, DasdConfig};
+use das_net::{spawn, DasdConfig, FaultPlan};
 
 fn usage() -> ! {
     eprintln!(
         "usage: dasd --id <N> --cluster <addr0,addr1,...> [--pool <threads>]\n\
+         \x20           [--fault <spec>] [--fault-seed <N>] [--bind-retries <N>]\n\
          \n\
-         --id       this server's index into the cluster address list\n\
-         --cluster  listen address of every server, comma-separated, in id order\n\
-         --pool     connection-handler threads (default 16)"
+         --id           this server's index into the cluster address list\n\
+         --cluster      listen address of every server, comma-separated, in id order\n\
+         --pool         connection-handler threads (default 16)\n\
+         --fault        fault-injection spec: comma-separated class:action[:xN][:pF]\n\
+         \x20            classes accept|client|server|any; actions refuse|drop|\n\
+         \x20            delay=MS|retryable|corrupt  (env: DASD_FAULT)\n\
+         --fault-seed   RNG seed for probabilistic fault rules (env: DASD_FAULT_SEED)\n\
+         --bind-retries retry a failed bind this many times, 1s apart (default 0)"
     );
     exit(2);
 }
@@ -27,6 +40,12 @@ fn main() {
     let mut id: Option<u32> = None;
     let mut cluster: Option<Vec<String>> = None;
     let mut pool = 16usize;
+    let mut fault_spec = std::env::var("DASD_FAULT").ok();
+    let mut fault_seed: u64 = std::env::var("DASD_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut bind_retries = 0u32;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,6 +56,18 @@ fn main() {
             }
             "--pool" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(p) => pool = p,
+                None => usage(),
+            },
+            "--fault" => match args.next() {
+                Some(spec) => fault_spec = Some(spec),
+                None => usage(),
+            },
+            "--fault-seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => fault_seed = s,
+                None => usage(),
+            },
+            "--bind-retries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => bind_retries = n,
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -53,17 +84,46 @@ fn main() {
         exit(2);
     }
 
-    let listen = cluster[id as usize].clone();
-    let listener = match TcpListener::bind(&listen) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("dasd: cannot listen on {listen}: {e}");
-            exit(1);
-        }
+    let fault = match fault_spec.as_deref() {
+        None | Some("") => FaultPlan::none(),
+        Some(spec) => match FaultPlan::parse(spec, fault_seed) {
+            Ok(plan) => {
+                eprintln!("dasd {id}: fault injection active: {spec} (seed {fault_seed})");
+                plan
+            }
+            Err(e) => {
+                eprintln!("dasd: bad --fault spec: {e}");
+                exit(2);
+            }
+        },
     };
+
+    // Bind, optionally retrying — a restarting daemon often races the
+    // kernel's TIME_WAIT release of its old port.
+    let listen = cluster[id as usize].clone();
+    let mut listener = None;
+    for attempt in 0..=bind_retries {
+        match TcpListener::bind(&listen) {
+            Ok(l) => {
+                listener = Some(l);
+                break;
+            }
+            Err(e) => {
+                eprintln!(
+                    "dasd: cannot listen on {listen}: {e} (attempt {}/{})",
+                    attempt + 1,
+                    bind_retries + 1
+                );
+                if attempt < bind_retries {
+                    std::thread::sleep(Duration::from_secs(1));
+                }
+            }
+        }
+    }
+    let Some(listener) = listener else { exit(1) };
     eprintln!("dasd {id}: listening on {listen} ({} servers in cluster)", cluster.len());
 
-    let mut cfg = DasdConfig::new(id, cluster);
+    let mut cfg = DasdConfig::new(id, cluster).with_fault(Arc::new(fault));
     cfg.pool = pool;
     match spawn(cfg, listener) {
         Ok(handle) => handle.join(),

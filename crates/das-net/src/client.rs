@@ -1,21 +1,50 @@
 //! The `das` client library: one connection per storage server, the
 //! striped data plane (client-side gather/scatter), and drivers for
 //! the paper's three evaluation schemes over real sockets.
+//!
+//! The client is the top of the fault-tolerance stack. Every call
+//! carries the cluster's [`RetryPolicy`] (timeouts + bounded
+//! deterministic backoff, reconnecting on transport errors); a server
+//! that exhausts its retry budget is marked **down** and routed
+//! around. On top of that sit three recovery layers, each recorded as
+//! a [`DegradeEvent`] in the run's report:
+//!
+//! 1. **Replica failover** — [`DasCluster::read_file`] walks each
+//!    strip's holders primary-first, so a dead primary costs one
+//!    failed call, not the read.
+//! 2. **Tolerant writes** — [`DasCluster::put_file`] succeeds if at
+//!    least one holder of each strip stores it, noting the reduced
+//!    redundancy.
+//! 3. **Scheme degradation** — [`run_net_scheme`] descends the ladder
+//!    DAS → NAS → normal I/O when offloading is impossible (e.g. a
+//!    dead server cannot compute the strips only it holds), so a
+//!    request is served in degraded form rather than failed, whenever
+//!    the data is still reachable.
 
+use std::io;
 use std::net::TcpStream;
-use std::time::Duration;
 
 use das_core::{ActiveStorageClient, Decision, RequestOptions};
 use das_kernels::kernel_by_name;
 use das_kernels::Raster;
 use das_pfs::{DistributionInfo, Layout, LayoutPolicy, StripId, StripeSpec};
+use das_runtime::DegradeEvent;
 
 use crate::codec::{read_message, write_message, CountingStream, NetError};
-use crate::proto::{ErrorCode, Message, Role, WireStats};
+use crate::proto::{ErrorCode, Message, Role, WireStats, LOCAL_CAPS};
+use crate::retry::RetryPolicy;
+
+struct ClientConn {
+    addr: String,
+    stream: Option<CountingStream<TcpStream>>,
+}
 
 /// Connections to every `dasd` of a cluster, indexed by server id.
 pub struct DasCluster {
-    conns: Vec<CountingStream<TcpStream>>,
+    conns: Vec<ClientConn>,
+    down: Vec<bool>,
+    events: Vec<DegradeEvent>,
+    policy: RetryPolicy,
 }
 
 /// One server's execution summary (from [`Message::ExecuteOk`]).
@@ -29,47 +58,186 @@ pub struct ExecSummary {
     pub dep_fetch_bytes: u64,
 }
 
+/// Whether an error should push the scheme ladder down a rung: a
+/// transport/transient failure, or a call that was refused because the
+/// target server is marked down. Typed application errors (bad
+/// request, unknown kernel, …) are not degradable — retrying them
+/// elsewhere would return the same answer.
+fn degradable(e: &NetError) -> bool {
+    e.is_transient() || matches!(e, NetError::Remote { code: ErrorCode::NoSuchServer, .. })
+}
+
 impl DasCluster {
-    /// Connect to every server and shake hands.
+    /// Connect to every server and shake hands, with the default
+    /// retry policy.
     pub fn connect(addrs: &[String]) -> Result<Self, NetError> {
-        let mut conns = Vec::with_capacity(addrs.len());
-        for addr in addrs {
-            let raw = TcpStream::connect(addr)?;
-            let _ = raw.set_nodelay(true);
-            let _ = raw.set_read_timeout(Some(Duration::from_secs(60)));
-            let mut stream = CountingStream::new(raw);
-            write_message(&mut stream, &Message::Hello { role: Role::Client, peer_id: 0 })?;
-            match read_message(&mut stream)? {
-                Some(Message::HelloOk { .. }) => {}
-                Some(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
-                None => return Err(NetError::Protocol("server closed during handshake".into())),
-            }
-            conns.push(stream);
-        }
-        Ok(DasCluster { conns })
+        DasCluster::connect_with(addrs, RetryPolicy::default())
     }
 
-    /// Number of servers.
+    /// [`DasCluster::connect`] with an explicit retry/timeout policy.
+    /// Servers that stay unreachable through the retry budget are
+    /// marked down (and recorded as [`DegradeEvent::ServerUnavailable`])
+    /// rather than failing the whole connect; only a cluster with *no*
+    /// reachable server is an error.
+    pub fn connect_with(addrs: &[String], policy: RetryPolicy) -> Result<Self, NetError> {
+        let mut cluster = DasCluster {
+            conns: addrs
+                .iter()
+                .map(|a| ClientConn { addr: a.clone(), stream: None })
+                .collect(),
+            down: vec![false; addrs.len()],
+            events: Vec::new(),
+            policy,
+        };
+        let mut last = None;
+        let mut reachable = 0usize;
+        for s in 0..cluster.conns.len() {
+            let policy = cluster.policy.clone();
+            match policy.retry(|| cluster.dial(s)) {
+                Ok(()) => reachable += 1,
+                Err(e) => {
+                    last = Some(e);
+                    cluster.mark_down(s);
+                }
+            }
+        }
+        if reachable == 0 {
+            return Err(last.unwrap_or_else(|| NetError::Protocol("empty cluster".into())));
+        }
+        Ok(cluster)
+    }
+
+    /// Number of servers (reachable or not).
     pub fn servers(&self) -> u32 {
         self.conns.len() as u32
     }
 
-    /// One request/response exchange with server `s`.
-    pub fn call(&mut self, s: usize, msg: &Message) -> Result<Message, NetError> {
-        let stream = &mut self.conns[s];
-        write_message(stream, msg)?;
-        match read_message(stream)? {
-            Some(Message::Error { code, message }) => Err(NetError::Remote { code, message }),
-            Some(reply) => Ok(reply),
-            None => Err(NetError::Protocol("server closed mid-call".into())),
+    /// Servers currently marked unreachable.
+    pub fn down_servers(&self) -> Vec<u32> {
+        (0..self.down.len() as u32).filter(|&s| self.down[s as usize]).collect()
+    }
+
+    /// Drain the fault-tolerance events recorded since the last call.
+    pub fn take_events(&mut self) -> Vec<DegradeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn mark_down(&mut self, s: usize) {
+        if !self.down[s] {
+            self.down[s] = true;
+            self.conns[s].stream = None;
+            self.events.push(DegradeEvent::ServerUnavailable { server: s as u32 });
         }
     }
 
-    fn call_all(&mut self, msg: &Message) -> Result<Vec<Message>, NetError> {
-        (0..self.conns.len()).map(|s| self.call(s, msg)).collect()
+    fn down_error(s: usize) -> NetError {
+        NetError::Remote {
+            code: ErrorCode::NoSuchServer,
+            message: format!("server {s} is marked unavailable"),
+        }
     }
 
-    /// Ping every server.
+    /// First reachable server (metadata requests go here).
+    fn any_up(&self) -> Result<usize, NetError> {
+        self.down
+            .iter()
+            .position(|&d| !d)
+            .ok_or_else(|| NetError::Protocol("no reachable servers".into()))
+    }
+
+    fn up_servers(&self) -> Vec<usize> {
+        (0..self.conns.len()).filter(|&s| !self.down[s]).collect()
+    }
+
+    /// Ensure a live, greeted connection to server `s`.
+    fn dial(&mut self, s: usize) -> Result<(), NetError> {
+        if self.conns[s].stream.is_some() {
+            return Ok(());
+        }
+        let raw = self.policy.connect(&self.conns[s].addr)?;
+        let mut stream = CountingStream::new(raw);
+        write_message(
+            &mut stream,
+            &Message::Hello { role: Role::Client, peer_id: 0, caps: LOCAL_CAPS },
+        )?;
+        match read_message(&mut stream)? {
+            Some(Message::HelloOk { .. }) => {}
+            Some(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
+            None => {
+                return Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed during handshake",
+                )))
+            }
+        }
+        self.conns[s].stream = Some(stream);
+        Ok(())
+    }
+
+    /// One attempt: dial if needed, write, read. Transport errors
+    /// evict the connection so the next attempt redials instead of
+    /// reusing a socket in an unknown state.
+    fn call_once(&mut self, s: usize, msg: &Message) -> Result<Message, NetError> {
+        if self.down[s] {
+            return Err(Self::down_error(s));
+        }
+        self.dial(s)?;
+        // Offloaded executes and redistribution phases do real work
+        // (kernel compute, bulk strip movement) before replying — give
+        // them a far longer reply deadline than the per-frame read
+        // timeout, or a busy server looks dead.
+        let long_op = matches!(
+            msg,
+            Message::Execute { .. } | Message::RedistPrepare { .. } | Message::RedistCommit { .. }
+        );
+        let base_timeout = self.policy.read_timeout;
+        let stream = self.conns[s].stream.as_mut().expect("dial just succeeded");
+        if long_op {
+            let _ = stream.get_ref().set_read_timeout(Some(base_timeout.saturating_mul(10)));
+        }
+        let result = (|| {
+            write_message(stream, msg)?;
+            match read_message(stream)? {
+                Some(Message::Error { code, message }) => Err(NetError::Remote { code, message }),
+                Some(reply) => Ok(reply),
+                None => Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-call",
+                ))),
+            }
+        })();
+        if long_op {
+            let _ = stream.get_ref().set_read_timeout(Some(base_timeout));
+        }
+        if result.as_ref().is_err_and(NetError::is_transport) {
+            self.conns[s].stream = None;
+        }
+        result
+    }
+
+    /// One request/response exchange with server `s`, with transparent
+    /// reconnect-and-retry for transient failures. Exhausting the
+    /// budget on transport errors marks the server down; calls to a
+    /// down server fail fast with a typed error.
+    pub fn call(&mut self, s: usize, msg: &Message) -> Result<Message, NetError> {
+        let policy = self.policy.clone();
+        let result = policy.retry(|| self.call_once(s, msg));
+        if result.as_ref().is_err_and(NetError::is_transport) {
+            self.mark_down(s);
+        }
+        result
+    }
+
+    /// Send `msg` to every reachable server, collecting the replies.
+    fn call_all(&mut self, msg: &Message) -> Result<Vec<Message>, NetError> {
+        let ups = self.up_servers();
+        if ups.is_empty() {
+            return Err(NetError::Protocol("no reachable servers".into()));
+        }
+        ups.into_iter().map(|s| self.call(s, msg)).collect()
+    }
+
+    /// Ping every reachable server.
     pub fn ping_all(&mut self) -> Result<(), NetError> {
         for reply in self.call_all(&Message::Ping)? {
             if reply != Message::Pong {
@@ -79,8 +247,8 @@ impl DasCluster {
         Ok(())
     }
 
-    /// Register a file on every server; returns the (cluster-agreed)
-    /// file id.
+    /// Register a file on every reachable server; returns the
+    /// (cluster-agreed) file id.
     pub fn create_file(
         &mut self,
         name: &str,
@@ -111,27 +279,56 @@ impl DasCluster {
                 other => return Err(NetError::Unexpected { opcode: other.opcode() }),
             }
         }
-        Ok(id.expect("at least one server"))
+        id.ok_or_else(|| NetError::Protocol("no reachable servers to register the file".into()))
     }
 
-    /// Resolve a name to `(file id, distribution)`.
+    /// Resolve a name to `(file id, distribution)`. Falls over to the
+    /// next reachable server if the asked one dies mid-call.
     pub fn lookup(&mut self, name: &str) -> Result<(u32, DistributionInfo), NetError> {
-        match self.call(0, &Message::Lookup { name: name.to_string() })? {
-            Message::LookupOk { file, dist } => Ok((file, dist)),
-            other => Err(NetError::Unexpected { opcode: other.opcode() }),
+        loop {
+            let s = self.any_up()?;
+            match self.call(s, &Message::Lookup { name: name.to_string() }) {
+                Ok(Message::LookupOk { file, dist }) => return Ok((file, dist)),
+                Ok(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
+                Err(e) if e.is_transport() => continue, // `s` was just marked down; ask the next
+                Err(e) => return Err(e),
+            }
         }
     }
 
     /// Query a file's distribution information.
     pub fn distribution(&mut self, file: u32) -> Result<DistributionInfo, NetError> {
-        match self.call(0, &Message::GetDistribution { file })? {
-            Message::DistributionResp { dist } => Ok(dist),
-            other => Err(NetError::Unexpected { opcode: other.opcode() }),
+        loop {
+            let s = self.any_up()?;
+            match self.call(s, &Message::GetDistribution { file }) {
+                Ok(Message::DistributionResp { dist }) => return Ok(dist),
+                Ok(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
+                Err(e) if e.is_transport() => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Look up `name`, creating it (with `dist`'s geometry) if no
+    /// server knows it yet — the idempotent output-file registration
+    /// the degradation ladder needs when a rung may already have
+    /// created the file.
+    fn ensure_out_file(&mut self, name: &str, dist: &DistributionInfo) -> Result<u32, NetError> {
+        match self.lookup(name) {
+            Ok((id, _)) => Ok(id),
+            Err(NetError::Remote { code: ErrorCode::NoSuchFile, .. }) => {
+                self.create_file(name, dist.file_len, dist.strip_size as u32, dist.policy)
+            }
+            Err(e) => Err(e),
         }
     }
 
     /// Scatter `data` over the cluster: each strip goes to every
-    /// server that holds it under the file's layout.
+    /// server that holds it under the file's layout. The write is
+    /// **tolerant**: a strip succeeds if at least one of its holders
+    /// stores it (missed holders are recorded as
+    /// [`DegradeEvent::DegradedWrite`]); it fails only when *no*
+    /// holder is reachable.
     pub fn put_file(&mut self, file: u32, data: &[u8]) -> Result<(), NetError> {
         let dist = self.distribution(file)?;
         if data.len() as u64 != dist.file_len {
@@ -147,21 +344,38 @@ impl DasCluster {
             let sid = StripId(s);
             let start = spec.strip_start(sid) as usize;
             let end = start + spec.strip_len(sid, dist.file_len);
+            let mut stored = 0u32;
+            let mut missed = 0u32;
+            let mut last = None;
             for holder in layout.holders(sid) {
                 match self.call(
                     holder.index(),
                     &Message::PutStrip { file, strip: s, payload: data[start..end].to_vec() },
-                )? {
-                    Message::PutStripOk => {}
-                    other => return Err(NetError::Unexpected { opcode: other.opcode() }),
+                ) {
+                    Ok(Message::PutStripOk) => stored += 1,
+                    Ok(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
+                    Err(e) => {
+                        missed += 1;
+                        last = Some(e);
+                    }
                 }
+            }
+            if stored == 0 {
+                return Err(last.unwrap_or_else(|| {
+                    NetError::Protocol(format!("strip {s}: no holders under the layout"))
+                }));
+            }
+            if missed > 0 {
+                self.events.push(DegradeEvent::DegradedWrite { file, strip: s, missed });
             }
         }
         Ok(())
     }
 
-    /// Gather a whole file from the primaries (client-side scatter
-    /// read — the "normal I/O" read path).
+    /// Gather a whole file (the "normal I/O" read path). Each strip is
+    /// read from its primary, **failing over** to replica holders in
+    /// placement order ([`DegradeEvent::ReplicaFailover`]); a strip
+    /// fails only when no holder can serve it.
     pub fn read_file(&mut self, file: u32) -> Result<Vec<u8>, NetError> {
         let dist = self.distribution(file)?;
         let spec = StripeSpec::new(dist.strip_size);
@@ -169,19 +383,41 @@ impl DasCluster {
         let mut out = Vec::with_capacity(dist.file_len as usize);
         for s in 0..spec.strip_count(dist.file_len) {
             let sid = StripId(s);
-            let primary = layout.primary(sid);
-            match self.call(primary.index(), &Message::GetStrip { file, strip: s })? {
-                Message::StripData { payload } => {
-                    if payload.len() != spec.strip_len(sid, dist.file_len) {
-                        return Err(NetError::Protocol(format!(
-                            "strip {s}: wanted {} bytes, got {}",
-                            spec.strip_len(sid, dist.file_len),
-                            payload.len()
-                        )));
+            let placement = layout.placement(sid);
+            let want = spec.strip_len(sid, dist.file_len);
+            let mut got = None;
+            let mut last = None;
+            for (pos, holder) in placement.holders().into_iter().enumerate() {
+                match self.call(holder.index(), &Message::GetStrip { file, strip: s }) {
+                    Ok(Message::StripData { payload }) => {
+                        if payload.len() != want {
+                            return Err(NetError::Protocol(format!(
+                                "strip {s}: wanted {want} bytes, got {}",
+                                payload.len()
+                            )));
+                        }
+                        if pos > 0 {
+                            self.events.push(DegradeEvent::ReplicaFailover {
+                                file,
+                                strip: s,
+                                primary: placement.primary_server.0,
+                                replica: holder.0,
+                            });
+                        }
+                        got = Some(payload);
+                        break;
                     }
-                    out.extend_from_slice(&payload);
+                    Ok(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
+                    Err(e) => last = Some(e),
                 }
-                other => return Err(NetError::Unexpected { opcode: other.opcode() }),
+            }
+            match got {
+                Some(payload) => out.extend_from_slice(&payload),
+                None => {
+                    return Err(last.unwrap_or_else(|| {
+                        NetError::Protocol(format!("strip {s}: no holders under the layout"))
+                    }))
+                }
             }
         }
         Ok(out)
@@ -190,8 +426,14 @@ impl DasCluster {
     /// Two-phase redistribution to `policy`: every server prepares
     /// (pulling its new strips from the old layout's primaries), then
     /// every server commits. Returns total bytes pulled between
-    /// servers.
+    /// servers. Requires the **full** cluster: redistribution rewrites
+    /// every server's strip set, so running it around a dead server
+    /// would silently lose placement — the caller should degrade to a
+    /// scheme that keeps the current layout instead.
     pub fn redistribute(&mut self, file: u32, policy: LayoutPolicy) -> Result<u64, NetError> {
+        if let Some(s) = self.down.iter().position(|&d| d) {
+            return Err(Self::down_error(s));
+        }
         let mut moved = 0u64;
         for reply in self.call_all(&Message::RedistPrepare { file, policy })? {
             match reply {
@@ -249,7 +491,7 @@ impl DasCluster {
         Ok(Ok(summaries))
     }
 
-    /// Per-server traffic counters.
+    /// Per-server traffic counters (reachable servers only).
     pub fn stats(&mut self) -> Result<Vec<WireStats>, NetError> {
         self.call_all(&Message::Stats)?
             .into_iter()
@@ -260,7 +502,7 @@ impl DasCluster {
             .collect()
     }
 
-    /// Zero every server's traffic counters.
+    /// Zero every reachable server's traffic counters.
     pub fn reset_stats(&mut self) -> Result<(), NetError> {
         for reply in self.call_all(&Message::ResetStats)? {
             if reply != Message::ResetStatsOk {
@@ -270,12 +512,13 @@ impl DasCluster {
         Ok(())
     }
 
-    /// Ask every daemon to exit.
+    /// Ask every daemon to exit. Best-effort by design: a daemon that
+    /// is already dead (or rendered unreachable by fault injection)
+    /// must not block teardown of the rest, so each server gets one
+    /// attempt and errors are swallowed.
     pub fn shutdown_all(&mut self) -> Result<(), NetError> {
-        for reply in self.call_all(&Message::Shutdown)? {
-            if reply != Message::ShutdownOk {
-                return Err(NetError::Unexpected { opcode: reply.opcode() });
-            }
+        for s in 0..self.conns.len() {
+            let _ = self.call_once(s, &Message::Shutdown);
         }
         Ok(())
     }
@@ -332,6 +575,11 @@ pub struct NetRunReport {
     pub redistribution_bytes: u64,
     /// Per-server execution summaries (empty for TS).
     pub exec: Vec<ExecSummary>,
+    /// Fault-tolerance actions taken while serving this run, in
+    /// order: failed servers, replica failovers, degraded writes, and
+    /// any rungs of the DAS → NAS → normal-I/O ladder descended.
+    /// Empty on a healthy cluster.
+    pub degradations: Vec<DegradeEvent>,
 }
 
 /// Run one scheme end-to-end over the wire: the input file (already
@@ -339,6 +587,17 @@ pub struct NetRunReport {
 /// output lands in a new file `out_name`, and traffic counters are
 /// reset before and read after, so the report's byte counts cover
 /// exactly this run.
+///
+/// When servers fail mid-run the driver degrades instead of erroring,
+/// as long as every input strip is still reachable on some holder:
+/// a DAS offload that cannot redistribute or execute falls back to an
+/// unconditional offload on the current layout (NAS rung), and an
+/// offload that cannot run at all is served as normal I/O with
+/// replica-failover reads and tolerant writes. Every rung descended
+/// is recorded in [`NetRunReport::degradations`]. Only when data is
+/// genuinely unreachable (a dead server holding unreplicated strips)
+/// does the run return a typed error — within the retry policy's
+/// bounded time, never a hang.
 pub fn run_net_scheme(
     cluster: &mut DasCluster,
     scheme: NetScheme,
@@ -359,16 +618,20 @@ pub fn run_net_scheme(
             run_normal_io(cluster, file, out_name, kernel_name, img_width, &dist)?;
         }
         NetScheme::Nas => {
-            let out_file =
-                cluster.create_file(out_name, dist.file_len, dist.strip_size as u32, dist.policy)?;
-            match cluster.execute(file, out_file, kernel_name, img_width, false, true)? {
-                Ok(summaries) => {
+            match offload_once(cluster, file, out_name, kernel_name, img_width, false, true) {
+                Ok(Ok(summaries)) => {
                     offloaded = true;
                     exec = summaries;
                 }
-                Err(reason) => {
+                Ok(Err(reason)) => {
                     return Err(NetError::Protocol(format!("forced offload rejected: {reason}")))
                 }
+                Err(e) if degradable(&e) => {
+                    cluster.events.push(DegradeEvent::DegradedToTs { reason: e.to_string() });
+                    let out_file = cluster.ensure_out_file(out_name, &dist)?;
+                    run_ts_into(cluster, file, out_file, kernel_name, img_width)?;
+                }
+                Err(e) => return Err(e),
             }
         }
         NetScheme::Das => {
@@ -382,27 +645,57 @@ pub fn run_net_scheme(
                 .map_err(|e| NetError::Protocol(e.to_string()))?;
             match decision {
                 Decision::Offload { replan, .. } => {
-                    if let Some(plan) = replan {
-                        redistribution_bytes = cluster.redistribute(file, plan.policy)?;
-                    }
-                    let dist = cluster.distribution(file)?;
-                    let out_file = cluster.create_file(
-                        out_name,
-                        dist.file_len,
-                        dist.strip_size as u32,
-                        dist.policy,
-                    )?;
-                    match cluster.execute(file, out_file, kernel_name, img_width, true, false)? {
-                        Ok(summaries) => {
+                    // DAS rung: reconfigure the layout, then offload.
+                    let das_rung = (|cluster: &mut DasCluster| {
+                        if let Some(plan) = &replan {
+                            redistribution_bytes = cluster.redistribute(file, plan.policy)?;
+                        }
+                        offload_once(cluster, file, out_name, kernel_name, img_width, true, false)
+                    })(cluster);
+                    match das_rung {
+                        Ok(Ok(summaries)) => {
                             offloaded = true;
                             exec = summaries;
                         }
-                        Err(_) => {
-                            // Server-side double-check disagreed; fall
-                            // back to normal I/O (output file already
-                            // registered, so reuse it).
+                        Ok(Err(_reason)) => {
+                            // Server-side double-check disagreed — a
+                            // decision fallback, not a fault; serve as
+                            // normal I/O.
+                            let out_file = cluster.ensure_out_file(out_name, &dist)?;
                             run_ts_into(cluster, file, out_file, kernel_name, img_width)?;
                         }
+                        Err(e) if degradable(&e) => {
+                            // NAS rung: skip reconfiguration, force an
+                            // offload on whatever layout is live.
+                            cluster
+                                .events
+                                .push(DegradeEvent::DegradedToNas { reason: e.to_string() });
+                            let nas_rung = offload_once(cluster, file, out_name, kernel_name, img_width, false, true);
+                            match nas_rung {
+                                Ok(Ok(summaries)) => {
+                                    offloaded = true;
+                                    exec = summaries;
+                                }
+                                Ok(Err(reason)) => {
+                                    cluster
+                                        .events
+                                        .push(DegradeEvent::DegradedToTs { reason });
+                                    let out_file = cluster.ensure_out_file(out_name, &dist)?;
+                                    run_ts_into(cluster, file, out_file, kernel_name, img_width)?;
+                                }
+                                Err(e2) if degradable(&e2) => {
+                                    // TS rung: compute client-side with
+                                    // failover reads and tolerant writes.
+                                    cluster
+                                        .events
+                                        .push(DegradeEvent::DegradedToTs { reason: e2.to_string() });
+                                    let out_file = cluster.ensure_out_file(out_name, &dist)?;
+                                    run_ts_into(cluster, file, out_file, kernel_name, img_width)?;
+                                }
+                                Err(e2) => return Err(e2),
+                            }
+                        }
+                        Err(e) => return Err(e),
                     }
                 }
                 Decision::Reject { .. } => {
@@ -423,6 +716,7 @@ pub fn run_net_scheme(
     let height = out_dist.file_len / (img_width * 4);
     let output_fingerprint = Raster::from_bytes(img_width, height, &output).fingerprint();
     let layout = cluster.distribution(file)?.policy;
+    let degradations = cluster.take_events();
 
     Ok(NetRunReport {
         scheme,
@@ -435,7 +729,26 @@ pub fn run_net_scheme(
         server_bytes,
         redistribution_bytes,
         exec,
+        degradations,
     })
+}
+
+/// One offload attempt on the file's *current* layout: resolve the
+/// output file (idempotently — an earlier rung may already have
+/// registered it) and execute on every server.
+#[allow(clippy::type_complexity)]
+fn offload_once(
+    cluster: &mut DasCluster,
+    file: u32,
+    out_name: &str,
+    kernel_name: &str,
+    img_width: u64,
+    successive: bool,
+    force: bool,
+) -> Result<Result<Vec<ExecSummary>, String>, NetError> {
+    let dist = cluster.distribution(file)?;
+    let out_file = cluster.ensure_out_file(out_name, &dist)?;
+    cluster.execute(file, out_file, kernel_name, img_width, successive, force)
 }
 
 /// The TS path: gather the input, apply the kernel client-side,
@@ -448,8 +761,7 @@ fn run_normal_io(
     img_width: u64,
     dist: &DistributionInfo,
 ) -> Result<(), NetError> {
-    let out_file =
-        cluster.create_file(out_name, dist.file_len, dist.strip_size as u32, dist.policy)?;
+    let out_file = cluster.ensure_out_file(out_name, dist)?;
     run_ts_into(cluster, file, out_file, kernel_name, img_width)
 }
 

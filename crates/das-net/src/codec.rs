@@ -8,16 +8,62 @@
 //!      0     4  magic "DASN"
 //!      4     1  protocol version (1)
 //!      5     1  opcode
-//!      6     2  flags (reserved, must be 0)
+//!      6     2  flags (bit 0: CRC32 trailer present; rest reserved 0)
 //!      8     4  payload length
 //!     12     n  payload (see proto module)
+//!   12+n     4  CRC32 of header+payload (when flag bit 0 is set)
 //! ```
+//!
+//! Writers in this build always emit the CRC trailer; readers verify
+//! it when present and still accept trailer-less frames (flags 0) so
+//! a capability-negotiated downgrade stays possible. The checksum
+//! covers the *header as well as* the payload, so a flipped opcode or
+//! length byte is caught, not just corrupted payload bytes.
 
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::proto::{DecodeError, ErrorCode, Message, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
+
+/// Frame-header flag bit 0: a 4-byte CRC32 trailer follows the
+/// payload, covering the header and payload bytes.
+pub const FLAG_CRC: u16 = 0x0001;
+
+/// Consecutive mid-frame read timeouts tolerated before the reader
+/// gives up and surfaces a typed timeout error. A peer that started a
+/// frame and then went silent must not hang the reader forever — the
+/// connection is torn down and redialed instead.
+const MIDFRAME_TIMEOUT_BUDGET: u32 = 8;
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE 802.3) over `chunks`, in order.
+pub fn crc32(chunks: &[&[u8]]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for chunk in chunks {
+        for &b in *chunk {
+            c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
 
 /// Anything that can go wrong talking to a peer.
 #[derive(Debug)]
@@ -57,6 +103,25 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+impl NetError {
+    /// Transport-level failure: the connection is in an unknown or
+    /// dead state and must be discarded before any retry.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, NetError::Io(_) | NetError::Protocol(_))
+    }
+
+    /// Whether retrying the same request (possibly over a fresh
+    /// connection) may succeed: any transport failure, or a typed
+    /// [`ErrorCode::Retryable`] from the remote.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            NetError::Remote { code, .. } => code.is_transient(),
+            NetError::Io(_) | NetError::Protocol(_) => true,
+            NetError::Unexpected { .. } => false,
+        }
+    }
+}
+
 impl From<io::Error> for NetError {
     fn from(e: io::Error) -> Self {
         NetError::Io(e)
@@ -69,18 +134,27 @@ impl From<DecodeError> for NetError {
     }
 }
 
-/// Serialize `msg` as one frame onto `w` and flush.
-pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+/// Serialize `msg` into a complete frame (header + payload + CRC32
+/// trailer). Exposed so the fault injector can truncate or corrupt a
+/// frame deliberately; normal senders use [`write_message`].
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
     let payload = msg.encode_payload();
     assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds MAX_PAYLOAD");
-    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
     frame.extend_from_slice(&MAGIC);
     frame.push(VERSION);
     frame.push(msg.opcode());
-    frame.extend_from_slice(&0u16.to_le_bytes());
+    frame.extend_from_slice(&FLAG_CRC.to_le_bytes());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&payload);
-    w.write_all(&frame)?;
+    let crc = crc32(&[&frame]);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Serialize `msg` as one frame onto `w` and flush.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    w.write_all(&encode_frame(msg))?;
     w.flush()
 }
 
@@ -88,30 +162,62 @@ fn is_timeout(e: &io::Error) -> bool {
     matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
-/// Read exactly one frame from `r` and decode it. An EOF *before the
-/// first header byte* surfaces as `Ok(None)` (clean connection close);
-/// an EOF mid-frame is an error.
+/// Fill `buf` from `r`, tolerating up to `MIDFRAME_TIMEOUT_BUDGET`
+/// consecutive read timeouts (the counter resets on progress). An EOF
+/// surfaces as `Ok(read_so_far)`; exhausting the timeout budget is a
+/// typed `TimedOut` error — a peer that goes silent mid-frame must
+/// never hang the reader.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<usize, NetError> {
+    let mut got = 0;
+    let mut stalls = 0u32;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Ok(got),
+            Ok(n) => {
+                got += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MIDFRAME_TIMEOUT_BUDGET {
+                    return Err(NetError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("peer stalled mid-{what} ({got} of {} bytes)", buf.len()),
+                    )));
+                }
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(got)
+}
+
+/// Read exactly one frame from `r`, verify its checksum when present,
+/// and decode it. An EOF *before the first header byte* surfaces as
+/// `Ok(None)` (clean connection close); an EOF mid-frame is an error.
 ///
 /// Sockets with a read timeout: a timeout while *waiting* for a frame
 /// (no header byte read yet) surfaces as the I/O error so the caller
 /// can poll a shutdown flag and retry; a timeout *mid-frame* retries
-/// internally, since giving up there would desynchronize the stream.
+/// a bounded number of times (giving up there desynchronizes the
+/// stream, so the caller must discard the connection — which every
+/// caller in this crate now does).
 pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Message>, NetError> {
     let mut header = [0u8; HEADER_LEN];
+    // The first header byte decides clean-close vs mid-frame cut, and
+    // a timeout before it belongs to the caller (shutdown polling).
     let mut got = 0;
-    while got < header.len() {
-        match r.read(&mut header[got..]) {
-            Ok(0) if got == 0 => return Ok(None),
-            Ok(0) => {
-                return Err(NetError::Protocol(format!(
-                    "connection closed mid-header ({got} of {HEADER_LEN} bytes)"
-                )))
-            }
-            Ok(n) => got += n,
+    while got == 0 {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(n) => got = n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) if is_timeout(&e) && got > 0 => {}
             Err(e) => return Err(NetError::Io(e)),
         }
+    }
+    if read_full(r, &mut header[1..], "header")? != HEADER_LEN - 1 {
+        return Err(NetError::Protocol("connection closed mid-header".into()));
     }
     if header[0..4] != MAGIC {
         return Err(NetError::Protocol("bad frame magic".into()));
@@ -124,8 +230,8 @@ pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Message>, NetError> {
     }
     let opcode = header[5];
     let flags = u16::from_le_bytes(header[6..8].try_into().unwrap());
-    if flags != 0 {
-        return Err(NetError::Protocol(format!("nonzero flags 0x{flags:04x}")));
+    if flags & !FLAG_CRC != 0 {
+        return Err(NetError::Protocol(format!("unknown flags 0x{flags:04x}")));
     }
     let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
     if len > MAX_PAYLOAD {
@@ -134,13 +240,20 @@ pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Message>, NetError> {
         )));
     }
     let mut payload = vec![0u8; len];
-    let mut got = 0;
-    while got < len {
-        match r.read(&mut payload[got..]) {
-            Ok(0) => return Err(NetError::Protocol("connection closed mid-payload".into())),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted || is_timeout(&e) => {}
-            Err(e) => return Err(NetError::Io(e)),
+    if read_full(r, &mut payload, "payload")? != len {
+        return Err(NetError::Protocol("connection closed mid-payload".into()));
+    }
+    if flags & FLAG_CRC != 0 {
+        let mut trailer = [0u8; 4];
+        if read_full(r, &mut trailer, "checksum")? != 4 {
+            return Err(NetError::Protocol("connection closed mid-checksum".into()));
+        }
+        let wanted = u32::from_le_bytes(trailer);
+        let actual = crc32(&[&header, &payload]);
+        if wanted != actual {
+            return Err(NetError::Protocol(format!(
+                "frame checksum mismatch: wire {wanted:#010x}, computed {actual:#010x}"
+            )));
         }
     }
     Ok(Some(Message::decode(opcode, &payload)?))
@@ -218,7 +331,8 @@ mod tests {
         let written = sink.bytes_out().load(Ordering::Relaxed);
         let buf = sink.get_ref().get_ref().clone();
         assert_eq!(written as usize, buf.len());
-        assert_eq!(buf.len(), HEADER_LEN + msg.encode_payload().len());
+        // Header + payload + 4-byte CRC trailer.
+        assert_eq!(buf.len(), HEADER_LEN + msg.encode_payload().len() + 4);
 
         let mut src = CountingStream::new(Cursor::new(buf));
         let back = read_message(&mut src).unwrap().unwrap();
@@ -238,6 +352,50 @@ mod tests {
             Err(NetError::Protocol(m)) => assert!(m.contains("magic")),
             other => panic!("expected protocol error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let msg = Message::PutStrip { file: 1, strip: 2, payload: vec![7; 64] };
+        let mut buf = encode_frame(&msg);
+        buf[HEADER_LEN + 20] ^= 0x40; // flip one payload bit
+        match read_message(&mut Cursor::new(buf)) {
+            Err(NetError::Protocol(m)) => assert!(m.contains("checksum"), "got {m:?}"),
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_opcode_fails_the_checksum() {
+        // The CRC covers the header too: a flipped opcode must not
+        // decode as a different (well-formed) message.
+        let mut buf = encode_frame(&Message::Ping);
+        buf[5] ^= 0x01; // Ping (0x50) -> Pong (0x51), payloads identical
+        assert!(read_message(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn crc_less_frames_are_still_accepted() {
+        // Flags 0, no trailer — the negotiated-downgrade format.
+        let msg = Message::GetStrip { file: 3, strip: 9 };
+        let payload = msg.encode_payload();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(msg.opcode());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let back = read_message(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The classic IEEE 802.3 check value.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b""]), 0);
     }
 
     #[test]

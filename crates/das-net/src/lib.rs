@@ -19,6 +19,11 @@
 //! * [`proto`] + [`codec`] — the versioned, length-prefixed binary
 //!   protocol (documented in `docs/PROTOCOL.md`), hand-rolled over
 //!   `std::net` with zero external dependencies.
+//! * [`fault`] + [`retry`] — deterministic fault injection for `dasd`
+//!   and the shared retry/timeout/backoff policy that lets both sides
+//!   of the wire survive it: replica failover on reads, tolerant
+//!   replicated writes, and graceful DAS → NAS → normal-I/O scheme
+//!   degradation (see `docs/PROTOCOL.md`, "Failure semantics").
 //!
 //! Both binaries — `dasd` and `das` — are thin CLI wrappers over
 //! these modules.
@@ -33,11 +38,15 @@
 
 pub mod client;
 pub mod codec;
+pub mod fault;
 pub mod peer;
 pub mod proto;
+pub mod retry;
 pub mod server;
 
 pub use client::{run_net_scheme, DasCluster, ExecSummary, NetRunReport, NetScheme};
-pub use codec::{read_message, write_message, CountingStream, NetError};
-pub use proto::{ErrorCode, Message, Role, WireStats, MAX_PAYLOAD, VERSION};
+pub use codec::{encode_frame, read_message, write_message, CountingStream, NetError, FLAG_CRC};
+pub use fault::{FaultAction, FaultClass, FaultPlan, FaultPoint, FaultRule};
+pub use proto::{ErrorCode, Message, Role, WireStats, CAP_CRC, LOCAL_CAPS, MAX_PAYLOAD, VERSION};
+pub use retry::RetryPolicy;
 pub use server::{spawn, ConnClass, DasdConfig, DasdHandle, StatsRegistry};

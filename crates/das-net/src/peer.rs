@@ -1,38 +1,89 @@
-//! Server→server connections: lazy, persistent, one per peer.
+//! Server→server connections: lazy, persistent, one per peer — now
+//! fault-tolerant.
 //!
 //! A `dasd` talks to its peers for three reasons, all mirroring the
 //! in-process runtime's traffic classes: dependence fetches during an
 //! offloaded execution (the NAS cost the predictor prices), pulls
 //! during redistribution's prepare phase, and forwarding of output
 //! replica strips. Each peer link is opened on first use, greets with
-//! `Hello { role: Server }`, and stays up for the daemon's lifetime;
-//! concurrent workers serialize on the link's mutex, which mirrors the
+//! `Hello { role: Server }`, and stays up while it works; concurrent
+//! workers serialize on the link's mutex, which mirrors the
 //! synchronous per-strip RPCs the paper's model assumes.
+//!
+//! Failure handling: every dial and I/O carries the table's
+//! [`RetryPolicy`] timeouts, a transport error **evicts** the cached
+//! connection (so the next attempt redials instead of reusing a dead
+//! socket), and transient failures — broken links, timeouts, a peer's
+//! typed `Retryable` — are retried with bounded deterministic
+//! backoff. Exhausting the budget returns the last typed error; a
+//! peer call can be slow, but it can neither hang nor wedge the link
+//! forever.
+//!
+//! A peer that exhausts the budget additionally trips a **circuit
+//! breaker**: for a cooldown window every call to it fails fast with
+//! a typed error instead of re-burning the whole retry budget. This
+//! matters most for replica forwarding during an offloaded execute —
+//! without it, one dead peer adds a full retry budget of latency to
+//! *every* boundary strip, and a busy daemon can look dead to its
+//! clients. After the cooldown the next call probes the peer again,
+//! so a rebooted server rejoins naturally.
 
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::codec::{read_message, write_message, CountingStream, NetError};
-use crate::proto::{ErrorCode, Message, Role};
+use crate::proto::{ErrorCode, Message, Role, LOCAL_CAPS};
+use crate::retry::RetryPolicy;
 use crate::server::{ConnClass, StatsRegistry};
+
+type PeerConn = Arc<Mutex<CountingStream<TcpStream>>>;
 
 /// Addresses of every server in the cluster, indexed by server id,
 /// plus the live outbound connections of one daemon.
 pub struct PeerTable {
     self_id: u32,
     addrs: Vec<String>,
-    conns: Mutex<HashMap<u32, Arc<Mutex<CountingStream<TcpStream>>>>>,
+    conns: Mutex<HashMap<u32, PeerConn>>,
+    /// Circuit breaker: peers that exhausted a retry budget, mapped
+    /// to the instant their cooldown expires.
+    downs: Mutex<HashMap<u32, Instant>>,
     stats: Arc<StatsRegistry>,
+    policy: RetryPolicy,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    // A worker that panicked while holding the lock must not wedge
+    // every other worker: recover the guard and carry on.
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl PeerTable {
     /// A table for server `self_id` in a cluster whose `addrs[i]` is
-    /// the listen address of server `i`. Outbound traffic is counted
-    /// into `stats` under the server↔server class.
+    /// the listen address of server `i`, with the default retry
+    /// policy. Outbound traffic is counted into `stats` under the
+    /// server↔server class.
     pub fn new(self_id: u32, addrs: Vec<String>, stats: Arc<StatsRegistry>) -> Self {
-        PeerTable { self_id, addrs, conns: Mutex::new(HashMap::new()), stats }
+        PeerTable::with_policy(self_id, addrs, stats, RetryPolicy::default())
+    }
+
+    /// [`PeerTable::new`] with an explicit retry/timeout policy.
+    pub fn with_policy(
+        self_id: u32,
+        addrs: Vec<String>,
+        stats: Arc<StatsRegistry>,
+        policy: RetryPolicy,
+    ) -> Self {
+        PeerTable {
+            self_id,
+            addrs,
+            conns: Mutex::new(HashMap::new()),
+            downs: Mutex::new(HashMap::new()),
+            stats,
+            policy,
+        }
     }
 
     /// Number of servers in the cluster.
@@ -45,7 +96,12 @@ impl PeerTable {
         self.self_id
     }
 
-    fn conn(&self, target: u32) -> Result<Arc<Mutex<CountingStream<TcpStream>>>, NetError> {
+    /// The table's retry/timeout policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn conn(&self, target: u32) -> Result<PeerConn, NetError> {
         if target == self.self_id {
             return Err(NetError::Protocol("refusing peer connection to self".into()));
         }
@@ -57,14 +113,17 @@ impl PeerTable {
                 message: format!("no server {target} in a {}-server cluster", self.addrs.len()),
             })?
             .clone();
-        if let Some(c) = self.conns.lock().unwrap().get(&target) {
+        if let Some(c) = lock(&self.conns).get(&target) {
             return Ok(Arc::clone(c));
         }
         // Connect outside the map lock; a racing worker may connect
         // twice, in which case the loser's link is dropped unused.
-        let mut stream = CountingStream::new(TcpStream::connect(&addr)?);
+        let mut stream = CountingStream::new(self.policy.connect(&addr)?);
         self.stats.register(ConnClass::Server, stream.bytes_in(), stream.bytes_out());
-        write_message(&mut stream, &Message::Hello { role: Role::Server, peer_id: self.self_id })?;
+        write_message(
+            &mut stream,
+            &Message::Hello { role: Role::Server, peer_id: self.self_id, caps: LOCAL_CAPS },
+        )?;
         match read_message(&mut stream)? {
             Some(Message::HelloOk { .. }) => {}
             Some(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
@@ -76,16 +135,15 @@ impl PeerTable {
             }
         }
         let conn = Arc::new(Mutex::new(stream));
-        Ok(Arc::clone(
-            self.conns.lock().unwrap().entry(target).or_insert(conn),
-        ))
+        Ok(Arc::clone(lock(&self.conns).entry(target).or_insert(conn)))
     }
 
-    /// One synchronous request/response exchange with server `target`.
-    /// A typed remote error becomes [`NetError::Remote`].
-    pub fn call(&self, target: u32, msg: &Message) -> Result<Message, NetError> {
+    /// One request/response attempt over the cached (or fresh) link.
+    /// Any transport error evicts the connection so the next attempt
+    /// redials instead of reusing a socket in an unknown state.
+    fn call_once(&self, target: u32, msg: &Message) -> Result<Message, NetError> {
         let conn = self.conn(target)?;
-        let mut stream = conn.lock().unwrap();
+        let mut stream = lock(&conn);
         let result = (|| {
             write_message(&mut *stream, msg)?;
             match read_message(&mut *stream)? {
@@ -97,10 +155,42 @@ impl PeerTable {
                 ))),
             }
         })();
-        if matches!(result, Err(NetError::Io(_) | NetError::Protocol(_))) {
-            // The link is in an unknown state; drop it so the next
-            // call reconnects.
-            self.conns.lock().unwrap().remove(&target);
+        if result.as_ref().is_err_and(NetError::is_transport) {
+            lock(&self.conns).remove(&target);
+        }
+        result
+    }
+
+    /// How long a tripped breaker stays open before the next call
+    /// probes the peer again.
+    fn cooldown(&self) -> std::time::Duration {
+        self.policy.backoff_max.max(std::time::Duration::from_millis(100))
+    }
+
+    /// One synchronous request/response exchange with server `target`,
+    /// with transparent reconnect-and-retry for transient failures. A
+    /// typed remote error becomes [`NetError::Remote`].
+    ///
+    /// A peer whose breaker is open fails fast with a typed
+    /// `NoSuchServer` error; exhausting the retry budget on transport
+    /// errors trips the breaker, and any success closes it.
+    pub fn call(&self, target: u32, msg: &Message) -> Result<Message, NetError> {
+        if let Some(&until) = lock(&self.downs).get(&target) {
+            if Instant::now() < until {
+                return Err(NetError::Remote {
+                    code: ErrorCode::NoSuchServer,
+                    message: format!("peer {target} unreachable (circuit open)"),
+                });
+            }
+        }
+        let result = self.policy.retry(|| self.call_once(target, msg));
+        match &result {
+            Err(e) if e.is_transport() => {
+                lock(&self.downs).insert(target, Instant::now() + self.cooldown());
+            }
+            _ => {
+                lock(&self.downs).remove(&target);
+            }
         }
         result
     }
@@ -113,8 +203,41 @@ impl PeerTable {
         }
     }
 
+    /// Fetch one strip of `file` from any of `holders`, in order —
+    /// the replica-failover read. Non-transient remote errors from a
+    /// holder fail over to the next holder too (a server that lost the
+    /// strip is as useless as a dead one); only running out of holders
+    /// is fatal. Reports which holder served via the second tuple
+    /// element (`Some(primary)` position 0 means no failover).
+    pub fn get_strip_failover(
+        &self,
+        holders: &[u32],
+        file: u32,
+        strip: u64,
+    ) -> Result<(Vec<u8>, usize), NetError> {
+        let mut last = None;
+        for (pos, &holder) in holders.iter().enumerate() {
+            if holder == self.self_id {
+                continue;
+            }
+            match self.get_strip(holder, file, strip) {
+                Ok(payload) => return Ok((payload, pos)),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            NetError::Protocol(format!("strip {strip}: no remote holder to fetch from"))
+        }))
+    }
+
     /// Store one strip of `file` on `target` (replica forwarding).
-    pub fn put_strip(&self, target: u32, file: u32, strip: u64, payload: Vec<u8>) -> Result<(), NetError> {
+    pub fn put_strip(
+        &self,
+        target: u32,
+        file: u32,
+        strip: u64,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
         match self.call(target, &Message::PutStrip { file, strip, payload })? {
             Message::PutStripOk => Ok(()),
             other => Err(NetError::Unexpected { opcode: other.opcode() }),

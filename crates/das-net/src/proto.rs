@@ -22,6 +22,16 @@ pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 12;
 
+/// Capability bit advertised in [`Message::Hello`]/[`Message::HelloOk`]:
+/// the sender emits and verifies the CRC32 frame trailer (header flag
+/// `FLAG_CRC` in [`crate::codec`]). Every in-tree build sets it; the
+/// bit exists so a future rolling upgrade can negotiate the trailer
+/// instead of hard-failing on version skew.
+pub const CAP_CRC: u32 = 1 << 0;
+
+/// The capabilities this build advertises.
+pub const LOCAL_CAPS: u32 = CAP_CRC;
+
 /// Who is on the other end of a connection — drives the byte-class a
 /// connection's traffic is accounted under (client↔server vs
 /// server↔server).
@@ -61,6 +71,10 @@ pub enum ErrorCode {
     BadRequest = 10,
     /// Unexpected server-side failure.
     Internal = 11,
+    /// Transient server-side condition (overload, a flaky peer link,
+    /// an injected fault). The request itself was well-formed; the
+    /// client should back off and retry the same request.
+    Retryable = 12,
 }
 
 impl ErrorCode {
@@ -79,8 +93,15 @@ impl ErrorCode {
             9 => FallbackToNormalIo,
             10 => BadRequest,
             11 => Internal,
+            12 => Retryable,
             _ => return None,
         })
+    }
+
+    /// Whether the condition is transient — a retry of the identical
+    /// request may succeed (drives the client/peer retry layer).
+    pub fn is_transient(self) -> bool {
+        matches!(self, ErrorCode::Retryable)
     }
 }
 
@@ -109,11 +130,15 @@ pub enum Message {
         /// Sender's server id when `role` is [`Role::Server`]; 0 for
         /// clients.
         peer_id: u32,
+        /// Capability bits the sender supports (see [`CAP_CRC`]).
+        caps: u32,
     },
     /// Accepts a [`Message::Hello`]; identifies the serving daemon.
     HelloOk {
         /// The responding server's id.
         server_id: u32,
+        /// Capability bits the daemon supports (see [`CAP_CRC`]).
+        caps: u32,
     },
 
     /// Register a file's metadata (no data — strips arrive via
@@ -307,14 +332,18 @@ impl Message {
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut b = Vec::new();
         match self {
-            Message::Hello { role, peer_id } => {
+            Message::Hello { role, peer_id, caps } => {
                 put_u8(&mut b, match role {
                     Role::Client => 0,
                     Role::Server => 1,
                 });
                 put_u32(&mut b, *peer_id);
+                put_u32(&mut b, *caps);
             }
-            Message::HelloOk { server_id } => put_u32(&mut b, *server_id),
+            Message::HelloOk { server_id, caps } => {
+                put_u32(&mut b, *server_id);
+                put_u32(&mut b, *caps);
+            }
             Message::CreateFile { name, file_len, strip_size, policy, servers } => {
                 put_str(&mut b, name);
                 put_u64(&mut b, *file_len);
@@ -396,9 +425,9 @@ impl Message {
                     1 => Role::Server,
                     v => return Err(DecodeError::new(format!("bad role {v}"))),
                 };
-                Message::Hello { role, peer_id: d.take_u32()? }
+                Message::Hello { role, peer_id: d.take_u32()?, caps: d.take_u32()? }
             }
-            0x02 => Message::HelloOk { server_id: d.take_u32()? },
+            0x02 => Message::HelloOk { server_id: d.take_u32()?, caps: d.take_u32()? },
             0x10 => Message::CreateFile {
                 name: d.take_str()?,
                 file_len: d.take_u64()?,
@@ -631,7 +660,7 @@ mod tests {
 
     #[test]
     fn representative_messages_roundtrip() {
-        roundtrip(Message::Hello { role: Role::Server, peer_id: 3 });
+        roundtrip(Message::Hello { role: Role::Server, peer_id: 3, caps: CAP_CRC });
         roundtrip(Message::CreateFile {
             name: "dem.raw".into(),
             file_len: 98304,

@@ -14,12 +14,24 @@
 //! traffic `das_core`'s `predict_nas_fetches` prices. A rejected
 //! request comes back as [`ErrorCode::FallbackToNormalIo`] and the
 //! client serves it as normal I/O.
+//!
+//! Fault tolerance: peer traffic rides the shared [`RetryPolicy`]
+//! (timeouts, reconnect, bounded backoff), dependence and
+//! redistribution fetches fail over across a strip's holders, and a
+//! strip whose holders are all unreachable is reported as the typed,
+//! transient [`ErrorCode::Retryable`] — the client's cue to retry or
+//! degrade the scheme rather than hang. The daemon can also *inject*
+//! faults from a deterministic [`FaultPlan`] (refused accepts,
+//! mid-frame cuts, delays, transient errors, corrupted checksums) so
+//! the chaos suite can exercise all of the above on a loopback
+//! cluster.
 
 use std::collections::HashMap;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -29,9 +41,17 @@ use das_kernels::kernel_by_name;
 use das_pfs::{FileId, FileMeta, Layout, ServerId, StorageServer, StripId, StripeSpec};
 use das_runtime::StripAssembly;
 
-use crate::codec::{read_message, write_message, CountingStream, NetError};
+use crate::codec::{encode_frame, read_message, write_message, CountingStream, NetError};
+use crate::fault::{FaultAction, FaultPlan, FaultPoint};
 use crate::peer::PeerTable;
-use crate::proto::{ErrorCode, Message, Role, WireStats};
+use crate::proto::{ErrorCode, Message, Role, WireStats, LOCAL_CAPS};
+use crate::retry::RetryPolicy;
+
+/// Lock a mutex, recovering from poison: a worker that panicked while
+/// holding a daemon lock must not wedge every other connection.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// How often an idle connection handler wakes to poll the shutdown
 /// flag.
@@ -61,13 +81,13 @@ type ConnCounters = (ConnClass, Arc<AtomicU64>, Arc<AtomicU64>);
 impl StatsRegistry {
     /// Track a connection's counters under `class`.
     pub fn register(&self, class: ConnClass, bytes_in: Arc<AtomicU64>, bytes_out: Arc<AtomicU64>) {
-        self.conns.lock().unwrap().push((class, bytes_in, bytes_out));
+        lock(&self.conns).push((class, bytes_in, bytes_out));
     }
 
     /// Current totals per class.
     pub fn snapshot(&self) -> WireStats {
         let mut s = WireStats::default();
-        for (class, bi, bo) in self.conns.lock().unwrap().iter() {
+        for (class, bi, bo) in lock(&self.conns).iter() {
             let (i, o) = (bi.load(Ordering::Relaxed), bo.load(Ordering::Relaxed));
             match class {
                 ConnClass::Client => {
@@ -85,7 +105,7 @@ impl StatsRegistry {
 
     /// Zero every counter.
     pub fn reset(&self) {
-        for (_, bi, bo) in self.conns.lock().unwrap().iter() {
+        for (_, bi, bo) in lock(&self.conns).iter() {
             bi.store(0, Ordering::Relaxed);
             bo.store(0, Ordering::Relaxed);
         }
@@ -102,12 +122,35 @@ pub struct DasdConfig {
     /// Connection-handler pool size. Must exceed the number of
     /// simultaneously open inbound connections (clients + peers).
     pub pool: usize,
+    /// Fault-injection plan (empty by default: inject nothing).
+    pub fault: Arc<FaultPlan>,
+    /// Retry/timeout policy for this daemon's outbound peer calls.
+    pub retry: RetryPolicy,
 }
 
 impl DasdConfig {
-    /// Config for server `id` of `cluster` with the default pool (16).
+    /// Config for server `id` of `cluster` with the default pool (16),
+    /// no fault injection, and the default retry policy.
     pub fn new(id: u32, cluster: Vec<String>) -> Self {
-        DasdConfig { id, cluster, pool: 16 }
+        DasdConfig {
+            id,
+            cluster,
+            pool: 16,
+            fault: Arc::new(FaultPlan::none()),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Replace the fault plan.
+    pub fn with_fault(mut self, fault: Arc<FaultPlan>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Replace the peer retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 }
 
@@ -136,6 +179,7 @@ pub struct Shared {
     stats: Arc<StatsRegistry>,
     shutdown: AtomicBool,
     listen_addr: SocketAddr,
+    fault: Arc<FaultPlan>,
 }
 
 /// A running daemon (listener + worker threads).
@@ -176,10 +220,11 @@ pub fn spawn(cfg: DasdConfig, listener: TcpListener) -> std::io::Result<DasdHand
             staged: HashMap::new(),
         }),
         as_client: ActiveStorageClient::with_builtin_features(),
-        peers: PeerTable::new(cfg.id, cfg.cluster, Arc::clone(&stats)),
+        peers: PeerTable::with_policy(cfg.id, cfg.cluster, Arc::clone(&stats), cfg.retry),
         stats,
         shutdown: AtomicBool::new(false),
         listen_addr: addr,
+        fault: cfg.fault,
     });
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -189,7 +234,7 @@ pub fn spawn(cfg: DasdConfig, listener: TcpListener) -> std::io::Result<DasdHand
         let rx = Arc::clone(&rx);
         let shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || loop {
-            let stream = match rx.lock().unwrap().recv() {
+            let stream = match lock(&rx).recv() {
                 Ok(s) => s,
                 Err(_) => break,
             };
@@ -205,6 +250,16 @@ pub fn spawn(cfg: DasdConfig, listener: TcpListener) -> std::io::Result<DasdHand
                 }
                 match stream {
                     Ok(s) => {
+                        match shared.fault.decide(FaultPoint::Accept) {
+                            Some(FaultAction::RefuseAccept) => {
+                                drop(s); // accepted, immediately closed
+                                continue;
+                            }
+                            Some(FaultAction::Delay { millis }) => {
+                                std::thread::sleep(Duration::from_millis(millis));
+                            }
+                            _ => {}
+                        }
                         if tx.send(s).is_err() {
                             break;
                         }
@@ -252,7 +307,9 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
         }
     };
     shared.stats.register(class, stream.bytes_in(), stream.bytes_out());
-    if write_message(&mut stream, &Message::HelloOk { server_id: shared.id.0 }).is_err() {
+    if write_message(&mut stream, &Message::HelloOk { server_id: shared.id.0, caps: LOCAL_CAPS })
+        .is_err()
+    {
         return;
     }
 
@@ -271,6 +328,40 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             Err(_) => return,
         };
         let is_shutdown = matches!(msg, Message::Shutdown);
+        // Consult the fault plan before answering. Shutdown is exempt
+        // so a chaos harness can always tear its cluster down.
+        let fault = if is_shutdown { None } else { shared.fault.decide(FaultPoint::Request(class)) };
+        match fault {
+            Some(FaultAction::Retryable) => {
+                let reply = err(ErrorCode::Retryable, "injected fault: try again");
+                if write_message(&mut stream, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Some(FaultAction::Delay { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            Some(FaultAction::DropMidFrame) => {
+                // Send half of the real reply, then cut the connection:
+                // the peer sees a mid-frame EOF, never a valid frame.
+                let frame = encode_frame(&dispatch(shared, msg));
+                let _ = stream.write_all(&frame[..frame.len() / 2]);
+                return;
+            }
+            Some(FaultAction::CorruptCrc) => {
+                // The real reply with its checksum trailer flipped: the
+                // peer's codec must reject it as corrupt, not parse it.
+                let mut frame = encode_frame(&dispatch(shared, msg));
+                let last = frame.len() - 1;
+                frame[last] ^= 0xFF;
+                if stream.write_all(&frame).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Some(FaultAction::RefuseAccept) | None => {}
+        }
         let reply = dispatch(shared, msg);
         if write_message(&mut stream, &reply).is_err() {
             return;
@@ -308,8 +399,19 @@ fn dispatch(shared: &Shared, msg: Message) -> Message {
             if strip_size == 0 {
                 return err(ErrorCode::BadRequest, "zero strip size");
             }
-            let mut inner = shared.inner.lock().unwrap();
-            if inner.by_name.contains_key(&name) {
+            let mut inner = lock(&shared.inner);
+            if let Some(&id) = inner.by_name.get(&name) {
+                // A client that lost our reply (dropped connection)
+                // will retry the create: answer the retry with the
+                // existing id when the parameters match exactly, so
+                // CreateFile is idempotent under retransmission.
+                let meta = &inner.files[id.0 as usize];
+                if meta.len == file_len
+                    && meta.spec == StripeSpec::new(strip_size as usize)
+                    && meta.layout == Layout::new(policy, servers)
+                {
+                    return Message::CreateFileOk { file: id.0 };
+                }
                 return err(ErrorCode::DuplicateName, format!("file {name:?} already exists"));
             }
             let id = FileId(inner.files.len() as u32);
@@ -324,7 +426,7 @@ fn dispatch(shared: &Shared, msg: Message) -> Message {
             Message::CreateFileOk { file: id.0 }
         }
         Message::Lookup { name } => {
-            let inner = shared.inner.lock().unwrap();
+            let inner = lock(&shared.inner);
             match inner.by_name.get(&name) {
                 Some(id) => {
                     let meta = &inner.files[id.0 as usize];
@@ -334,14 +436,14 @@ fn dispatch(shared: &Shared, msg: Message) -> Message {
             }
         }
         Message::GetDistribution { file } => {
-            let inner = shared.inner.lock().unwrap();
+            let inner = lock(&shared.inner);
             match inner.meta(file) {
                 Ok(meta) => Message::DistributionResp { dist: dist_of(meta) },
                 Err(e) => e,
             }
         }
         Message::PutStrip { file, strip, payload } => {
-            let mut inner = shared.inner.lock().unwrap();
+            let mut inner = lock(&shared.inner);
             let (id, expected, holds, primary) = match inner.meta(file) {
                 Ok(meta) => {
                     if strip >= meta.strip_count() {
@@ -376,7 +478,7 @@ fn dispatch(shared: &Shared, msg: Message) -> Message {
             Message::PutStripOk
         }
         Message::GetStrip { file, strip } => {
-            let inner = shared.inner.lock().unwrap();
+            let inner = lock(&shared.inner);
             let meta = match inner.meta(file) {
                 Ok(m) => m,
                 Err(e) => return e,
@@ -419,7 +521,7 @@ fn dist_of(meta: &FileMeta) -> das_pfs::DistributionInfo {
 /// The live layout is untouched until every server has prepared.
 fn redist_prepare(shared: &Shared, file: u32, policy: das_pfs::LayoutPolicy) -> Message {
     let (id, old_layout, spec, len, strip_count) = {
-        let inner = shared.inner.lock().unwrap();
+        let inner = lock(&shared.inner);
         match inner.meta(file) {
             Ok(m) => (m.id, m.layout, m.spec, m.len, m.strip_count()),
             Err(e) => return e,
@@ -428,7 +530,7 @@ fn redist_prepare(shared: &Shared, file: u32, policy: das_pfs::LayoutPolicy) -> 
     let new_layout = Layout::new(policy, old_layout.servers);
     let mut wanted = Vec::new();
     {
-        let inner = shared.inner.lock().unwrap();
+        let inner = lock(&shared.inner);
         for s in 0..strip_count {
             let sid = StripId(s);
             if new_layout.holds(shared.id, sid) && !inner.store.holds(id, sid) {
@@ -439,10 +541,20 @@ fn redist_prepare(shared: &Shared, file: u32, policy: das_pfs::LayoutPolicy) -> 
     let mut staged = Vec::with_capacity(wanted.len());
     let mut fetched_bytes = 0u64;
     for sid in wanted {
-        let source = old_layout.primary(sid);
-        let payload = match shared.peers.get_strip(source.0, file, sid.0) {
-            Ok(p) => p,
-            Err(e) => return err(ErrorCode::Internal, format!("fetch strip {} from {}: {e}", sid.0, source.0)),
+        // Pull from the old primary, failing over to old-layout
+        // replicas; an unreachable strip is a *transient* failure (the
+        // holder may come back), so the client may retry or abandon
+        // the redistribution and degrade.
+        let holders: Vec<u32> =
+            old_layout.placement(sid).holders().iter().map(|h| h.0).collect();
+        let payload = match shared.peers.get_strip_failover(&holders, file, sid.0) {
+            Ok((p, _)) => p,
+            Err(e) => {
+                return err(
+                    ErrorCode::Retryable,
+                    format!("strip {} unreachable on holders {holders:?}: {e}", sid.0),
+                )
+            }
         };
         if payload.len() != spec.strip_len(sid, len) {
             return err(
@@ -454,14 +566,14 @@ fn redist_prepare(shared: &Shared, file: u32, policy: das_pfs::LayoutPolicy) -> 
         staged.push((sid, Bytes::from(payload)));
     }
     let fetched_strips = staged.len() as u64;
-    shared.inner.lock().unwrap().staged.insert(file, staged);
+    lock(&shared.inner).staged.insert(file, staged);
     Message::RedistPrepareOk { fetched_strips, fetched_bytes }
 }
 
 /// Phase two: adopt staged strips, re-flag survivors, evict strips no
 /// longer held, and swap the file's layout.
 fn redist_commit(shared: &Shared, file: u32, policy: das_pfs::LayoutPolicy) -> Message {
-    let mut inner = shared.inner.lock().unwrap();
+    let mut inner = lock(&shared.inner);
     let (id, servers, strip_count) = match inner.meta(file) {
         Ok(m) => (m.id, m.layout.servers, m.strip_count()),
         Err(e) => return e,
@@ -475,7 +587,15 @@ fn redist_commit(shared: &Shared, file: u32, policy: das_pfs::LayoutPolicy) -> M
         }
         if new_layout.holds(shared.id, sid) {
             // Survivor: refresh the primary flag under the new layout.
-            let data = inner.store.read_strip(id, sid).expect("held strip readable");
+            let data = match inner.store.read_strip(id, sid) {
+                Ok(d) => d,
+                Err(e) => {
+                    return err(
+                        ErrorCode::Internal,
+                        format!("held strip {} unreadable during commit: {e:?}", sid.0),
+                    )
+                }
+            };
             inner.store.store(id, sid, data, new_layout.primary(sid) == shared.id);
         } else {
             inner.store.evict(id, sid);
@@ -506,7 +626,7 @@ fn execute(
     // Snapshot metadata and local strips under the lock; everything
     // network-bound below runs without it.
     let (out_id, layout, spec, len, strip_count, local) = {
-        let inner = shared.inner.lock().unwrap();
+        let inner = lock(&shared.inner);
         let meta = match inner.meta(file) {
             Ok(m) => m,
             Err(e) => return e,
@@ -523,7 +643,15 @@ fn execute(
         }
         let mut local = Vec::new();
         for sid in inner.store.all_strips(meta.id) {
-            local.push((sid, inner.store.read_strip(meta.id, sid).expect("held strip readable")));
+            match inner.store.read_strip(meta.id, sid) {
+                Ok(data) => local.push((sid, data)),
+                Err(e) => {
+                    return err(
+                        ErrorCode::Internal,
+                        format!("held strip {} unreadable: {e:?}", sid.0),
+                    )
+                }
+            }
         }
         (out.id, meta.layout, meta.spec, meta.len, meta.strip_count(), local)
     };
@@ -586,11 +714,20 @@ fn execute(
             if local_ids.contains(&u) {
                 continue;
             }
-            let source = layout.primary(StripId(u));
-            let payload = match shared.peers.get_strip(source.0, file, u) {
-                Ok(p) => p,
+            // Dependence fetch with replica failover: try the strip's
+            // primary, then each replica holder. Only when *every*
+            // holder is unreachable does the execution fail — typed
+            // and transient, so the client retries or degrades the
+            // scheme instead of hanging.
+            let holders: Vec<u32> =
+                layout.placement(StripId(u)).holders().iter().map(|h| h.0).collect();
+            let payload = match shared.peers.get_strip_failover(&holders, file, u) {
+                Ok((p, _)) => p,
                 Err(e) => {
-                    return err(ErrorCode::Internal, format!("dependence fetch strip {u} from {}: {e}", source.0))
+                    return err(
+                        ErrorCode::Retryable,
+                        format!("dependence strip {u} unreachable on holders {holders:?}: {e}"),
+                    )
                 }
             };
             dep_fetches += 1;
@@ -607,17 +744,16 @@ fn execute(
             out_bytes.extend_from_slice(&v.to_le_bytes());
         }
 
-        shared.inner.lock().unwrap().store.store(out_id, t, Bytes::from(out_bytes.clone()), true);
+        lock(&shared.inner).store.store(out_id, t, Bytes::from(out_bytes.clone()), true);
         for replica in layout.replicas(t) {
             if replica == shared.id {
                 continue;
             }
-            if let Err(e) = shared.peers.put_strip(replica.0, out_file, t.0, out_bytes.clone()) {
-                return err(
-                    ErrorCode::Internal,
-                    format!("replica forward strip {} to {}: {e}", t.0, replica.0),
-                );
-            }
+            // Replica forwarding is already retried by the peer table;
+            // a holder that stays down just means this output strip is
+            // stored at reduced redundancy — the primary copy above is
+            // the authoritative one, so the execution still succeeds.
+            let _ = shared.peers.put_strip(replica.0, out_file, t.0, out_bytes.clone());
         }
     }
 

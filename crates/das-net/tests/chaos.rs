@@ -1,0 +1,434 @@
+//! Chaos suite: boot loopback `dasd` fleets with deterministic fault
+//! injection (and real daemon kills), and hold the fault-tolerance
+//! layer to its contract:
+//!
+//! * **Transient faults are absorbed.** Refused accepts, mid-frame
+//!   cuts, corrupted checksums, delays and typed `Retryable` refusals
+//!   with bounded budgets are retried away; every scheme's output
+//!   stays bit-identical to the in-process `run_scheme` ground truth
+//!   and no server is marked down.
+//! * **A dead server is survivable when its strips have replicas.**
+//!   Under `GroupedReplicated { group: 2 }` every strip is a group
+//!   boundary, so every strip is replicated on a ring neighbor: with
+//!   one daemon killed, striped reads fail over to replicas and an
+//!   offloaded execute degrades down the DAS → NAS → normal-I/O
+//!   ladder — still completing bit-identically, with every rung
+//!   recorded in the report.
+//! * **Without replicas the same faults yield typed errors** within
+//!   the retry policy's bounded time — never a hang, never a panic.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use das_kernels::{kernel_by_name, workload};
+use das_net::{
+    run_net_scheme, spawn, DasCluster, DasdConfig, DasdHandle, FaultPlan, Message, NetError,
+    NetScheme, RetryPolicy,
+};
+use das_pfs::LayoutPolicy;
+use das_runtime::{run_scheme, ClusterConfig, DegradeEvent, SchemeKind};
+
+const SERVERS: usize = 4;
+const WIDTH: u64 = 256;
+const HEIGHT: u64 = 96;
+const STRIP: usize = 4096; // 4 rows of 256 f32s per strip → 24 strips
+
+struct Harness {
+    handles: Vec<DasdHandle>,
+    cluster: DasCluster,
+    plans: Vec<Arc<FaultPlan>>,
+}
+
+/// Boot `servers` daemons on ephemeral loopback ports, installing the
+/// given `(server, fault spec)` plans, everything on the fast test
+/// retry policy so a worst-case chaos run stays in the low seconds.
+fn boot_with(servers: usize, faults: &[(usize, &str)]) -> Harness {
+    let listeners: Vec<TcpListener> = (0..servers)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    let addrs: Vec<String> =
+        listeners.iter().map(|l| l.local_addr().unwrap().to_string()).collect();
+    let plans: Vec<Arc<FaultPlan>> = (0..servers)
+        .map(|i| {
+            let spec = faults.iter().find(|(s, _)| *s == i).map_or("", |(_, f)| *f);
+            Arc::new(FaultPlan::parse(spec, 0xC4A05 + i as u64).expect("fault spec"))
+        })
+        .collect();
+    let handles = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let cfg = DasdConfig::new(i as u32, addrs.clone())
+                .with_fault(Arc::clone(&plans[i]))
+                .with_retry(RetryPolicy::fast());
+            spawn(cfg, l).expect("spawn dasd")
+        })
+        .collect();
+    let cluster = DasCluster::connect_with(&addrs, RetryPolicy::fast()).expect("connect cluster");
+    Harness { handles, cluster, plans }
+}
+
+impl Harness {
+    /// Kill one daemon for real: a Shutdown routed only to it. Later
+    /// calls to it will fail, retry, and mark it down.
+    fn kill_server(&mut self, s: usize) {
+        match self.cluster.call(s, &Message::Shutdown) {
+            Ok(Message::ShutdownOk) => {}
+            other => panic!("killing server {s}: {other:?}"),
+        }
+    }
+
+    fn teardown(self) {
+        self.teardown_except(&[]);
+    }
+
+    /// Teardown that skips joining the listed daemons: a daemon under
+    /// a persistent accept-refusal fault can never receive Shutdown,
+    /// so its accept thread is leaked (it dies with the process).
+    fn teardown_except(mut self, leak: &[usize]) {
+        self.cluster.shutdown_all().expect("shutdown is best-effort");
+        drop(self.cluster); // close client connections so workers exit
+        for (i, h) in self.handles.into_iter().enumerate() {
+            if !leak.contains(&i) {
+                h.join();
+            }
+        }
+    }
+}
+
+/// In-process ground truth for one scheme at the chaos geometry.
+fn truth_fingerprint(scheme: SchemeKind, input: &das_kernels::Raster) -> u64 {
+    let mut cfg = ClusterConfig::paper_default();
+    cfg.storage_nodes = SERVERS as u32;
+    cfg.compute_nodes = SERVERS as u32;
+    cfg.strip_size = STRIP;
+    let kernel = kernel_by_name("flow-routing").unwrap();
+    run_scheme(&cfg, scheme, kernel.as_ref(), input).output_fingerprint
+}
+
+fn tags(events: &[DegradeEvent]) -> Vec<&'static str> {
+    events.iter().map(|e| e.tag()).collect()
+}
+
+/// Every injected fault class with a bounded budget — refused accept,
+/// mid-frame drop, corrupted checksum, delay, transient Retryable, on
+/// client and peer connections — is absorbed by retries: all three
+/// schemes still produce bit-identical outputs, every budget is fully
+/// consumed (the faults really fired), and no server gets marked down.
+#[test]
+fn transient_faults_of_every_class_are_absorbed() {
+    let input = workload::fbm_dem(WIDTH, HEIGHT, 42);
+    let data = input.to_bytes();
+    let direct = kernel_by_name("flow-routing").unwrap().apply(&input).fingerprint();
+
+    let mut h = boot_with(
+        SERVERS,
+        &[
+            // Client-facing faults on server 0: one refused accept
+            // (hit by the initial connect), one mid-frame cut, one
+            // corrupted checksum trailer.
+            (0, "accept:refuse:x1,client:drop:x1,client:corrupt:x1"),
+            // Peer-facing faults on server 1: a dependence fetch gets
+            // one mid-frame cut and one typed Retryable; any request
+            // class sees two 40ms delays (under the 500ms timeout).
+            (1, "server:drop:x1,server:retryable:x1,any:delay=40:x2"),
+            // More client-side transient refusals on server 2.
+            (2, "client:retryable:x2"),
+        ],
+    );
+
+    // Two copies of the input: round-robin (forces peer dependence
+    // fetches, so server-class faults actually fire) and the paper's
+    // replicated layout (the acceptance geometry).
+    let rr = h.cluster.create_file("dem.rr", data.len() as u64, STRIP as u32, LayoutPolicy::RoundRobin).unwrap();
+    h.cluster.put_file(rr, &data).unwrap();
+    let rep = h
+        .cluster
+        .create_file(
+            "dem.rep",
+            data.len() as u64,
+            STRIP as u32,
+            LayoutPolicy::GroupedReplicated { group: 2 },
+        )
+        .unwrap();
+    h.cluster.put_file(rep, &data).unwrap();
+
+    // Striped read through the faults: bit-identical.
+    assert_eq!(h.cluster.read_file(rep).unwrap(), data, "striped read corrupted");
+
+    // Offloaded execute on the replicated layout completes offloaded.
+    let nas_rep =
+        run_net_scheme(&mut h.cluster, NetScheme::Nas, rep, "rep.nas", "flow-routing", WIDTH)
+            .unwrap();
+    assert!(nas_rep.offloaded, "transient faults must not defeat the offload");
+    assert_eq!(nas_rep.output_fingerprint, truth_fingerprint(SchemeKind::Nas, &input));
+
+    // All three schemes over round-robin: dependence fetches and the
+    // DAS redistribution cross the faulty peer links.
+    let ts = run_net_scheme(&mut h.cluster, NetScheme::Ts, rr, "rr.ts", "flow-routing", WIDTH)
+        .unwrap();
+    assert_eq!(ts.output_fingerprint, truth_fingerprint(SchemeKind::Ts, &input));
+    let nas = run_net_scheme(&mut h.cluster, NetScheme::Nas, rr, "rr.nas", "flow-routing", WIDTH)
+        .unwrap();
+    assert!(nas.offloaded);
+    assert_eq!(nas.output_fingerprint, truth_fingerprint(SchemeKind::Nas, &input));
+    let das = run_net_scheme(&mut h.cluster, NetScheme::Das, rr, "rr.das", "flow-routing", WIDTH)
+        .unwrap();
+    assert!(das.offloaded, "DAS should still offload through transient faults");
+    assert_eq!(das.output_fingerprint, truth_fingerprint(SchemeKind::Das, &input));
+    assert_eq!(das.output_fingerprint, direct);
+
+    // The faults genuinely fired — every bounded budget was consumed…
+    assert_eq!(h.plans[0].total_fired(), 3, "server 0 fired {:?}", h.plans[0].fired());
+    assert_eq!(h.plans[1].total_fired(), 4, "server 1 fired {:?}", h.plans[1].fired());
+    assert_eq!(h.plans[2].total_fired(), 2, "server 2 fired {:?}", h.plans[2].fired());
+    // …and were absorbed below the failover layer: nobody is down.
+    assert!(h.cluster.down_servers().is_empty(), "transient faults marked a server down");
+
+    h.teardown();
+}
+
+/// The acceptance scenario: kill one daemon of a
+/// `GroupedReplicated { group: 2 }` cluster. Every strip of a
+/// group-2 layout is a group boundary, so every strip has a replica
+/// on a ring neighbor — a striped read and an offloaded execute must
+/// both still complete bit-identically, with replica failover and the
+/// scheme-degradation ladder recorded in the report.
+#[test]
+fn dead_server_with_replicas_degrades_but_completes() {
+    let input = workload::fbm_dem(WIDTH, HEIGHT, 42);
+    let data = input.to_bytes();
+
+    let mut h = boot_with(SERVERS, &[]);
+    let file = h
+        .cluster
+        .create_file(
+            "dem.rep",
+            data.len() as u64,
+            STRIP as u32,
+            LayoutPolicy::GroupedReplicated { group: 2 },
+        )
+        .unwrap();
+    h.cluster.put_file(file, &data).unwrap();
+
+    h.kill_server(1);
+
+    // Striped read: strips whose primary was server 1 fail over to
+    // their replicas; the result is bit-identical.
+    assert_eq!(h.cluster.read_file(file).unwrap(), data, "failover read corrupted");
+    let events = h.cluster.take_events();
+    assert!(
+        events.iter().any(|e| matches!(e, DegradeEvent::ServerUnavailable { server: 1 })),
+        "no ServerUnavailable in {:?}",
+        tags(&events)
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, DegradeEvent::ReplicaFailover { primary: 1, .. })),
+        "no ReplicaFailover in {:?}",
+        tags(&events)
+    );
+
+    // Offloaded execute: the dead server can no longer compute the
+    // strips it primaries, so the offload rungs fail and the run is
+    // served as normal I/O — failover reads, tolerant writes — and
+    // still matches the in-process ground truth bit for bit.
+    let das = run_net_scheme(&mut h.cluster, NetScheme::Das, file, "dead.das", "flow-routing", WIDTH)
+        .unwrap();
+    assert!(!das.offloaded, "an offload cannot complete without server 1");
+    assert_eq!(das.output_fingerprint, truth_fingerprint(SchemeKind::Das, &input));
+    let das_tags = tags(&das.degradations);
+    assert!(das_tags.contains(&"degraded-to-ts"), "ladder not recorded: {das_tags:?}");
+    assert!(das_tags.contains(&"replica-failover"), "no failover recorded: {das_tags:?}");
+    assert!(das_tags.contains(&"degraded-write"), "no degraded write recorded: {das_tags:?}");
+
+    // NAS degrades the same way.
+    let nas = run_net_scheme(&mut h.cluster, NetScheme::Nas, file, "dead.nas", "flow-routing", WIDTH)
+        .unwrap();
+    assert!(!nas.offloaded);
+    assert_eq!(nas.output_fingerprint, truth_fingerprint(SchemeKind::Nas, &input));
+    assert!(tags(&nas.degradations).contains(&"degraded-to-ts"));
+
+    assert_eq!(h.cluster.down_servers(), vec![1]);
+    h.teardown();
+}
+
+/// The same daemon kill under plain round-robin — no replicas — must
+/// yield typed errors within the retry policy's bounded time: no
+/// hang, no panic, and the surviving servers still answer.
+#[test]
+fn dead_server_without_replicas_fails_typed_and_bounded() {
+    let input = workload::fbm_dem(WIDTH, HEIGHT, 42);
+    let data = input.to_bytes();
+
+    let mut h = boot_with(SERVERS, &[]);
+    let file = h
+        .cluster
+        .create_file("dem.rr", data.len() as u64, STRIP as u32, LayoutPolicy::RoundRobin)
+        .unwrap();
+    h.cluster.put_file(file, &data).unwrap();
+
+    h.kill_server(1);
+    let start = Instant::now();
+
+    // A striped read hits an unreplicated strip on the dead server:
+    // typed error, not a hang.
+    match h.cluster.read_file(file) {
+        Err(NetError::Io(_) | NetError::Remote { .. } | NetError::Protocol(_)) => {}
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+
+    // The whole ladder fails too — DAS, NAS and TS all need strip 1's
+    // data — but each rung fails fast with a typed error.
+    for scheme in [NetScheme::Das, NetScheme::Nas, NetScheme::Ts] {
+        let name = format!("dead.{}", scheme.name());
+        match run_net_scheme(&mut h.cluster, scheme, file, &name, "flow-routing", WIDTH) {
+            Err(NetError::Io(_) | NetError::Remote { .. } | NetError::Protocol(_)) => {}
+            other => panic!("{scheme:?}: expected a typed error, got {other:?}"),
+        }
+    }
+
+    // Bounded: the fast policy's worst case is well under this.
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "failure detection took {:?} — retry/timeout budget broken",
+        start.elapsed()
+    );
+
+    // The survivors are still healthy.
+    assert_eq!(h.cluster.down_servers(), vec![1]);
+    h.cluster.ping_all().expect("surviving servers must still answer");
+
+    h.teardown();
+}
+
+/// Persistent (unlimited-budget) faults on one daemon make it
+/// effectively dead from the moment it boots — before the client ever
+/// connects. The replicated layout still serves reads and a tolerant
+/// connect marks the server down instead of failing the cluster.
+#[test]
+fn persistently_refusing_server_is_routed_around() {
+    let input = workload::fbm_dem(WIDTH, HEIGHT, 7);
+    let data = input.to_bytes();
+
+    // Server 3 refuses every connection it ever accepts.
+    let mut h = boot_with(SERVERS, &[(3, "accept:refuse")]);
+    assert_eq!(h.cluster.down_servers(), vec![3], "refusing server not detected at connect");
+
+    let file = h
+        .cluster
+        .create_file(
+            "dem.rep",
+            data.len() as u64,
+            STRIP as u32,
+            LayoutPolicy::GroupedReplicated { group: 2 },
+        )
+        .unwrap();
+    // Ingest is degraded (server 3's copies can't be written) but
+    // every strip still lands on at least one live holder…
+    h.cluster.put_file(file, &data).unwrap();
+    let events = h.cluster.take_events();
+    assert!(
+        events.iter().any(|e| matches!(e, DegradeEvent::DegradedWrite { .. })),
+        "writes to the dead server should be recorded as degraded"
+    );
+    // …so the read-back still reassembles the exact input.
+    assert_eq!(h.cluster.read_file(file).unwrap(), data);
+
+    assert!(h.plans[3].total_fired() > 0, "the refuse rule never fired");
+    // Server 3 can never hear Shutdown — leak its accept thread.
+    h.teardown_except(&[3]);
+}
+
+/// Regression: the full CLI lifecycle with *separate* clients per
+/// step (each `das` invocation is a fresh process) and daemons on the
+/// default (slow-backoff) retry policy. After one daemon dies, the
+/// surviving servers' replica forwards to it must fail fast (circuit
+/// breaker) instead of adding a retry budget of latency per boundary
+/// strip — without that, an offloading server exceeds the client's
+/// reply deadline, gets wrongly marked down, and the ladder's final
+/// normal-I/O rung finds strips whose primary ("slow" server) and
+/// replica (dead server) are both unavailable, leaking a typed error
+/// for data that is perfectly reachable.
+#[test]
+fn fresh_clients_and_slow_daemons_survive_a_dead_peer() {
+    let input = workload::fbm_dem(WIDTH, HEIGHT, 42);
+    let data = input.to_bytes();
+
+    // Daemons on the DEFAULT retry policy (2s backoff cap), server 0
+    // additionally under transient client-side faults. No with_retry:
+    // this is exactly the production `dasd` configuration.
+    let listeners: Vec<TcpListener> = (0..SERVERS)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    let addrs: Vec<String> =
+        listeners.iter().map(|l| l.local_addr().unwrap().to_string()).collect();
+    let handles: Vec<DasdHandle> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let mut cfg = DasdConfig::new(i as u32, addrs.clone());
+            if i == 0 {
+                cfg = cfg.with_fault(Arc::new(
+                    FaultPlan::parse("client:retryable:x2,any:delay=30:x1", 1).unwrap(),
+                ));
+            }
+            spawn(cfg, l).expect("spawn dasd")
+        })
+        .collect();
+    // Tight client policy, like `das --attempts 3 --timeout-ms 500`.
+    let tight = Duration::from_millis(500);
+    let pol = RetryPolicy {
+        max_attempts: 3,
+        connect_timeout: tight,
+        read_timeout: tight,
+        write_timeout: tight,
+        ..RetryPolicy::default()
+    };
+
+    {
+        let mut c = DasCluster::connect_with(&addrs, pol.clone()).unwrap();
+        let f = c
+            .create_file(
+                "dem.rep",
+                data.len() as u64,
+                STRIP as u32,
+                LayoutPolicy::GroupedReplicated { group: 2 },
+            )
+            .unwrap();
+        c.put_file(f, &data).unwrap();
+    }
+    {
+        let mut c = DasCluster::connect_with(&addrs, pol.clone()).unwrap();
+        let (f, _) = c.lookup("dem.rep").unwrap();
+        let r = run_net_scheme(&mut c, NetScheme::Nas, f, "rep.nas", "flow-routing", WIDTH)
+            .unwrap();
+        assert!(r.offloaded);
+    }
+    {
+        let mut c = DasCluster::connect_with(&addrs, pol.clone()).unwrap();
+        match c.call(1, &Message::Shutdown) {
+            Ok(Message::ShutdownOk) => {}
+            o => panic!("killing server 1: {o:?}"),
+        }
+    }
+    {
+        let mut c = DasCluster::connect_with(&addrs, pol.clone()).unwrap();
+        let (f, _) = c.lookup("dem.rep").unwrap();
+        assert_eq!(c.read_file(f).unwrap(), data, "failover read corrupted");
+    }
+    {
+        let mut c = DasCluster::connect_with(&addrs, pol.clone()).unwrap();
+        let (f, _) = c.lookup("dem.rep").unwrap();
+        let r = run_net_scheme(&mut c, NetScheme::Das, f, "rep.das", "flow-routing", WIDTH)
+            .unwrap_or_else(|e| panic!("ladder leaked a reachable-data request: {e}"));
+        assert_eq!(r.output_fingerprint, truth_fingerprint(SchemeKind::Das, &input));
+        assert!(tags(&r.degradations).contains(&"degraded-to-ts"));
+        c.shutdown_all().unwrap();
+    }
+    for h in handles {
+        h.join();
+    }
+}

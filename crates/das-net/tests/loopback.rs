@@ -219,8 +219,11 @@ fn typed_errors_cross_the_wire() {
         other => panic!("expected NoSuchFile, got {other:?}"),
     }
     let file = h.cluster.create_file("f", 100, 64, LayoutPolicy::RoundRobin).unwrap();
-    // Duplicate name.
-    match h.cluster.create_file("f", 100, 64, LayoutPolicy::RoundRobin) {
+    // Re-creating with identical parameters is the idempotent-retry
+    // case (a client whose CreateFileOk was lost): same id, no error.
+    assert_eq!(h.cluster.create_file("f", 100, 64, LayoutPolicy::RoundRobin).unwrap(), file);
+    // A conflicting create under the same name is a typed error.
+    match h.cluster.create_file("f", 200, 32, LayoutPolicy::RoundRobin) {
         Err(NetError::Remote { code: ErrorCode::DuplicateName, .. }) => {}
         other => panic!("expected DuplicateName, got {other:?}"),
     }

@@ -53,6 +53,7 @@ fn arb_error_code() -> BoxedStrategy<ErrorCode> {
         Just(ErrorCode::FallbackToNormalIo),
         Just(ErrorCode::BadRequest),
         Just(ErrorCode::Internal),
+        Just(ErrorCode::Retryable),
     ]
     .boxed()
 }
@@ -60,11 +61,13 @@ fn arb_error_code() -> BoxedStrategy<ErrorCode> {
 /// Every variant of the protocol, with arbitrary field values.
 fn arb_message() -> BoxedStrategy<Message> {
     prop_oneof![
-        (any::<bool>(), any::<u32>()).prop_map(|(s, peer_id)| Message::Hello {
+        (any::<bool>(), any::<u32>(), any::<u32>()).prop_map(|(s, peer_id, caps)| Message::Hello {
             role: if s { Role::Server } else { Role::Client },
             peer_id,
+            caps,
         }),
-        any::<u32>().prop_map(|server_id| Message::HelloOk { server_id }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(server_id, caps)| Message::HelloOk { server_id, caps }),
         (arb_name(), any::<u64>(), any::<u32>(), arb_policy(), any::<u32>()).prop_map(
             |(name, file_len, strip_size, policy, servers)| Message::CreateFile {
                 name,
@@ -176,6 +179,38 @@ proptest! {
     }
 
     #[test]
+    fn any_single_bit_flip_in_a_frame_is_rejected(
+        msg in arb_message(),
+        pos in any::<u32>(),
+        bit in 0u8..8,
+    ) {
+        // The frame checksum must catch any corruption of the header
+        // or payload, and the trailer itself; flipping one bit
+        // anywhere must yield a typed error — never a panic, never a
+        // misparsed message. The single exception is the bit that IS
+        // the checksum flag: clearing it turns the frame into a valid
+        // legacy CRC-less frame (accepted for compatibility) whose
+        // orphaned 4-byte trailer then desynchronizes the stream,
+        // which the *next* read detects.
+        let mut frame = das_net::encode_frame(&msg);
+        let pos = (pos as usize) % frame.len();
+        frame[pos] ^= 1 << bit;
+        let mut cursor = Cursor::new(&frame);
+        match read_message(&mut cursor) {
+            Err(_) => {}
+            Ok(got) => {
+                prop_assert_eq!(pos, 6, "corruption outside the flag byte parsed: {:?}", got);
+                prop_assert_eq!(bit, 0, "unknown flag bit survived: {:?}", got);
+                prop_assert_eq!(got, Some(msg.clone()), "flag-cleared frame misparsed");
+                prop_assert!(
+                    read_message(&mut cursor).is_err(),
+                    "orphaned checksum trailer went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn unknown_opcodes_are_rejected(op in any::<u8>()) {
         // Opcodes outside the assigned set must fail cleanly even
         // with an empty payload.
@@ -188,6 +223,14 @@ proptest! {
             prop_assert!(Message::decode(op, &[]).is_err());
         }
     }
+}
+
+#[test]
+fn retryable_error_roundtrips_and_is_transient() {
+    let msg = Message::Error { code: ErrorCode::Retryable, message: "injected fault".into() };
+    assert_eq!(frame_roundtrip(&msg), msg);
+    assert!(ErrorCode::Retryable.is_transient());
+    assert!(!ErrorCode::Internal.is_transient());
 }
 
 #[test]

@@ -73,6 +73,33 @@ impl LayoutPolicy {
     }
 }
 
+/// The full placement of one strip: who holds the primary copy and
+/// who holds replicas. This is the unit the fault-tolerance layer
+/// consults — a reader that cannot reach `primary_server` walks
+/// `replica_servers` in order before giving up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripPlacement {
+    /// The strip being placed.
+    pub strip: StripId,
+    /// Server holding the primary copy (paper Eq. 14).
+    pub primary_server: ServerId,
+    /// Servers holding replica copies, in preference order (empty
+    /// unless the policy replicates and the strip is a group
+    /// boundary).
+    pub replica_servers: Vec<ServerId>,
+}
+
+impl StripPlacement {
+    /// Every server holding a copy, primary first — the failover
+    /// order.
+    pub fn holders(&self) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(1 + self.replica_servers.len());
+        out.push(self.primary_server);
+        out.extend(self.replica_servers.iter().copied());
+        out
+    }
+}
+
 /// A policy bound to a server count `D`: the total placement function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Layout {
@@ -137,6 +164,16 @@ impl Layout {
         let mut out = vec![self.primary(strip)];
         out.extend(self.replicas(strip));
         out
+    }
+
+    /// The full placement record for `strip` — primary and replicas
+    /// in failover order.
+    pub fn placement(&self, strip: StripId) -> StripPlacement {
+        StripPlacement {
+            strip,
+            primary_server: self.primary(strip),
+            replica_servers: self.replicas(strip),
+        }
     }
 
     /// Whether `server` holds a copy (primary or replica) of `strip`.

@@ -60,7 +60,7 @@ mod traffic;
 
 pub use cluster::{BalanceReport, DistributionInfo, FileId, FileMeta, PfsCluster, ServerLoad};
 pub use error::PfsError;
-pub use layout::{Layout, LayoutPolicy, ServerId};
+pub use layout::{Layout, LayoutPolicy, ServerId, StripPlacement};
 pub use server::{LocalFileView, StorageServer};
 pub use stripe::{StripId, StripRange, StripeSpec};
 pub use traffic::{Endpoint, TrafficLog, TransferKind, TransferRec};

@@ -1,0 +1,98 @@
+//! Replica-placement consistency: the failover layer trusts
+//! `StripPlacement` to name, for every strip, a primary plus replicas
+//! that (a) actually hold the strip under `Layout::holds`, (b) never
+//! alias the primary, and (c) sit on the ring neighbors of the
+//! primary exactly at group boundaries — across the full `r × D`
+//! grid the paper's Section III-D analyzes.
+
+use das_pfs::{Layout, LayoutPolicy, ServerId, StripId};
+
+const STRIPS: u64 = 96;
+
+#[test]
+fn replica_servers_consistent_with_primary_across_group_boundaries() {
+    for r in [1u64, 2, 4] {
+        for d in [2u32, 4, 8] {
+            let layout = Layout::new(LayoutPolicy::GroupedReplicated { group: r }, d);
+            for s in 0..STRIPS {
+                let sid = StripId(s);
+                let p = layout.placement(sid);
+                assert_eq!(p.strip, sid);
+                assert_eq!(
+                    p.primary_server,
+                    ServerId(((s / r) % u64::from(d)) as u32),
+                    "r={r} D={d} strip={s}: primary diverged from Eq. 14"
+                );
+                // Placement agrees with the layout's own accessors.
+                assert_eq!(p.primary_server, layout.primary(sid));
+                assert_eq!(p.replica_servers, layout.replicas(sid));
+                assert_eq!(p.holders(), layout.holders(sid));
+
+                // Every named holder really holds the strip, and the
+                // primary leads the failover order.
+                assert_eq!(p.holders()[0], p.primary_server);
+                for srv in p.holders() {
+                    assert!(
+                        layout.holds(srv, sid),
+                        "r={r} D={d} strip={s}: holder {srv:?} does not hold"
+                    );
+                }
+
+                // Replicas never alias the primary and are unique.
+                for (i, rep) in p.replica_servers.iter().enumerate() {
+                    assert_ne!(*rep, p.primary_server, "r={r} D={d} strip={s}");
+                    assert!(
+                        !p.replica_servers[..i].contains(rep),
+                        "r={r} D={d} strip={s}: duplicate replica"
+                    );
+                }
+
+                // Boundary strips replicate onto ring neighbors; the
+                // interior carries no replicas (paper Fig. 9).
+                let pos = s % r;
+                let prev = ServerId((p.primary_server.0 + d - 1) % d);
+                let next = ServerId((p.primary_server.0 + 1) % d);
+                let mut expected = Vec::new();
+                if pos == 0 && prev != p.primary_server {
+                    expected.push(prev);
+                }
+                if pos == r - 1 && next != p.primary_server && !expected.contains(&next) {
+                    expected.push(next);
+                }
+                assert_eq!(
+                    p.replica_servers, expected,
+                    "r={r} D={d} strip={s}: boundary replicas wrong"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn group_two_replicates_every_strip() {
+    // The chaos suite's failover scenarios lean on this: with r == 2
+    // every strip is a group boundary, so any single server can die
+    // and every strip still has a live holder.
+    for d in [2u32, 4, 8] {
+        let layout = Layout::new(LayoutPolicy::GroupedReplicated { group: 2 }, d);
+        for s in 0..STRIPS {
+            let p = layout.placement(StripId(s));
+            assert!(
+                !p.replica_servers.is_empty(),
+                "D={d} strip={s}: no replica — single failure would lose the strip"
+            );
+        }
+    }
+}
+
+#[test]
+fn unreplicated_policies_have_empty_replica_servers() {
+    for policy in [LayoutPolicy::RoundRobin, LayoutPolicy::Grouped { group: 4 }] {
+        let layout = Layout::new(policy, 4);
+        for s in 0..STRIPS {
+            let p = layout.placement(StripId(s));
+            assert!(p.replica_servers.is_empty());
+            assert_eq!(p.holders(), vec![p.primary_server]);
+        }
+    }
+}

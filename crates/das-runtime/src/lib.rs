@@ -61,7 +61,7 @@ pub mod sweep;
 pub use assembly::StripAssembly;
 pub use config::ClusterConfig;
 pub use pipeline::{redistribution_cost, run_pipeline, PipelineReport, RedistributionCost};
-pub use report::RunReport;
+pub use report::{DegradeEvent, RunReport};
 pub use scheme::{
     run_das_forced_offload, run_das_with_policy, run_mixed, run_scheme, DasOutcome, JobResult,
     JobSpec, MixedReport, SchemeKind,

@@ -5,6 +5,69 @@ use das_sim::{ByteCounters, SimDuration, SimReport};
 
 use crate::scheme::{DasOutcome, SchemeKind};
 
+/// One fault-tolerance action taken while serving a request. The
+/// in-process simulator never degrades (its "network" cannot fail),
+/// but the networked executors in `das-net` record every rung of the
+/// paper's fallback ladder they descend — replica failover first,
+/// then DAS → NAS → normal I/O — so a report always says *how* its
+/// output was produced, not just that it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeEvent {
+    /// A server stopped answering (connect/retry budget exhausted);
+    /// subsequent requests route around it.
+    ServerUnavailable {
+        /// The unreachable server's id.
+        server: u32,
+    },
+    /// A strip read failed over from its primary to a replica holder.
+    ReplicaFailover {
+        /// File id.
+        file: u32,
+        /// Strip index.
+        strip: u64,
+        /// The primary that could not serve the strip.
+        primary: u32,
+        /// The replica that did.
+        replica: u32,
+    },
+    /// A strip write could not reach every holder; the copies that
+    /// were stored keep the data readable, at reduced redundancy.
+    DegradedWrite {
+        /// File id.
+        file: u32,
+        /// Strip index.
+        strip: u64,
+        /// Holders that could not be written.
+        missed: u32,
+    },
+    /// The DAS offload (decide + redistribute + execute) failed for
+    /// transport reasons; the executor fell back to an unconditional
+    /// offload on the current layout (the NAS rung).
+    DegradedToNas {
+        /// Why the DAS rung failed.
+        reason: String,
+    },
+    /// Offloading was abandoned entirely; the request was served as
+    /// normal I/O (the paper's `FallbackToNormalIo` / TS rung).
+    DegradedToTs {
+        /// Why the offload rungs failed.
+        reason: String,
+    },
+}
+
+impl DegradeEvent {
+    /// Short machine-friendly tag for logs and summaries.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DegradeEvent::ServerUnavailable { .. } => "server-unavailable",
+            DegradeEvent::ReplicaFailover { .. } => "replica-failover",
+            DegradeEvent::DegradedWrite { .. } => "degraded-write",
+            DegradeEvent::DegradedToNas { .. } => "degraded-to-nas",
+            DegradeEvent::DegradedToTs { .. } => "degraded-to-ts",
+        }
+    }
+}
+
 /// The outcome of one (scheme, kernel, dataset) execution.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -33,6 +96,10 @@ pub struct RunReport {
     /// Full execution trace when [`crate::ClusterConfig::trace`] was
     /// set (render with [`das_sim::TraceLog::render_gantt`]).
     pub trace: Option<das_sim::TraceLog>,
+    /// Fault-tolerance actions taken while producing this result
+    /// (always empty for simulator runs; populated by the networked
+    /// executors).
+    pub degradations: Vec<DegradeEvent>,
 }
 
 impl RunReport {
@@ -60,6 +127,7 @@ impl RunReport {
             output_fingerprint,
             das,
             trace: sim.trace.clone(),
+            degradations: Vec::new(),
         }
     }
 
@@ -158,6 +226,7 @@ mod tests {
             output_fingerprint: 0xDEAD,
             das: None,
             trace: None,
+            degradations: Vec::new(),
         }
     }
 
