@@ -6,7 +6,7 @@
 //! das gen     --cluster ... --name dem.raw --strip-size 4096 --width 256 --height 128 [--seed 42]
 //! das info    --cluster ... --name dem.raw
 //! das get     --cluster ... --name dem.raw --output dem.bin
-//! das exec    --cluster ... --name dem.raw --kernel gaussian-filter --width 256 --scheme das [--out NAME]
+//! das exec    --cluster ... --name dem.raw --kernel gaussian-filter --width 256 --scheme das [--out NAME] [--one-shot]
 //! das stats   --cluster ...
 //! das reset-stats --cluster ...
 //! das shutdown    --cluster ...
@@ -17,11 +17,12 @@ use std::process::exit;
 
 use das_kernels::kernel_names;
 use das_kernels::workload;
-use das_net::{run_net_scheme, DasCluster, NetScheme, RetryPolicy};
+use das_net::{run_net_scheme_opts, DasCluster, NetScheme, RetryPolicy};
+use das_obs::{event, Level};
 use das_pfs::LayoutPolicy;
 
 fn usage() -> ! {
-    eprintln!(
+    println!(
         "usage: das <command> --cluster <addr0,addr1,...> [options]\n\
          \n\
          commands:\n\
@@ -31,13 +32,20 @@ fn usage() -> ! {
          \x20 info   --name N               show a file's distribution\n\
          \x20 get    --name N --output PATH gather a file to a local path\n\
          \x20 exec   --name N --kernel K --width W --scheme ts|nas|das [--out NAME]\n\
-         \x20 stats                        per-server wire-byte counters\n\
+         \x20        [--one-shot]          decide non-successively: no layout\n\
+         \x20                              reconfiguration, and the offload is refused\n\
+         \x20                              (a \"ts\" decision outcome) when dependence\n\
+         \x20                              fetches would exceed normal service\n\
+         \x20 stats                        wire-byte counters + each daemon's live\n\
+         \x20                              metrics registry (decision outcomes,\n\
+         \x20                              predicted-vs-measured dependence traffic)\n\
          \x20 reset-stats                  zero the counters\n\
          \x20 shutdown                     stop every daemon\n\
          \n\
          global options:\n\
          \x20 --attempts N     retry budget per call (default 4)\n\
          \x20 --timeout-ms MS  connect/read/write timeout per attempt (default 2000/15000/15000)\n\
+         \x20 --raw            (stats) dump raw Prometheus text instead of the summary\n\
          \n\
          kernels: {}",
         kernel_names().join(", ")
@@ -59,11 +67,103 @@ fn parse_policy(s: &str) -> Option<LayoutPolicy> {
 }
 
 fn fail(msg: impl std::fmt::Display) -> ! {
-    eprintln!("das: {msg}");
+    event(Level::Error, "das.cli", "command failed", &[("error", msg.to_string())]);
     exit(1);
 }
 
+/// Summarize every daemon's Prometheus dump: decision outcomes,
+/// predicted-vs-measured dependence traffic (Eqs. 1–13 against real
+/// wire counters), fault-handling totals, and per-op request counts.
+///
+/// Predicted counters carry the full cluster-wide prediction on every
+/// daemon (all daemons price the same request identically), so the
+/// fleet's prediction is the **max** across daemons; the measured
+/// counters carry only each daemon's share, so those **sum**.
+fn print_registry_summary(dumps: &[(u32, String)]) {
+    let parsed: Vec<Vec<das_obs::Sample>> =
+        dumps.iter().map(|(_, text)| das_obs::parse(text)).collect();
+    let sum = |name: &str, labels: &[(&str, &str)]| -> f64 {
+        // + 0.0 normalizes the empty sum's -0.0 identity for display.
+        parsed.iter().filter_map(|s| das_obs::sample_value(s, name, labels)).sum::<f64>() + 0.0
+    };
+    let max = |name: &str, labels: &[(&str, &str)]| -> f64 {
+        parsed
+            .iter()
+            .filter_map(|s| das_obs::sample_value(s, name, labels))
+            .fold(0.0, f64::max)
+    };
+
+    println!(
+        "decision outcomes: das={} nas={} ts={}",
+        sum("dasd_decisions_total", &[("outcome", "das")]),
+        sum("dasd_decisions_total", &[("outcome", "nas")]),
+        sum("dasd_decisions_total", &[("outcome", "ts")]),
+    );
+
+    let pred_fetches = max("dasd_predicted_dep_fetches_total", &[]);
+    let pred_bytes = max("dasd_predicted_dep_fetch_bytes_total", &[]);
+    let meas_fetches = sum("dasd_dep_fetches_total", &[]);
+    let meas_bytes = sum("dasd_dep_fetch_bytes_total", &[]);
+    let delta = if pred_bytes > 0.0 {
+        format!("{:+.1}%", (meas_bytes - pred_bytes) / pred_bytes * 100.0)
+    } else {
+        "n/a".to_string()
+    };
+    println!(
+        "dependence traffic: predicted {pred_fetches} fetches / {pred_bytes} B, \
+         measured {meas_fetches} fetches / {meas_bytes} B (error {delta})"
+    );
+    println!(
+        "fault handling: peer retries={} failovers={} breaker trips={} \
+         replica-forward failures={} faults injected={}",
+        sum("dasd_peer_retries_total", &[]),
+        sum("dasd_peer_failovers_total", &[]),
+        sum("dasd_peer_breaker_trips_total", &[]),
+        sum("dasd_replica_forward_failures_total", &[]),
+        parsed
+            .iter()
+            .flatten()
+            .filter(|s| s.name == "dasd_faults_injected_total")
+            .map(|s| s.value)
+            .sum::<f64>()
+            + 0.0,
+    );
+
+    // Request counts and mean latency per op, summed over the fleet.
+    use std::collections::BTreeMap;
+    let mut requests: BTreeMap<String, f64> = BTreeMap::new();
+    let mut lat: BTreeMap<String, (f64, f64)> = BTreeMap::new(); // op -> (sum_us, count)
+    for s in parsed.iter().flatten() {
+        let op = s.labels.iter().find(|(k, _)| k == "op").map(|(_, v)| v.clone());
+        match (s.name.as_str(), op) {
+            ("dasd_requests_total", Some(op)) => *requests.entry(op).or_default() += s.value,
+            ("dasd_request_duration_us_sum", Some(op)) => lat.entry(op).or_default().0 += s.value,
+            ("dasd_request_duration_us_count", Some(op)) => lat.entry(op).or_default().1 += s.value,
+            _ => {}
+        }
+    }
+    for (op, n) in &requests {
+        let mean = match lat.get(op) {
+            Some((sum_us, count)) if *count > 0.0 => format!("{:.0} us mean", sum_us / count),
+            _ => "no timing".to_string(),
+        };
+        println!("  requests {op}: {n} ({mean})");
+    }
+}
+
+/// Print the client-side registry (degradations, retries) when this
+/// invocation recorded anything.
+fn print_client_summary(cluster: &DasCluster) {
+    let samples = das_obs::parse(&cluster.metrics().encode());
+    for s in &samples {
+        let labels: Vec<String> =
+            s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("client: {}{{{}}} {}", s.name, labels.join(","), s.value);
+    }
+}
+
 fn main() {
+    das_obs::log::init_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
@@ -74,18 +174,22 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let Some(key) = flag.strip_prefix("--") else {
-            eprintln!("expected --flag, got {flag:?}");
+            println!("expected --flag, got {flag:?}");
             usage();
         };
+        if key == "raw" || key == "one-shot" {
+            opts.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
-            eprintln!("--{key} needs a value");
+            println!("--{key} needs a value");
             usage();
         };
         opts.insert(key.to_string(), value);
     }
 
     let Some(cluster_arg) = opts.get("cluster") else {
-        eprintln!("--cluster is required");
+        println!("--cluster is required");
         usage();
     };
     let addrs: Vec<String> = cluster_arg.split(',').map(|s| s.trim().to_string()).collect();
@@ -105,12 +209,17 @@ fn main() {
         Err(e) => fail(format!("connecting to cluster: {e}")),
     };
     for s in cluster.down_servers() {
-        eprintln!("das: warning: server {s} ({}) is unreachable", addrs[s as usize]);
+        event(
+            Level::Warn,
+            "das.cli",
+            "server unreachable",
+            &[("server", s.to_string()), ("addr", addrs[s as usize].clone())],
+        );
     }
 
     let req = |key: &str| -> &String {
         opts.get(key).unwrap_or_else(|| {
-            eprintln!("--{key} is required for `{command}`");
+            println!("--{key} is required for `{command}`");
             usage();
         })
     };
@@ -171,8 +280,10 @@ fn main() {
                 .get("out")
                 .cloned()
                 .unwrap_or_else(|| format!("{}.{}.out", req("name"), scheme.name().to_lowercase()));
-            let report = run_net_scheme(&mut cluster, scheme, file, &out_name, &kernel, width)
-                .unwrap_or_else(|e| fail(e));
+            let successive = !opts.contains_key("one-shot");
+            let report =
+                run_net_scheme_opts(&mut cluster, scheme, file, &out_name, &kernel, width, successive)
+                    .unwrap_or_else(|e| fail(e));
             println!(
                 "{} {} -> {out_name:?}: offloaded={} layout={} fingerprint={:#018x}",
                 report.scheme.name(),
@@ -201,6 +312,16 @@ fn main() {
                     s.client_in, s.client_out, s.server_in, s.server_out
                 );
             }
+            let dumps = cluster.metrics_dump_all().unwrap_or_else(|e| fail(e));
+            if opts.contains_key("raw") {
+                for (id, text) in &dumps {
+                    println!("--- server {id} ---");
+                    print!("{text}");
+                }
+            } else {
+                print_registry_summary(&dumps);
+            }
+            print_client_summary(&cluster);
         }
         "reset-stats" => {
             cluster.reset_stats().unwrap_or_else(|e| fail(e));

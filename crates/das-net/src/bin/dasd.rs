@@ -11,6 +11,10 @@
 //! `DASD_FAULT` env var) loads a deterministic fault plan, seeded by
 //! `--fault-seed`/`DASD_FAULT_SEED`, e.g.
 //! `--fault client:drop:x2,server:retryable:p0.25`.
+//!
+//! Diagnostics are structured events from `das-obs`: `--log-level
+//! trace|debug|info|warn|error|off` (or the `DASD_LOG` env var)
+//! selects verbosity, `DASD_LOG_FORMAT=json` switches to JSON lines.
 
 use std::net::TcpListener;
 use std::process::exit;
@@ -18,25 +22,30 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use das_net::{spawn, DasdConfig, FaultPlan};
+use das_obs::{event, Level};
 
 fn usage() -> ! {
-    eprintln!(
+    println!(
         "usage: dasd --id <N> --cluster <addr0,addr1,...> [--pool <threads>]\n\
          \x20           [--fault <spec>] [--fault-seed <N>] [--bind-retries <N>]\n\
+         \x20           [--log-level <level>]\n\
          \n\
          --id           this server's index into the cluster address list\n\
          --cluster      listen address of every server, comma-separated, in id order\n\
          --pool         connection-handler threads (default 16)\n\
          --fault        fault-injection spec: comma-separated class:action[:xN][:pF]\n\
-         \x20            classes accept|client|server|any; actions refuse|drop|\n\
-         \x20            delay=MS|retryable|corrupt  (env: DASD_FAULT)\n\
+         \x20            classes accept|client|server|any|redist|exec|get; actions\n\
+         \x20            refuse|drop|delay=MS|retryable|corrupt  (env: DASD_FAULT)\n\
          --fault-seed   RNG seed for probabilistic fault rules (env: DASD_FAULT_SEED)\n\
-         --bind-retries retry a failed bind this many times, 1s apart (default 0)"
+         --bind-retries retry a failed bind this many times, 1s apart (default 0)\n\
+         --log-level    trace|debug|info|warn|error|off (env: DASD_LOG; default info)"
     );
     exit(2);
 }
 
 fn main() {
+    das_obs::log::init_from_env();
+
     let mut id: Option<u32> = None;
     let mut cluster: Option<Vec<String>> = None;
     let mut pool = 16usize;
@@ -70,9 +79,22 @@ fn main() {
                 Some(n) => bind_retries = n,
                 None => usage(),
             },
+            "--log-level" => match args.next() {
+                Some(v) if v.eq_ignore_ascii_case("off") => das_obs::log::disable(),
+                Some(v) => match Level::parse(&v) {
+                    Some(l) => das_obs::set_level(l),
+                    None => usage(),
+                },
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown argument {other:?}");
+                event(
+                    Level::Error,
+                    "das.daemon",
+                    "unknown argument",
+                    &[("arg", other.to_string())],
+                );
                 usage();
             }
         }
@@ -80,7 +102,12 @@ fn main() {
 
     let (Some(id), Some(cluster)) = (id, cluster) else { usage() };
     if (id as usize) >= cluster.len() {
-        eprintln!("--id {id} is outside the {}-server cluster", cluster.len());
+        event(
+            Level::Error,
+            "das.daemon",
+            "--id is outside the cluster",
+            &[("id", id.to_string()), ("servers", cluster.len().to_string())],
+        );
         exit(2);
     }
 
@@ -88,11 +115,20 @@ fn main() {
         None | Some("") => FaultPlan::none(),
         Some(spec) => match FaultPlan::parse(spec, fault_seed) {
             Ok(plan) => {
-                eprintln!("dasd {id}: fault injection active: {spec} (seed {fault_seed})");
+                event(
+                    Level::Info,
+                    "das.daemon",
+                    "fault injection active",
+                    &[
+                        ("server", id.to_string()),
+                        ("spec", spec.to_string()),
+                        ("seed", fault_seed.to_string()),
+                    ],
+                );
                 plan
             }
             Err(e) => {
-                eprintln!("dasd: bad --fault spec: {e}");
+                event(Level::Error, "das.daemon", "bad --fault spec", &[("error", e.to_string())]);
                 exit(2);
             }
         },
@@ -109,10 +145,15 @@ fn main() {
                 break;
             }
             Err(e) => {
-                eprintln!(
-                    "dasd: cannot listen on {listen}: {e} (attempt {}/{})",
-                    attempt + 1,
-                    bind_retries + 1
+                event(
+                    Level::Error,
+                    "das.daemon",
+                    "cannot listen",
+                    &[
+                        ("addr", listen.clone()),
+                        ("error", e.to_string()),
+                        ("attempt", format!("{}/{}", attempt + 1, bind_retries + 1)),
+                    ],
                 );
                 if attempt < bind_retries {
                     std::thread::sleep(Duration::from_secs(1));
@@ -121,16 +162,25 @@ fn main() {
         }
     }
     let Some(listener) = listener else { exit(1) };
-    eprintln!("dasd {id}: listening on {listen} ({} servers in cluster)", cluster.len());
+    event(
+        Level::Info,
+        "das.daemon",
+        "listening",
+        &[
+            ("server", id.to_string()),
+            ("addr", listen.clone()),
+            ("cluster", cluster.len().to_string()),
+        ],
+    );
 
     let mut cfg = DasdConfig::new(id, cluster).with_fault(Arc::new(fault));
     cfg.pool = pool;
     match spawn(cfg, listener) {
         Ok(handle) => handle.join(),
         Err(e) => {
-            eprintln!("dasd: failed to start: {e}");
+            event(Level::Error, "das.daemon", "failed to start", &[("error", e.to_string())]);
             exit(1);
         }
     }
-    eprintln!("dasd {id}: shut down");
+    event(Level::Info, "das.daemon", "shut down", &[("server", id.to_string())]);
 }

@@ -23,6 +23,7 @@
 
 use std::io;
 use std::net::TcpStream;
+use std::sync::Arc;
 
 use das_core::{ActiveStorageClient, Decision, RequestOptions};
 use das_kernels::kernel_by_name;
@@ -30,13 +31,16 @@ use das_kernels::Raster;
 use das_pfs::{DistributionInfo, Layout, LayoutPolicy, StripId, StripeSpec};
 use das_runtime::DegradeEvent;
 
-use crate::codec::{read_message, write_message, CountingStream, NetError};
-use crate::proto::{ErrorCode, Message, Role, WireStats, LOCAL_CAPS};
+use crate::codec::{read_message, write_message, write_message_traced, CountingStream, NetError};
+use crate::proto::{ErrorCode, Message, Role, WireStats, CAP_TRACE, LOCAL_CAPS};
 use crate::retry::RetryPolicy;
 
 struct ClientConn {
     addr: String,
     stream: Option<CountingStream<TcpStream>>,
+    /// Whether this server's `HelloOk` advertised [`CAP_TRACE`] —
+    /// trace ids are only put on the wire for servers that did.
+    traced: bool,
 }
 
 /// Connections to every `dasd` of a cluster, indexed by server id.
@@ -45,6 +49,10 @@ pub struct DasCluster {
     down: Vec<bool>,
     events: Vec<DegradeEvent>,
     policy: RetryPolicy,
+    metrics: Arc<das_obs::Registry>,
+    /// Trace id stamped on outgoing requests (to CAP_TRACE servers)
+    /// until the next [`DasCluster::begin_trace`].
+    trace: Option<u64>,
 }
 
 /// One server's execution summary (from [`Message::ExecuteOk`]).
@@ -83,11 +91,13 @@ impl DasCluster {
         let mut cluster = DasCluster {
             conns: addrs
                 .iter()
-                .map(|a| ClientConn { addr: a.clone(), stream: None })
+                .map(|a| ClientConn { addr: a.clone(), stream: None, traced: false })
                 .collect(),
             down: vec![false; addrs.len()],
             events: Vec::new(),
             policy,
+            metrics: Arc::new(das_obs::Registry::new()),
+            trace: None,
         };
         let mut last = None;
         let mut reachable = 0usize;
@@ -122,11 +132,36 @@ impl DasCluster {
         std::mem::take(&mut self.events)
     }
 
+    /// The client-side metrics registry: degradation events keyed by
+    /// tag, retry totals. Draining [`DasCluster::take_events`] does
+    /// not reset these, so the registry and the per-run reports can be
+    /// cross-checked.
+    pub fn metrics(&self) -> &Arc<das_obs::Registry> {
+        &self.metrics
+    }
+
+    /// Mint a fresh trace id and stamp it on every subsequent request
+    /// to servers that advertised [`CAP_TRACE`]. Returns the id so
+    /// callers can correlate client logs with daemon-side traces.
+    pub fn begin_trace(&mut self) -> u64 {
+        let id = das_obs::next_trace_id();
+        self.trace = Some(id);
+        id
+    }
+
+    /// Every degradation goes through here so the report's event list
+    /// and the live `das_client_degrade_events_total{event}` counters
+    /// can never disagree.
+    fn record_event(&mut self, ev: DegradeEvent) {
+        self.metrics.counter("das_client_degrade_events_total", &[("event", ev.tag())]).inc();
+        self.events.push(ev);
+    }
+
     fn mark_down(&mut self, s: usize) {
         if !self.down[s] {
             self.down[s] = true;
             self.conns[s].stream = None;
-            self.events.push(DegradeEvent::ServerUnavailable { server: s as u32 });
+            self.record_event(DegradeEvent::ServerUnavailable { server: s as u32 });
         }
     }
 
@@ -160,8 +195,8 @@ impl DasCluster {
             &mut stream,
             &Message::Hello { role: Role::Client, peer_id: 0, caps: LOCAL_CAPS },
         )?;
-        match read_message(&mut stream)? {
-            Some(Message::HelloOk { .. }) => {}
+        let traced = match read_message(&mut stream)? {
+            Some(Message::HelloOk { caps, .. }) => caps & CAP_TRACE != 0,
             Some(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
             None => {
                 return Err(NetError::Io(io::Error::new(
@@ -169,8 +204,9 @@ impl DasCluster {
                     "server closed during handshake",
                 )))
             }
-        }
+        };
         self.conns[s].stream = Some(stream);
+        self.conns[s].traced = traced;
         Ok(())
     }
 
@@ -191,12 +227,13 @@ impl DasCluster {
             Message::Execute { .. } | Message::RedistPrepare { .. } | Message::RedistCommit { .. }
         );
         let base_timeout = self.policy.read_timeout;
+        let trace = if self.conns[s].traced { self.trace } else { None };
         let stream = self.conns[s].stream.as_mut().expect("dial just succeeded");
         if long_op {
             let _ = stream.get_ref().set_read_timeout(Some(base_timeout.saturating_mul(10)));
         }
         let result = (|| {
-            write_message(stream, msg)?;
+            write_message_traced(stream, msg, trace)?;
             match read_message(stream)? {
                 Some(Message::Error { code, message }) => Err(NetError::Remote { code, message }),
                 Some(reply) => Ok(reply),
@@ -221,7 +258,14 @@ impl DasCluster {
     /// down server fail fast with a typed error.
     pub fn call(&mut self, s: usize, msg: &Message) -> Result<Message, NetError> {
         let policy = self.policy.clone();
-        let result = policy.retry(|| self.call_once(s, msg));
+        let mut attempts = 0u64;
+        let result = policy.retry(|| {
+            attempts += 1;
+            self.call_once(s, msg)
+        });
+        if attempts > 1 {
+            self.metrics.counter("das_client_retries_total", &[]).add(attempts - 1);
+        }
         if result.as_ref().is_err_and(NetError::is_transport) {
             self.mark_down(s);
         }
@@ -366,7 +410,7 @@ impl DasCluster {
                 }));
             }
             if missed > 0 {
-                self.events.push(DegradeEvent::DegradedWrite { file, strip: s, missed });
+                self.record_event(DegradeEvent::DegradedWrite { file, strip: s, missed });
             }
         }
         Ok(())
@@ -397,7 +441,7 @@ impl DasCluster {
                             )));
                         }
                         if pos > 0 {
-                            self.events.push(DegradeEvent::ReplicaFailover {
+                            self.record_event(DegradeEvent::ReplicaFailover {
                                 file,
                                 strip: s,
                                 primary: placement.primary_server.0,
@@ -499,6 +543,24 @@ impl DasCluster {
                 Message::StatsResp(s) => Ok(s),
                 other => Err(NetError::Unexpected { opcode: other.opcode() }),
             })
+            .collect()
+    }
+
+    /// Dump server `s`'s live metrics registry in Prometheus text
+    /// exposition format (see [`Message::MetricsDump`]).
+    pub fn metrics_dump(&mut self, s: usize) -> Result<String, NetError> {
+        match self.call(s, &Message::MetricsDump)? {
+            Message::MetricsText { text } => Ok(text),
+            other => Err(NetError::Unexpected { opcode: other.opcode() }),
+        }
+    }
+
+    /// [`DasCluster::metrics_dump`] from every reachable server,
+    /// paired with its server id.
+    pub fn metrics_dump_all(&mut self) -> Result<Vec<(u32, String)>, NetError> {
+        self.up_servers()
+            .into_iter()
+            .map(|s| self.metrics_dump(s).map(|text| (s as u32, text)))
             .collect()
     }
 
@@ -606,6 +668,41 @@ pub fn run_net_scheme(
     kernel_name: &str,
     img_width: u64,
 ) -> Result<NetRunReport, NetError> {
+    run_net_scheme_opts(cluster, scheme, file, out_name, kernel_name, img_width, true)
+}
+
+/// [`run_net_scheme`] with the Fig. 3 "successive operation?" answer
+/// exposed. `successive: true` (the [`run_net_scheme`] default) takes
+/// the reconfigure-and-accept branch — redistribution amortizes over
+/// the operations that follow. `successive: false` is a one-shot
+/// request: the client predicts the bandwidth cost on the layout as it
+/// stands and **rejects** the offload when dependence fetches would
+/// exceed normal service, serving the run as normal I/O instead (the
+/// daemons' identical double-check records the rejection as a `ts`
+/// decision outcome in their metrics registries).
+#[allow(clippy::too_many_arguments)]
+pub fn run_net_scheme_opts(
+    cluster: &mut DasCluster,
+    scheme: NetScheme,
+    file: u32,
+    out_name: &str,
+    kernel_name: &str,
+    img_width: u64,
+    successive: bool,
+) -> Result<NetRunReport, NetError> {
+    // One trace id per scheme run: every RPC this run issues (and,
+    // server-side, every peer fetch it causes) carries the same id.
+    let trace = cluster.begin_trace();
+    das_obs::event(
+        das_obs::Level::Debug,
+        "das.client",
+        "scheme run",
+        &[
+            ("scheme", scheme.name().to_string()),
+            ("kernel", kernel_name.to_string()),
+            ("trace", format!("{trace:016x}")),
+        ],
+    );
     let dist = cluster.distribution(file)?;
     cluster.reset_stats()?;
 
@@ -627,7 +724,7 @@ pub fn run_net_scheme(
                     return Err(NetError::Protocol(format!("forced offload rejected: {reason}")))
                 }
                 Err(e) if degradable(&e) => {
-                    cluster.events.push(DegradeEvent::DegradedToTs { reason: e.to_string() });
+                    cluster.record_event(DegradeEvent::DegradedToTs { reason: e.to_string() });
                     let out_file = cluster.ensure_out_file(out_name, &dist)?;
                     run_ts_into(cluster, file, out_file, kernel_name, img_width)?;
                 }
@@ -639,7 +736,7 @@ pub fn run_net_scheme(
             // and reconfigure the layout when a successive operation
             // justifies it.
             let as_client = ActiveStorageClient::with_builtin_features();
-            let opts = RequestOptions { img_width, successive: true, ..Default::default() };
+            let opts = RequestOptions { img_width, successive, ..Default::default() };
             let decision = as_client
                 .decide_from_distribution(dist, kernel_name, &opts)
                 .map_err(|e| NetError::Protocol(e.to_string()))?;
@@ -650,7 +747,7 @@ pub fn run_net_scheme(
                         if let Some(plan) = &replan {
                             redistribution_bytes = cluster.redistribute(file, plan.policy)?;
                         }
-                        offload_once(cluster, file, out_name, kernel_name, img_width, true, false)
+                        offload_once(cluster, file, out_name, kernel_name, img_width, successive, false)
                     })(cluster);
                     match das_rung {
                         Ok(Ok(summaries)) => {
@@ -667,9 +764,7 @@ pub fn run_net_scheme(
                         Err(e) if degradable(&e) => {
                             // NAS rung: skip reconfiguration, force an
                             // offload on whatever layout is live.
-                            cluster
-                                .events
-                                .push(DegradeEvent::DegradedToNas { reason: e.to_string() });
+                            cluster.record_event(DegradeEvent::DegradedToNas { reason: e.to_string() });
                             let nas_rung = offload_once(cluster, file, out_name, kernel_name, img_width, false, true);
                             match nas_rung {
                                 Ok(Ok(summaries)) => {
@@ -677,18 +772,14 @@ pub fn run_net_scheme(
                                     exec = summaries;
                                 }
                                 Ok(Err(reason)) => {
-                                    cluster
-                                        .events
-                                        .push(DegradeEvent::DegradedToTs { reason });
+                                    cluster.record_event(DegradeEvent::DegradedToTs { reason });
                                     let out_file = cluster.ensure_out_file(out_name, &dist)?;
                                     run_ts_into(cluster, file, out_file, kernel_name, img_width)?;
                                 }
                                 Err(e2) if degradable(&e2) => {
                                     // TS rung: compute client-side with
                                     // failover reads and tolerant writes.
-                                    cluster
-                                        .events
-                                        .push(DegradeEvent::DegradedToTs { reason: e2.to_string() });
+                                    cluster.record_event(DegradeEvent::DegradedToTs { reason: e2.to_string() });
                                     let out_file = cluster.ensure_out_file(out_name, &dist)?;
                                     run_ts_into(cluster, file, out_file, kernel_name, img_width)?;
                                 }
@@ -699,7 +790,21 @@ pub fn run_net_scheme(
                     }
                 }
                 Decision::Reject { .. } => {
-                    run_normal_io(cluster, file, out_name, kernel_name, img_width, &dist)?;
+                    // Mirror the rejection on the storage side so the
+                    // daemons count a "ts" outcome too: the unforced
+                    // execute is refused by the server's identical
+                    // double-check (FallbackToNormalIo). Advisory —
+                    // any disagreement or failure still serves the
+                    // request, as an offload or as normal I/O.
+                    match offload_once(
+                        cluster, file, out_name, kernel_name, img_width, successive, false,
+                    ) {
+                        Ok(Ok(summaries)) => {
+                            offloaded = true;
+                            exec = summaries;
+                        }
+                        _ => run_normal_io(cluster, file, out_name, kernel_name, img_width, &dist)?,
+                    }
                 }
             }
         }

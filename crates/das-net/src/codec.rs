@@ -8,10 +8,11 @@
 //!      0     4  magic "DASN"
 //!      4     1  protocol version (1)
 //!      5     1  opcode
-//!      6     2  flags (bit 0: CRC32 trailer present; rest reserved 0)
+//!      6     2  flags (bit 0: CRC32 trailer; bit 1: trace id; rest 0)
 //!      8     4  payload length
-//!     12     n  payload (see proto module)
-//!   12+n     4  CRC32 of header+payload (when flag bit 0 is set)
+//!     12     8  trace id (only when flag bit 1 is set)
+//!      …     n  payload (see proto module)
+//!      …     4  CRC32 of header[+trace]+payload (when flag bit 0 set)
 //! ```
 //!
 //! Writers in this build always emit the CRC trailer; readers verify
@@ -19,6 +20,13 @@
 //! a capability-negotiated downgrade stays possible. The checksum
 //! covers the *header as well as* the payload, so a flipped opcode or
 //! length byte is caught, not just corrupted payload bytes.
+//!
+//! The optional 8-byte **trace id** (little-endian, between header
+//! and payload; *not* counted by the payload-length field) correlates
+//! every hop of one logical request across the cluster. It is only
+//! sent to peers that advertised `CAP_TRACE` in their
+//! `Hello`/`HelloOk`, so frames to a legacy peer stay bit-identical
+//! to protocol version 1 without the field.
 
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +37,12 @@ use crate::proto::{DecodeError, ErrorCode, Message, HEADER_LEN, MAGIC, MAX_PAYLO
 /// Frame-header flag bit 0: a 4-byte CRC32 trailer follows the
 /// payload, covering the header and payload bytes.
 pub const FLAG_CRC: u16 = 0x0001;
+
+/// Frame-header flag bit 1: an 8-byte little-endian trace id sits
+/// between the header and the payload (and is covered by the CRC
+/// trailer when both flags are set). Only sent to peers that
+/// advertised [`crate::proto::CAP_TRACE`].
+pub const FLAG_TRACE: u16 = 0x0002;
 
 /// Consecutive mid-frame read timeouts tolerated before the reader
 /// gives up and surfaces a typed timeout error. A peer that started a
@@ -138,14 +152,26 @@ impl From<DecodeError> for NetError {
 /// trailer). Exposed so the fault injector can truncate or corrupt a
 /// frame deliberately; normal senders use [`write_message`].
 pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    encode_frame_traced(msg, None)
+}
+
+/// Like [`encode_frame`], optionally carrying a trace id (sets
+/// `FLAG_TRACE` and inserts the 8-byte field between header and
+/// payload). Callers must only pass `Some` when the receiving peer
+/// advertised [`crate::proto::CAP_TRACE`].
+pub fn encode_frame_traced(msg: &Message, trace: Option<u64>) -> Vec<u8> {
     let payload = msg.encode_payload();
     assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds MAX_PAYLOAD");
-    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    let flags = FLAG_CRC | if trace.is_some() { FLAG_TRACE } else { 0 };
+    let mut frame = Vec::with_capacity(HEADER_LEN + 8 + payload.len() + 4);
     frame.extend_from_slice(&MAGIC);
     frame.push(VERSION);
     frame.push(msg.opcode());
-    frame.extend_from_slice(&FLAG_CRC.to_le_bytes());
+    frame.extend_from_slice(&flags.to_le_bytes());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    if let Some(id) = trace {
+        frame.extend_from_slice(&id.to_le_bytes());
+    }
     frame.extend_from_slice(&payload);
     let crc = crc32(&[&frame]);
     frame.extend_from_slice(&crc.to_le_bytes());
@@ -155,6 +181,16 @@ pub fn encode_frame(msg: &Message) -> Vec<u8> {
 /// Serialize `msg` as one frame onto `w` and flush.
 pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
     w.write_all(&encode_frame(msg))?;
+    w.flush()
+}
+
+/// Serialize `msg` with an optional trace id onto `w` and flush.
+pub fn write_message_traced<W: Write>(
+    w: &mut W,
+    msg: &Message,
+    trace: Option<u64>,
+) -> io::Result<()> {
+    w.write_all(&encode_frame_traced(msg, trace))?;
     w.flush()
 }
 
@@ -204,6 +240,12 @@ fn read_full<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<usize, Ne
 /// stream, so the caller must discard the connection — which every
 /// caller in this crate now does).
 pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Message>, NetError> {
+    Ok(read_frame(r)?.map(|(msg, _trace)| msg))
+}
+
+/// Like [`read_message`], also surfacing the frame's trace id when
+/// the sender attached one (`FLAG_TRACE`).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(Message, Option<u64>)>, NetError> {
     let mut header = [0u8; HEADER_LEN];
     // The first header byte decides clean-close vs mid-frame cut, and
     // a timeout before it belongs to the caller (shutdown polling).
@@ -230,7 +272,7 @@ pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Message>, NetError> {
     }
     let opcode = header[5];
     let flags = u16::from_le_bytes(header[6..8].try_into().unwrap());
-    if flags & !FLAG_CRC != 0 {
+    if flags & !(FLAG_CRC | FLAG_TRACE) != 0 {
         return Err(NetError::Protocol(format!("unknown flags 0x{flags:04x}")));
     }
     let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
@@ -239,6 +281,15 @@ pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Message>, NetError> {
             "payload length {len} exceeds cap {MAX_PAYLOAD}"
         )));
     }
+    let mut trace_field = [0u8; 8];
+    let trace = if flags & FLAG_TRACE != 0 {
+        if read_full(r, &mut trace_field, "trace id")? != 8 {
+            return Err(NetError::Protocol("connection closed mid-trace".into()));
+        }
+        Some(u64::from_le_bytes(trace_field))
+    } else {
+        None
+    };
     let mut payload = vec![0u8; len];
     if read_full(r, &mut payload, "payload")? != len {
         return Err(NetError::Protocol("connection closed mid-payload".into()));
@@ -249,14 +300,18 @@ pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Message>, NetError> {
             return Err(NetError::Protocol("connection closed mid-checksum".into()));
         }
         let wanted = u32::from_le_bytes(trailer);
-        let actual = crc32(&[&header, &payload]);
+        let actual = if trace.is_some() {
+            crc32(&[&header, &trace_field, &payload])
+        } else {
+            crc32(&[&header, &payload])
+        };
         if wanted != actual {
             return Err(NetError::Protocol(format!(
                 "frame checksum mismatch: wire {wanted:#010x}, computed {actual:#010x}"
             )));
         }
     }
-    Ok(Some(Message::decode(opcode, &payload)?))
+    Ok(Some((Message::decode(opcode, &payload)?, trace)))
 }
 
 /// A `Read + Write` wrapper that counts every byte crossing it, in
@@ -388,6 +443,29 @@ mod tests {
         buf.extend_from_slice(&payload);
         let back = read_message(&mut Cursor::new(buf)).unwrap().unwrap();
         assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_and_legacy_readers_differ_only_by_flag() {
+        let msg = Message::GetStrip { file: 3, strip: 9 };
+        let frame = encode_frame_traced(&msg, Some(0xDEAD_BEEF_CAFE_F00D));
+        let (back, trace) = read_frame(&mut Cursor::new(frame)).unwrap().unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(trace, Some(0xDEAD_BEEF_CAFE_F00D));
+        // Untraced frames read identically through both entry points
+        // and report no trace id.
+        let plain = encode_frame(&msg);
+        assert_eq!(plain, encode_frame_traced(&msg, None));
+        let (back, trace) = read_frame(&mut Cursor::new(plain)).unwrap().unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn corrupted_trace_id_fails_the_checksum() {
+        let mut frame = encode_frame_traced(&Message::Ping, Some(42));
+        frame[HEADER_LEN] ^= 0x01; // first byte of the trace field
+        assert!(read_frame(&mut Cursor::new(frame)).is_err());
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub enum FaultClass {
     Server,
     /// Requests on either connection class (not the accept path).
     AnyRequest,
+    /// Redistribution requests (`RedistPrepare`/`RedistCommit`) from
+    /// clients. Peer traffic is exempt so a chaos run stays
+    /// deterministic at the request level.
+    Redist,
+    /// `Execute` requests from clients.
+    Exec,
+    /// `GetStrip` requests from clients.
+    Get,
 }
 
 /// What a firing rule does to the connection.
@@ -79,8 +87,13 @@ pub struct FaultRule {
 pub enum FaultPoint {
     /// A connection was just accepted.
     Accept,
-    /// A request of this class is about to be answered.
-    Request(ConnClass),
+    /// A request is about to be answered.
+    Request {
+        /// The connection's traffic class.
+        class: ConnClass,
+        /// The request's opcode (drives the op-targeted classes).
+        opcode: u8,
+    },
 }
 
 /// A parsed, seeded fault plan. Cheap to share (`Arc`) between the
@@ -117,14 +130,17 @@ impl FaultPlan {
     /// Parse a plan spec: comma-separated rules, each
     /// `class:action[:modifier]*`.
     ///
-    /// * class — `accept`, `client`, `server`, or `any`
+    /// * class — `accept`, `client`, `server`, `any`, or an
+    ///   op-targeted class hitting only client requests of one kind:
+    ///   `redist` (`RedistPrepare`/`RedistCommit`), `exec`
+    ///   (`Execute`), `get` (`GetStrip`)
     /// * action — `refuse` (accept class only), `drop`, `delay=MS`,
     ///   `retryable`, `corrupt`
     /// * modifiers — `xN` (fire at most N times; default unlimited)
     ///   and `pF` (fire with probability F; default 1.0)
     ///
     /// Examples: `client:drop:x2`, `server:retryable:p0.25`,
-    /// `accept:refuse`, `any:delay=50:x3`.
+    /// `accept:refuse`, `any:delay=50:x3`, `redist:retryable:x4`.
     pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
         let mut rules = Vec::new();
         for rule_spec in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
@@ -134,6 +150,9 @@ impl FaultPlan {
                 Some("client") => FaultClass::Client,
                 Some("server") => FaultClass::Server,
                 Some("any") => FaultClass::AnyRequest,
+                Some("redist") => FaultClass::Redist,
+                Some("exec") => FaultClass::Exec,
+                Some("get") => FaultClass::Get,
                 other => return Err(format!("bad fault class {other:?} in {rule_spec:?}")),
             };
             let action = match parts.next() {
@@ -190,13 +209,22 @@ impl FaultPlan {
     /// its action.
     pub fn decide(&self, point: FaultPoint) -> Option<FaultAction> {
         for (i, rule) in self.rules.iter().enumerate() {
-            let matches = matches!(
-                (rule.class, point),
-                (FaultClass::Accept, FaultPoint::Accept)
-                    | (FaultClass::Client, FaultPoint::Request(ConnClass::Client))
-                    | (FaultClass::Server, FaultPoint::Request(ConnClass::Server))
-                    | (FaultClass::AnyRequest, FaultPoint::Request(_))
-            );
+            let matches = match (rule.class, point) {
+                (FaultClass::Accept, FaultPoint::Accept) => true,
+                (FaultClass::Client, FaultPoint::Request { class: ConnClass::Client, .. }) => true,
+                (FaultClass::Server, FaultPoint::Request { class: ConnClass::Server, .. }) => true,
+                (FaultClass::AnyRequest, FaultPoint::Request { .. }) => true,
+                (FaultClass::Redist, FaultPoint::Request { class: ConnClass::Client, opcode }) => {
+                    opcode == 0x20 || opcode == 0x22
+                }
+                (FaultClass::Exec, FaultPoint::Request { class: ConnClass::Client, opcode }) => {
+                    opcode == 0x30
+                }
+                (FaultClass::Get, FaultPoint::Request { class: ConnClass::Client, opcode }) => {
+                    opcode == 0x14
+                }
+                _ => false,
+            };
             if !matches {
                 continue;
             }
@@ -245,13 +273,13 @@ mod tests {
         let plan = FaultPlan::parse("client:drop:x2,server:retryable,accept:refuse:x1", 7).unwrap();
         assert!(!plan.is_empty());
         // Client drops fire exactly twice.
-        assert_eq!(plan.decide(FaultPoint::Request(ConnClass::Client)), Some(FaultAction::DropMidFrame));
-        assert_eq!(plan.decide(FaultPoint::Request(ConnClass::Client)), Some(FaultAction::DropMidFrame));
-        assert_eq!(plan.decide(FaultPoint::Request(ConnClass::Client)), None);
+        assert_eq!(plan.decide(FaultPoint::Request { class: ConnClass::Client, opcode: 0x12 }), Some(FaultAction::DropMidFrame));
+        assert_eq!(plan.decide(FaultPoint::Request { class: ConnClass::Client, opcode: 0x12 }), Some(FaultAction::DropMidFrame));
+        assert_eq!(plan.decide(FaultPoint::Request { class: ConnClass::Client, opcode: 0x12 }), None);
         // Server rule is unlimited.
         for _ in 0..10 {
             assert_eq!(
-                plan.decide(FaultPoint::Request(ConnClass::Server)),
+                plan.decide(FaultPoint::Request { class: ConnClass::Server, opcode: 0x12 }),
                 Some(FaultAction::Retryable)
             );
         }
@@ -266,14 +294,43 @@ mod tests {
     fn any_matches_both_request_classes_but_not_accept() {
         let plan = FaultPlan::parse("any:delay=5", 0).unwrap();
         assert_eq!(
-            plan.decide(FaultPoint::Request(ConnClass::Client)),
+            plan.decide(FaultPoint::Request { class: ConnClass::Client, opcode: 0x12 }),
             Some(FaultAction::Delay { millis: 5 })
         );
         assert_eq!(
-            plan.decide(FaultPoint::Request(ConnClass::Server)),
+            plan.decide(FaultPoint::Request { class: ConnClass::Server, opcode: 0x12 }),
             Some(FaultAction::Delay { millis: 5 })
         );
         assert_eq!(plan.decide(FaultPoint::Accept), None);
+    }
+
+    #[test]
+    fn op_targeted_classes_match_only_their_client_requests() {
+        let plan = FaultPlan::parse("redist:retryable:x2,exec:drop:x1,get:delay=5", 0).unwrap();
+        // Wrong opcode: nothing fires.
+        assert_eq!(plan.decide(FaultPoint::Request { class: ConnClass::Client, opcode: 0x12 }), None);
+        // Server-class traffic is exempt even on matching opcodes.
+        assert_eq!(plan.decide(FaultPoint::Request { class: ConnClass::Server, opcode: 0x30 }), None);
+        assert_eq!(plan.decide(FaultPoint::Request { class: ConnClass::Server, opcode: 0x14 }), None);
+        // Both redistribution phases hit the redist budget.
+        assert_eq!(
+            plan.decide(FaultPoint::Request { class: ConnClass::Client, opcode: 0x20 }),
+            Some(FaultAction::Retryable)
+        );
+        assert_eq!(
+            plan.decide(FaultPoint::Request { class: ConnClass::Client, opcode: 0x22 }),
+            Some(FaultAction::Retryable)
+        );
+        assert_eq!(plan.decide(FaultPoint::Request { class: ConnClass::Client, opcode: 0x20 }), None);
+        assert_eq!(
+            plan.decide(FaultPoint::Request { class: ConnClass::Client, opcode: 0x30 }),
+            Some(FaultAction::DropMidFrame)
+        );
+        assert_eq!(
+            plan.decide(FaultPoint::Request { class: ConnClass::Client, opcode: 0x14 }),
+            Some(FaultAction::Delay { millis: 5 })
+        );
+        assert_eq!(plan.fired(), vec![2, 1, 1]);
     }
 
     #[test]
@@ -281,7 +338,7 @@ mod tests {
         let decide_all = |seed| {
             let plan = FaultPlan::parse("client:retryable:p0.5", seed).unwrap();
             (0..64)
-                .map(|_| plan.decide(FaultPoint::Request(ConnClass::Client)).is_some())
+                .map(|_| plan.decide(FaultPoint::Request { class: ConnClass::Client, opcode: 0x12 }).is_some())
                 .collect::<Vec<_>>()
         };
         assert_eq!(decide_all(42), decide_all(42), "same seed, same stream");

@@ -44,9 +44,16 @@ pub mod proto;
 pub mod retry;
 pub mod server;
 
-pub use client::{run_net_scheme, DasCluster, ExecSummary, NetRunReport, NetScheme};
-pub use codec::{encode_frame, read_message, write_message, CountingStream, NetError, FLAG_CRC};
+pub use client::{
+    run_net_scheme, run_net_scheme_opts, DasCluster, ExecSummary, NetRunReport, NetScheme,
+};
+pub use codec::{
+    encode_frame, encode_frame_traced, read_frame, read_message, write_message,
+    write_message_traced, CountingStream, NetError, FLAG_CRC, FLAG_TRACE,
+};
 pub use fault::{FaultAction, FaultClass, FaultPlan, FaultPoint, FaultRule};
-pub use proto::{ErrorCode, Message, Role, WireStats, CAP_CRC, LOCAL_CAPS, MAX_PAYLOAD, VERSION};
+pub use proto::{
+    ErrorCode, Message, Role, WireStats, CAP_CRC, CAP_TRACE, LOCAL_CAPS, MAX_PAYLOAD, VERSION,
+};
 pub use retry::RetryPolicy;
 pub use server::{spawn, ConnClass, DasdConfig, DasdHandle, StatsRegistry};

@@ -34,12 +34,21 @@ use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::codec::{read_message, write_message, CountingStream, NetError};
-use crate::proto::{ErrorCode, Message, Role, LOCAL_CAPS};
+use crate::codec::{read_message, write_message, write_message_traced, CountingStream, NetError};
+use crate::proto::{ErrorCode, Message, Role, CAP_TRACE, LOCAL_CAPS};
 use crate::retry::RetryPolicy;
 use crate::server::{ConnClass, StatsRegistry};
 
-type PeerConn = Arc<Mutex<CountingStream<TcpStream>>>;
+/// One live peer link plus what its `HelloOk` told us about it: a
+/// peer that did not advertise [`CAP_TRACE`] must keep seeing frames
+/// that are bit-identical to the legacy encoding, so the traced-send
+/// decision is made per link.
+struct Link {
+    stream: CountingStream<TcpStream>,
+    traced: bool,
+}
+
+type PeerConn = Arc<Mutex<Link>>;
 
 /// Addresses of every server in the cluster, indexed by server id,
 /// plus the live outbound connections of one daemon.
@@ -52,6 +61,7 @@ pub struct PeerTable {
     downs: Mutex<HashMap<u32, Instant>>,
     stats: Arc<StatsRegistry>,
     policy: RetryPolicy,
+    metrics: Arc<das_obs::Registry>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -66,15 +76,24 @@ impl PeerTable {
     /// policy. Outbound traffic is counted into `stats` under the
     /// server↔server class.
     pub fn new(self_id: u32, addrs: Vec<String>, stats: Arc<StatsRegistry>) -> Self {
-        PeerTable::with_policy(self_id, addrs, stats, RetryPolicy::default())
+        PeerTable::with_policy(
+            self_id,
+            addrs,
+            stats,
+            RetryPolicy::default(),
+            Arc::new(das_obs::Registry::new()),
+        )
     }
 
-    /// [`PeerTable::new`] with an explicit retry/timeout policy.
+    /// [`PeerTable::new`] with an explicit retry/timeout policy and a
+    /// metrics registry that receives peer-side counters (retries,
+    /// failovers, breaker trips).
     pub fn with_policy(
         self_id: u32,
         addrs: Vec<String>,
         stats: Arc<StatsRegistry>,
         policy: RetryPolicy,
+        metrics: Arc<das_obs::Registry>,
     ) -> Self {
         PeerTable {
             self_id,
@@ -83,6 +102,7 @@ impl PeerTable {
             downs: Mutex::new(HashMap::new()),
             stats,
             policy,
+            metrics,
         }
     }
 
@@ -124,8 +144,8 @@ impl PeerTable {
             &mut stream,
             &Message::Hello { role: Role::Server, peer_id: self.self_id, caps: LOCAL_CAPS },
         )?;
-        match read_message(&mut stream)? {
-            Some(Message::HelloOk { .. }) => {}
+        let traced = match read_message(&mut stream)? {
+            Some(Message::HelloOk { caps, .. }) => caps & CAP_TRACE != 0,
             Some(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
             None => {
                 return Err(NetError::Io(io::Error::new(
@@ -133,19 +153,21 @@ impl PeerTable {
                     "peer closed during handshake",
                 )))
             }
-        }
-        let conn = Arc::new(Mutex::new(stream));
+        };
+        let conn = Arc::new(Mutex::new(Link { stream, traced }));
         Ok(Arc::clone(lock(&self.conns).entry(target).or_insert(conn)))
     }
 
     /// One request/response attempt over the cached (or fresh) link.
     /// Any transport error evicts the connection so the next attempt
     /// redials instead of reusing a socket in an unknown state.
-    fn call_once(&self, target: u32, msg: &Message) -> Result<Message, NetError> {
+    fn call_once(&self, target: u32, msg: &Message, trace: Option<u64>) -> Result<Message, NetError> {
         let conn = self.conn(target)?;
-        let mut stream = lock(&conn);
+        let mut link = lock(&conn);
+        let trace = if link.traced { trace } else { None };
+        let stream = &mut link.stream;
         let result = (|| {
-            write_message(&mut *stream, msg)?;
+            write_message_traced(&mut *stream, msg, trace)?;
             match read_message(&mut *stream)? {
                 Some(Message::Error { code, message }) => Err(NetError::Remote { code, message }),
                 Some(reply) => Ok(reply),
@@ -175,6 +197,18 @@ impl PeerTable {
     /// `NoSuchServer` error; exhausting the retry budget on transport
     /// errors trips the breaker, and any success closes it.
     pub fn call(&self, target: u32, msg: &Message) -> Result<Message, NetError> {
+        self.call_traced(target, msg, None)
+    }
+
+    /// [`PeerTable::call`] carrying an optional request trace id; the
+    /// id is forwarded only over links whose peer advertised
+    /// [`CAP_TRACE`], so legacy peers keep seeing legacy frames.
+    pub fn call_traced(
+        &self,
+        target: u32,
+        msg: &Message,
+        trace: Option<u64>,
+    ) -> Result<Message, NetError> {
         if let Some(&until) = lock(&self.downs).get(&target) {
             if Instant::now() < until {
                 return Err(NetError::Remote {
@@ -183,10 +217,18 @@ impl PeerTable {
                 });
             }
         }
-        let result = self.policy.retry(|| self.call_once(target, msg));
+        let mut attempts = 0u64;
+        let result = self.policy.retry(|| {
+            attempts += 1;
+            self.call_once(target, msg, trace)
+        });
+        if attempts > 1 {
+            self.metrics.counter("dasd_peer_retries_total", &[]).add(attempts - 1);
+        }
         match &result {
             Err(e) if e.is_transport() => {
                 lock(&self.downs).insert(target, Instant::now() + self.cooldown());
+                self.metrics.counter("dasd_peer_breaker_trips_total", &[]).inc();
             }
             _ => {
                 lock(&self.downs).remove(&target);
@@ -195,9 +237,30 @@ impl PeerTable {
         result
     }
 
+    /// Whether each peer's circuit breaker is currently open, for
+    /// live introspection. The self entry is always closed.
+    pub fn breaker_states(&self) -> Vec<(u32, bool)> {
+        let now = Instant::now();
+        let downs = lock(&self.downs);
+        (0..self.addrs.len() as u32)
+            .map(|id| (id, downs.get(&id).is_some_and(|&until| now < until)))
+            .collect()
+    }
+
     /// Fetch one strip of `file` from `target`.
     pub fn get_strip(&self, target: u32, file: u32, strip: u64) -> Result<Vec<u8>, NetError> {
-        match self.call(target, &Message::GetStrip { file, strip })? {
+        self.get_strip_traced(target, file, strip, None)
+    }
+
+    /// [`PeerTable::get_strip`] carrying an optional trace id.
+    pub fn get_strip_traced(
+        &self,
+        target: u32,
+        file: u32,
+        strip: u64,
+        trace: Option<u64>,
+    ) -> Result<Vec<u8>, NetError> {
+        match self.call_traced(target, &Message::GetStrip { file, strip }, trace)? {
             Message::StripData { payload } => Ok(payload),
             other => Err(NetError::Unexpected { opcode: other.opcode() }),
         }
@@ -215,13 +278,31 @@ impl PeerTable {
         file: u32,
         strip: u64,
     ) -> Result<(Vec<u8>, usize), NetError> {
+        self.get_strip_failover_traced(holders, file, strip, None)
+    }
+
+    /// [`PeerTable::get_strip_failover`] carrying an optional trace
+    /// id. A read served by anything but the primary holder bumps
+    /// `dasd_peer_failovers_total`.
+    pub fn get_strip_failover_traced(
+        &self,
+        holders: &[u32],
+        file: u32,
+        strip: u64,
+        trace: Option<u64>,
+    ) -> Result<(Vec<u8>, usize), NetError> {
         let mut last = None;
         for (pos, &holder) in holders.iter().enumerate() {
             if holder == self.self_id {
                 continue;
             }
-            match self.get_strip(holder, file, strip) {
-                Ok(payload) => return Ok((payload, pos)),
+            match self.get_strip_traced(holder, file, strip, trace) {
+                Ok(payload) => {
+                    if pos > 0 {
+                        self.metrics.counter("dasd_peer_failovers_total", &[]).inc();
+                    }
+                    return Ok((payload, pos));
+                }
                 Err(e) => last = Some(e),
             }
         }
@@ -238,7 +319,19 @@ impl PeerTable {
         strip: u64,
         payload: Vec<u8>,
     ) -> Result<(), NetError> {
-        match self.call(target, &Message::PutStrip { file, strip, payload })? {
+        self.put_strip_traced(target, file, strip, payload, None)
+    }
+
+    /// [`PeerTable::put_strip`] carrying an optional trace id.
+    pub fn put_strip_traced(
+        &self,
+        target: u32,
+        file: u32,
+        strip: u64,
+        payload: Vec<u8>,
+        trace: Option<u64>,
+    ) -> Result<(), NetError> {
+        match self.call_traced(target, &Message::PutStrip { file, strip, payload }, trace)? {
             Message::PutStripOk => Ok(()),
             other => Err(NetError::Unexpected { opcode: other.opcode() }),
         }

@@ -29,8 +29,15 @@ pub const HEADER_LEN: usize = 12;
 /// instead of hard-failing on version skew.
 pub const CAP_CRC: u32 = 1 << 0;
 
+/// Capability bit advertised in [`Message::Hello`]/[`Message::HelloOk`]:
+/// the sender understands the `FLAG_TRACE` frame field
+/// ([`crate::codec::FLAG_TRACE`]) carrying a per-request trace id.
+/// Traced frames are only sent to peers that advertised this bit, so
+/// a legacy (CRC-only) peer sees bit-identical frames.
+pub const CAP_TRACE: u32 = 1 << 1;
+
 /// The capabilities this build advertises.
-pub const LOCAL_CAPS: u32 = CAP_CRC;
+pub const LOCAL_CAPS: u32 = CAP_CRC | CAP_TRACE;
 
 /// Who is on the other end of a connection — drives the byte-class a
 /// connection's traffic is accounted under (client↔server vs
@@ -275,6 +282,18 @@ pub enum Message {
     ResetStats,
     /// Counters zeroed.
     ResetStatsOk,
+    /// Dump the daemon's full metrics registry (request counts,
+    /// decision outcomes, predicted-vs-measured bytes, latency
+    /// histograms — the live-introspection surface behind
+    /// `das stats`).
+    MetricsDump,
+    /// The registry in Prometheus text exposition format. Carried as
+    /// a length-prefixed blob (`u32`) because the dump can exceed the
+    /// `u16` string cap.
+    MetricsText {
+        /// Prometheus text exposition body (UTF-8).
+        text: String,
+    },
 
     /// Liveness probe.
     Ping,
@@ -320,11 +339,49 @@ impl Message {
             Message::StatsResp(_) => 0x41,
             Message::ResetStats => 0x42,
             Message::ResetStatsOk => 0x43,
+            Message::MetricsDump => 0x44,
+            Message::MetricsText { .. } => 0x45,
             Message::Ping => 0x50,
             Message::Pong => 0x51,
             Message::Shutdown => 0x52,
             Message::ShutdownOk => 0x53,
             Message::Error { .. } => 0x7F,
+        }
+    }
+
+    /// A stable, human-readable name for the message kind — the `op`
+    /// label of the per-request metrics.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::HelloOk { .. } => "hello_ok",
+            Message::CreateFile { .. } => "create_file",
+            Message::CreateFileOk { .. } => "create_file_ok",
+            Message::PutStrip { .. } => "put_strip",
+            Message::PutStripOk => "put_strip_ok",
+            Message::GetStrip { .. } => "get_strip",
+            Message::StripData { .. } => "strip_data",
+            Message::Lookup { .. } => "lookup",
+            Message::LookupOk { .. } => "lookup_ok",
+            Message::GetDistribution { .. } => "get_distribution",
+            Message::DistributionResp { .. } => "distribution_resp",
+            Message::RedistPrepare { .. } => "redist_prepare",
+            Message::RedistPrepareOk { .. } => "redist_prepare_ok",
+            Message::RedistCommit { .. } => "redist_commit",
+            Message::RedistCommitOk => "redist_commit_ok",
+            Message::Execute { .. } => "execute",
+            Message::ExecuteOk { .. } => "execute_ok",
+            Message::Stats => "stats",
+            Message::StatsResp(_) => "stats_resp",
+            Message::ResetStats => "reset_stats",
+            Message::ResetStatsOk => "reset_stats_ok",
+            Message::MetricsDump => "metrics_dump",
+            Message::MetricsText { .. } => "metrics_text",
+            Message::Ping => "ping",
+            Message::Pong => "pong",
+            Message::Shutdown => "shutdown",
+            Message::ShutdownOk => "shutdown_ok",
+            Message::Error { .. } => "error",
         }
     }
 
@@ -393,9 +450,11 @@ impl Message {
                 put_u64(&mut b, *dep_fetches);
                 put_u64(&mut b, *dep_fetch_bytes);
             }
+            Message::MetricsText { text } => put_blob(&mut b, text.as_bytes()),
             Message::Stats
             | Message::ResetStats
             | Message::ResetStatsOk
+            | Message::MetricsDump
             | Message::Ping
             | Message::Pong
             | Message::Shutdown
@@ -478,6 +537,11 @@ impl Message {
             }),
             0x42 => Message::ResetStats,
             0x43 => Message::ResetStatsOk,
+            0x44 => Message::MetricsDump,
+            0x45 => Message::MetricsText {
+                text: String::from_utf8(d.take_blob()?)
+                    .map_err(|_| DecodeError::new("metrics text not UTF-8"))?,
+            },
             0x50 => Message::Ping,
             0x51 => Message::Pong,
             0x52 => Message::Shutdown,

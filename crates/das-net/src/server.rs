@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use das_core::{dependent_strips, ActiveStorageClient, Decision, RequestOptions};
@@ -41,11 +41,14 @@ use das_kernels::kernel_by_name;
 use das_pfs::{FileId, FileMeta, Layout, ServerId, StorageServer, StripId, StripeSpec};
 use das_runtime::StripAssembly;
 
-use crate::codec::{encode_frame, read_message, write_message, CountingStream, NetError};
+use crate::codec::{
+    encode_frame_traced, read_frame, write_message, write_message_traced, CountingStream, NetError,
+};
 use crate::fault::{FaultAction, FaultPlan, FaultPoint};
 use crate::peer::PeerTable;
-use crate::proto::{ErrorCode, Message, Role, WireStats, LOCAL_CAPS};
+use crate::proto::{ErrorCode, Message, Role, WireStats, CAP_TRACE, LOCAL_CAPS};
 use crate::retry::RetryPolicy;
+use das_obs::log::{event, Level};
 
 /// Lock a mutex, recovering from poison: a worker that panicked while
 /// holding a daemon lock must not wedge every other connection.
@@ -177,6 +180,7 @@ pub struct Shared {
     as_client: ActiveStorageClient,
     peers: PeerTable,
     stats: Arc<StatsRegistry>,
+    metrics: Arc<das_obs::Registry>,
     shutdown: AtomicBool,
     listen_addr: SocketAddr,
     fault: Arc<FaultPlan>,
@@ -211,6 +215,7 @@ pub fn spawn(cfg: DasdConfig, listener: TcpListener) -> std::io::Result<DasdHand
     assert!(cfg.pool >= 2, "need at least two connection handlers");
     let addr = listener.local_addr()?;
     let stats = Arc::new(StatsRegistry::default());
+    let metrics = Arc::new(das_obs::Registry::new());
     let shared = Arc::new(Shared {
         id: ServerId(cfg.id),
         inner: Mutex::new(Inner {
@@ -219,9 +224,17 @@ pub fn spawn(cfg: DasdConfig, listener: TcpListener) -> std::io::Result<DasdHand
             by_name: HashMap::new(),
             staged: HashMap::new(),
         }),
-        as_client: ActiveStorageClient::with_builtin_features(),
-        peers: PeerTable::with_policy(cfg.id, cfg.cluster, Arc::clone(&stats), cfg.retry),
+        as_client: ActiveStorageClient::with_builtin_features()
+            .with_observability(Arc::clone(&metrics)),
+        peers: PeerTable::with_policy(
+            cfg.id,
+            cfg.cluster,
+            Arc::clone(&stats),
+            cfg.retry,
+            Arc::clone(&metrics),
+        ),
         stats,
+        metrics,
         shutdown: AtomicBool::new(false),
         listen_addr: addr,
         fault: cfg.fault,
@@ -285,8 +298,8 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
 
     // First frame must be a Hello; it fixes the traffic class.
     let hello = loop {
-        match read_message(&mut stream) {
-            Ok(Some(m)) => break m,
+        match read_frame(&mut stream) {
+            Ok(Some((m, _))) => break m,
             Ok(None) => return,
             Err(NetError::Io(e))
                 if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) =>
@@ -298,14 +311,18 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             Err(_) => return,
         }
     };
-    let class = match hello {
-        Message::Hello { role: Role::Client, .. } => ConnClass::Client,
-        Message::Hello { role: Role::Server, .. } => ConnClass::Server,
+    let (class, peer_caps) = match hello {
+        Message::Hello { role: Role::Client, caps, .. } => (ConnClass::Client, caps),
+        Message::Hello { role: Role::Server, caps, .. } => (ConnClass::Server, caps),
         _ => {
             let _ = write_message(&mut stream, &err(ErrorCode::BadRequest, "expected Hello"));
             return;
         }
     };
+    // Trace ids are echoed (and propagated to peers) only for peers
+    // that negotiated the capability; a legacy peer keeps seeing
+    // bit-identical version-1 frames.
+    let peer_traced = peer_caps & CAP_TRACE != 0;
     shared.stats.register(class, stream.bytes_in(), stream.bytes_out());
     if write_message(&mut stream, &Message::HelloOk { server_id: shared.id.0, caps: LOCAL_CAPS })
         .is_err()
@@ -313,8 +330,12 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
         return;
     }
 
+    let class_label = match class {
+        ConnClass::Client => "client",
+        ConnClass::Server => "server",
+    };
     loop {
-        let msg = match read_message(&mut stream) {
+        let (msg, trace) = match read_frame(&mut stream) {
             Ok(Some(m)) => m,
             Ok(None) => return,
             Err(NetError::Io(e))
@@ -327,14 +348,49 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             }
             Err(_) => return,
         };
+        let trace = if peer_traced { trace } else { None };
+        let echo = trace;
+        let started = Instant::now();
+        let op = msg.op_name();
+        let opcode = msg.opcode();
+        shared.metrics.counter("dasd_requests_total", &[("op", op), ("class", class_label)]).inc();
+        if das_obs::enabled(Level::Trace) {
+            event(
+                Level::Trace,
+                "dasd",
+                "request",
+                &[
+                    ("server", shared.id.0.to_string()),
+                    ("op", op.to_string()),
+                    ("trace", trace.map(|t| format!("{t:#018x}")).unwrap_or_else(|| "-".into())),
+                ],
+            );
+        }
         let is_shutdown = matches!(msg, Message::Shutdown);
         // Consult the fault plan before answering. Shutdown is exempt
         // so a chaos harness can always tear its cluster down.
-        let fault = if is_shutdown { None } else { shared.fault.decide(FaultPoint::Request(class)) };
+        let fault = if is_shutdown {
+            None
+        } else {
+            shared.fault.decide(FaultPoint::Request { class, opcode })
+        };
+        if let Some(action) = fault {
+            event(
+                Level::Debug,
+                "dasd",
+                "injecting fault",
+                &[
+                    ("server", shared.id.0.to_string()),
+                    ("op", op.to_string()),
+                    ("action", format!("{action:?}")),
+                ],
+            );
+            shared.metrics.counter("dasd_faults_injected_total", &[("op", op)]).inc();
+        }
         match fault {
             Some(FaultAction::Retryable) => {
                 let reply = err(ErrorCode::Retryable, "injected fault: try again");
-                if write_message(&mut stream, &reply).is_err() {
+                if write_message_traced(&mut stream, &reply, echo).is_err() {
                     return;
                 }
                 continue;
@@ -345,14 +401,14 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             Some(FaultAction::DropMidFrame) => {
                 // Send half of the real reply, then cut the connection:
                 // the peer sees a mid-frame EOF, never a valid frame.
-                let frame = encode_frame(&dispatch(shared, msg));
+                let frame = encode_frame_traced(&dispatch(shared, msg, trace), echo);
                 let _ = stream.write_all(&frame[..frame.len() / 2]);
                 return;
             }
             Some(FaultAction::CorruptCrc) => {
                 // The real reply with its checksum trailer flipped: the
                 // peer's codec must reject it as corrupt, not parse it.
-                let mut frame = encode_frame(&dispatch(shared, msg));
+                let mut frame = encode_frame_traced(&dispatch(shared, msg, trace), echo);
                 let last = frame.len() - 1;
                 frame[last] ^= 0xFF;
                 if stream.write_all(&frame).is_err() {
@@ -362,8 +418,25 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             }
             Some(FaultAction::RefuseAccept) | None => {}
         }
-        let reply = dispatch(shared, msg);
-        if write_message(&mut stream, &reply).is_err() {
+        let reply = dispatch(shared, msg, trace);
+        shared
+            .metrics
+            .histogram("dasd_request_duration_us", &[("op", op)])
+            .observe(started.elapsed().as_micros() as u64);
+        if let Message::Error { code, message } = &reply {
+            event(
+                Level::Debug,
+                "dasd",
+                "request failed",
+                &[
+                    ("server", shared.id.0.to_string()),
+                    ("op", op.to_string()),
+                    ("code", format!("{code:?}")),
+                    ("detail", message.clone()),
+                ],
+            );
+        }
+        if write_message_traced(&mut stream, &reply, echo).is_err() {
             return;
         }
         if is_shutdown {
@@ -379,7 +452,7 @@ fn initiate_shutdown(shared: &Shared) {
     let _ = TcpStream::connect(shared.listen_addr);
 }
 
-fn dispatch(shared: &Shared, msg: Message) -> Message {
+fn dispatch(shared: &Shared, msg: Message, trace: Option<u64>) -> Message {
     match msg {
         Message::Hello { .. } => err(ErrorCode::BadRequest, "duplicate Hello"),
         Message::Ping => Message::Pong,
@@ -388,6 +461,30 @@ fn dispatch(shared: &Shared, msg: Message) -> Message {
         Message::ResetStats => {
             shared.stats.reset();
             Message::ResetStatsOk
+        }
+        Message::MetricsDump => {
+            // Mirror the live per-class byte counters into gauges so
+            // one dump carries the whole picture.
+            let s = shared.stats.snapshot();
+            for (class, dir, v) in [
+                ("client", "in", s.client_in),
+                ("client", "out", s.client_out),
+                ("server", "in", s.server_in),
+                ("server", "out", s.server_out),
+            ] {
+                shared
+                    .metrics
+                    .gauge("dasd_wire_bytes", &[("class", class), ("dir", dir)])
+                    .set(v as i64);
+            }
+            shared.metrics.gauge("dasd_server_id", &[]).set(i64::from(shared.id.0));
+            for (peer, open) in shared.peers.breaker_states() {
+                shared
+                    .metrics
+                    .gauge("dasd_peer_breaker_open", &[("peer", &peer.to_string())])
+                    .set(i64::from(open));
+            }
+            Message::MetricsText { text: shared.metrics.encode() }
         }
         Message::CreateFile { name, file_len, strip_size, policy, servers } => {
             if servers != shared.peers.cluster_size() {
@@ -497,10 +594,14 @@ fn dispatch(shared: &Shared, msg: Message) -> Message {
                 ),
             }
         }
-        Message::RedistPrepare { file, policy } => redist_prepare(shared, file, policy),
+        Message::RedistPrepare { file, policy } => redist_prepare(shared, file, policy, trace),
         Message::RedistCommit { file, policy } => redist_commit(shared, file, policy),
         Message::Execute { file, out_file, kernel, img_width, element_size, successive, force } => {
-            execute(shared, file, out_file, &kernel, img_width, element_size, successive, force)
+            execute(
+                shared,
+                ExecuteArgs { file, out_file, kernel: &kernel, img_width, element_size, successive, force },
+                trace,
+            )
         }
         // Response opcodes arriving as requests.
         other => err(ErrorCode::BadRequest, format!("unexpected opcode 0x{:02x}", other.opcode())),
@@ -519,7 +620,12 @@ fn dist_of(meta: &FileMeta) -> das_pfs::DistributionInfo {
 /// Phase one of redistribution: pull every strip this server gains
 /// under `policy` from its current primary, into the staging area.
 /// The live layout is untouched until every server has prepared.
-fn redist_prepare(shared: &Shared, file: u32, policy: das_pfs::LayoutPolicy) -> Message {
+fn redist_prepare(
+    shared: &Shared,
+    file: u32,
+    policy: das_pfs::LayoutPolicy,
+    trace: Option<u64>,
+) -> Message {
     let (id, old_layout, spec, len, strip_count) = {
         let inner = lock(&shared.inner);
         match inner.meta(file) {
@@ -547,7 +653,7 @@ fn redist_prepare(shared: &Shared, file: u32, policy: das_pfs::LayoutPolicy) -> 
         // the redistribution and degrade.
         let holders: Vec<u32> =
             old_layout.placement(sid).holders().iter().map(|h| h.0).collect();
-        let payload = match shared.peers.get_strip_failover(&holders, file, sid.0) {
+        let payload = match shared.peers.get_strip_failover_traced(&holders, file, sid.0, trace) {
             Ok((p, _)) => p,
             Err(e) => {
                 return err(
@@ -608,18 +714,21 @@ fn redist_commit(shared: &Shared, file: u32, policy: das_pfs::LayoutPolicy) -> M
     Message::RedistCommitOk
 }
 
-/// The active-storage execution path (paper Fig. 3 right branch).
-#[allow(clippy::too_many_arguments)]
-fn execute(
-    shared: &Shared,
+/// Arguments of one [`Message::Execute`] request.
+struct ExecuteArgs<'a> {
     file: u32,
     out_file: u32,
-    kernel_name: &str,
+    kernel: &'a str,
     img_width: u64,
     element_size: u32,
     successive: bool,
     force: bool,
-) -> Message {
+}
+
+/// The active-storage execution path (paper Fig. 3 right branch).
+fn execute(shared: &Shared, args: ExecuteArgs<'_>, trace: Option<u64>) -> Message {
+    let ExecuteArgs { file, out_file, kernel: kernel_name, img_width, element_size, successive, force } =
+        args;
     if element_size != 4 {
         return err(ErrorCode::BadRequest, format!("unsupported element size {element_size}"));
     }
@@ -668,19 +777,49 @@ fn execute(
         );
     }
 
-    // The decision workflow — skipped when the client forces the
-    // offload (the NAS scheme's "always offload" behaviour).
-    if !force {
-        let dist = das_pfs::DistributionInfo {
-            strip_size: spec.strip_size,
-            servers: layout.servers,
-            policy: layout.policy,
-            file_len: len,
-        };
-        let opts = RequestOptions { img_width, element_size: 4, successive, ..Default::default() };
-        match shared.as_client.decide_from_distribution(dist, kernel_name, &opts) {
-            Ok(Decision::Offload { .. }) => {}
+    // The decision workflow. A forced offload (the NAS scheme's
+    // "always offload" behaviour) skips the *gate* but still runs the
+    // predictor, so predicted-vs-measured stays queryable for every
+    // outcome. Each daemon sees the same metadata, so its predicted_*
+    // counters carry the full cluster-wide Eqs. 1–13 prediction per
+    // Execute; the measured dep-fetch counters carry only this
+    // daemon's share (sum them across the fleet to compare).
+    let dist = das_pfs::DistributionInfo {
+        strip_size: spec.strip_size,
+        servers: layout.servers,
+        policy: layout.policy,
+        file_len: len,
+    };
+    let opts = RequestOptions { img_width, element_size: 4, successive, ..Default::default() };
+    let decision = shared.as_client.decide_from_distribution(dist, kernel_name, &opts);
+    if let Ok(d) = &decision {
+        let p = d.predicted();
+        shared.metrics.counter("dasd_predicted_dep_fetches_total", &[]).add(p.nas.fetches);
+        shared.metrics.counter("dasd_predicted_dep_fetch_bytes_total", &[]).add(p.nas.bytes);
+        shared
+            .metrics
+            .counter("dasd_predicted_ts_client_bytes_total", &[])
+            .add(p.ts_client_bytes);
+    }
+    let outcome = if force {
+        "nas"
+    } else {
+        match decision {
+            Ok(Decision::Offload { .. }) => "das",
             Ok(Decision::Reject { reason, predicted }) => {
+                shared.metrics.counter("dasd_decisions_total", &[("outcome", "ts")]).inc();
+                event(
+                    Level::Info,
+                    "dasd",
+                    "offload rejected",
+                    &[
+                        ("server", shared.id.0.to_string()),
+                        ("kernel", kernel_name.to_string()),
+                        ("reason", format!("{reason:?}")),
+                        ("predicted_fetch_bytes", predicted.nas.bytes.to_string()),
+                        ("ts_client_bytes", predicted.ts_client_bytes.to_string()),
+                    ],
+                );
                 return err(
                     ErrorCode::FallbackToNormalIo,
                     format!(
@@ -691,7 +830,19 @@ fn execute(
             }
             Err(e) => return err(ErrorCode::BadRequest, e.to_string()),
         }
-    }
+    };
+    shared.metrics.counter("dasd_decisions_total", &[("outcome", outcome)]).inc();
+    event(
+        Level::Info,
+        "dasd",
+        "offload accepted",
+        &[
+            ("server", shared.id.0.to_string()),
+            ("kernel", kernel_name.to_string()),
+            ("outcome", outcome.to_string()),
+            ("trace", trace.map(|t| format!("{t:#018x}")).unwrap_or_else(|| "-".into())),
+        ],
+    );
 
     let height = len / row_bytes;
     let elems_per_strip = spec.strip_size as u64 / 4;
@@ -721,7 +872,7 @@ fn execute(
             // scheme instead of hanging.
             let holders: Vec<u32> =
                 layout.placement(StripId(u)).holders().iter().map(|h| h.0).collect();
-            let payload = match shared.peers.get_strip_failover(&holders, file, u) {
+            let payload = match shared.peers.get_strip_failover_traced(&holders, file, u, trace) {
                 Ok((p, _)) => p,
                 Err(e) => {
                     return err(
@@ -753,9 +904,18 @@ fn execute(
             // a holder that stays down just means this output strip is
             // stored at reduced redundancy — the primary copy above is
             // the authoritative one, so the execution still succeeds.
-            let _ = shared.peers.put_strip(replica.0, out_file, t.0, out_bytes.clone());
+            if shared
+                .peers
+                .put_strip_traced(replica.0, out_file, t.0, out_bytes.clone(), trace)
+                .is_err()
+            {
+                shared.metrics.counter("dasd_replica_forward_failures_total", &[]).inc();
+            }
         }
     }
 
+    shared.metrics.counter("dasd_strips_computed_total", &[]).add(tasks.len() as u64);
+    shared.metrics.counter("dasd_dep_fetches_total", &[]).add(dep_fetches);
+    shared.metrics.counter("dasd_dep_fetch_bytes_total", &[]).add(dep_fetch_bytes);
     Message::ExecuteOk { strips_computed: tasks.len() as u64, dep_fetches, dep_fetch_bytes }
 }

@@ -23,8 +23,8 @@ use std::time::{Duration, Instant};
 
 use das_kernels::{kernel_by_name, workload};
 use das_net::{
-    run_net_scheme, spawn, DasCluster, DasdConfig, DasdHandle, FaultPlan, Message, NetError,
-    NetScheme, RetryPolicy,
+    run_net_scheme, run_net_scheme_opts, spawn, DasCluster, DasdConfig, DasdHandle, FaultPlan,
+    Message, NetError, NetScheme, RetryPolicy,
 };
 use das_pfs::LayoutPolicy;
 use das_runtime::{run_scheme, ClusterConfig, DegradeEvent, SchemeKind};
@@ -340,6 +340,197 @@ fn persistently_refusing_server_is_routed_around() {
     assert!(h.plans[3].total_fired() > 0, "the refuse rule never fired");
     // Server 3 can never hear Shutdown — leak its accept thread.
     h.teardown_except(&[3]);
+}
+
+/// The observability acceptance scenario: one chaos run that produces
+/// all three decision outcomes — a clean DAS offload, a NAS-degraded
+/// run (redistribution exhausts a retry budget), and a TS rejection
+/// (thrash geometry) — plus a replica failover, then introspects the
+/// *live* daemons over the wire (`das stats` via the library API) and
+/// holds the registries to the run:
+///
+/// * summed `dasd_decisions_total` reports ≥ 1 of each of das/nas/ts;
+/// * the Eqs. 1–13 predicted dependence counters are nonzero and the
+///   measured fleet sum is nonzero (the prediction-error metric is
+///   computable);
+/// * client retry and degrade counters match the faults that fired.
+#[test]
+fn live_metrics_expose_decisions_predictions_and_fault_handling() {
+    let input = workload::fbm_dem(WIDTH, HEIGHT, 42);
+    let data = input.to_bytes();
+
+    let mut h = boot_with(
+        SERVERS,
+        &[
+            // RedistPrepare against server 0 exhausts one full retry
+            // budget (fast() = 4 attempts), degrading the first DAS
+            // run to a forced NAS offload.
+            (0, "redist:retryable:x4"),
+            // The first strip read from server 2 exhausts a budget
+            // too, forcing a replica failover.
+            (2, "get:retryable:x4"),
+        ],
+    );
+
+    // Replicated copy: the faulty GetStrip path has a replica to fail
+    // over to. Read it first so the `get` budget is consumed here and
+    // not by a scheme run's verification read-back.
+    let rep = h
+        .cluster
+        .create_file(
+            "dem.rep",
+            data.len() as u64,
+            STRIP as u32,
+            LayoutPolicy::GroupedReplicated { group: 2 },
+        )
+        .unwrap();
+    h.cluster.put_file(rep, &data).unwrap();
+    assert_eq!(h.cluster.read_file(rep).unwrap(), data, "failover read corrupted");
+    let read_tags = tags(&h.cluster.take_events());
+    assert!(read_tags.contains(&"replica-failover"), "no failover in {read_tags:?}");
+
+    // Round-robin copy for the offload runs.
+    let rr = h
+        .cluster
+        .create_file("dem.rr", data.len() as u64, STRIP as u32, LayoutPolicy::RoundRobin)
+        .unwrap();
+    h.cluster.put_file(rr, &data).unwrap();
+
+    // Run 1: redistribution fails → NAS rung → every daemon records a
+    // forced ("nas") outcome.
+    let nas_run =
+        run_net_scheme(&mut h.cluster, NetScheme::Das, rr, "m.nas", "flow-routing", WIDTH).unwrap();
+    assert!(nas_run.offloaded, "the NAS rung should absorb the redistribution failure");
+    assert!(
+        tags(&nas_run.degradations).contains(&"degraded-to-nas"),
+        "ladder not recorded: {:?}",
+        tags(&nas_run.degradations)
+    );
+
+    // Run 2: budgets consumed — a clean DAS offload ("das" outcome).
+    let das_run =
+        run_net_scheme(&mut h.cluster, NetScheme::Das, rr, "m.das", "flow-routing", WIDTH).unwrap();
+    assert!(das_run.offloaded);
+    assert!(das_run.degradations.is_empty(), "clean run degraded: {:?}", das_run.degradations);
+
+    // Run 3: a one-shot (non-successive) request on thrash geometry —
+    // one row per strip, so per-strip dependence fetches exceed the
+    // whole file twice over. The decision gate refuses and the
+    // confirming unforced execute lets the daemons record "ts".
+    let thrash_input = workload::fbm_dem(64, 256, 9);
+    let tdata = thrash_input.to_bytes();
+    let thrash = h
+        .cluster
+        .create_file("thrash.raw", tdata.len() as u64, 256, LayoutPolicy::RoundRobin)
+        .unwrap();
+    h.cluster.put_file(thrash, &tdata).unwrap();
+    let ts_run = run_net_scheme_opts(
+        &mut h.cluster,
+        NetScheme::Das,
+        thrash,
+        "m.ts",
+        "flow-routing",
+        64,
+        false,
+    )
+    .unwrap();
+    assert!(!ts_run.offloaded, "thrash geometry must be rejected one-shot");
+
+    // Live introspection: pull every daemon's registry over the wire.
+    let dumps = h.cluster.metrics_dump_all().expect("metrics dump");
+    assert_eq!(dumps.len(), SERVERS);
+    let (mut das_n, mut nas_n, mut ts_n) = (0.0, 0.0, 0.0);
+    let (mut pred_max, mut meas_sum) = (0.0f64, 0.0f64);
+    for (_id, text) in &dumps {
+        let s = das_obs::parse(text);
+        let outcome = |o| das_obs::sample_value(&s, "dasd_decisions_total", &[("outcome", o)]);
+        das_n += outcome("das").unwrap_or(0.0);
+        nas_n += outcome("nas").unwrap_or(0.0);
+        ts_n += outcome("ts").unwrap_or(0.0);
+        pred_max = pred_max
+            .max(das_obs::sample_value(&s, "dasd_predicted_dep_fetch_bytes_total", &[])
+                .unwrap_or(0.0));
+        meas_sum +=
+            das_obs::sample_value(&s, "dasd_dep_fetch_bytes_total", &[]).unwrap_or(0.0);
+    }
+    assert!(das_n >= 1.0, "no das outcome recorded (das={das_n} nas={nas_n} ts={ts_n})");
+    assert!(nas_n >= 1.0, "no nas outcome recorded (das={das_n} nas={nas_n} ts={ts_n})");
+    assert!(ts_n >= 1.0, "no ts outcome recorded (das={das_n} nas={nas_n} ts={ts_n})");
+    assert!(pred_max > 0.0, "predicted dependence counters are empty");
+    assert!(meas_sum > 0.0, "no dependence fetch was measured (forced NAS run should)");
+
+    // Client-side fault handling: two exhausted 4-attempt budgets are
+    // 3 recorded retries each, and each degrade event was counted.
+    let cs = das_obs::parse(&h.cluster.metrics().encode());
+    let retries = das_obs::sample_value(&cs, "das_client_retries_total", &[]).unwrap_or(0.0);
+    assert!(retries >= 6.0, "expected ≥ 6 client retries, saw {retries}");
+    for ev in ["replica-failover", "degraded-to-nas"] {
+        let n = das_obs::sample_value(&cs, "das_client_degrade_events_total", &[("event", ev)])
+            .unwrap_or(0.0);
+        assert!(n >= 1.0, "degrade counter {ev} not incremented");
+    }
+
+    // The budgets really were consumed by the scenario above.
+    assert_eq!(h.plans[0].total_fired(), 4, "server 0 fired {:?}", h.plans[0].fired());
+    assert_eq!(h.plans[2].total_fired(), 4, "server 2 fired {:?}", h.plans[2].fired());
+
+    h.teardown();
+}
+
+/// The degrade-event/metrics invariant: after a chaos run the client
+/// registry's `das_client_degrade_events_total{event=…}` counters are
+/// exactly the multiset of [`DegradeEvent::tag`]s the run reported —
+/// the two can never disagree because the counter is bumped at the
+/// same site that records the event.
+#[test]
+fn client_degrade_counters_match_recorded_events() {
+    let input = workload::fbm_dem(WIDTH, HEIGHT, 42);
+    let data = input.to_bytes();
+
+    let mut h = boot_with(SERVERS, &[]);
+    let file = h
+        .cluster
+        .create_file(
+            "dem.rep",
+            data.len() as u64,
+            STRIP as u32,
+            LayoutPolicy::GroupedReplicated { group: 2 },
+        )
+        .unwrap();
+    h.cluster.put_file(file, &data).unwrap();
+    h.kill_server(1);
+
+    // Exercise every event kind: a failover read, then the full
+    // DAS → NAS → normal-I/O ladder against the dead server.
+    let mut all: Vec<DegradeEvent> = Vec::new();
+    assert_eq!(h.cluster.read_file(file).unwrap(), data, "failover read corrupted");
+    all.extend(h.cluster.take_events());
+    let das = run_net_scheme(&mut h.cluster, NetScheme::Das, file, "cnt.das", "flow-routing", WIDTH)
+        .unwrap();
+    assert!(!das.offloaded);
+    all.extend(das.degradations);
+    assert!(!all.is_empty(), "scenario produced no degrade events");
+
+    let mut counted: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for e in &all {
+        *counted.entry(e.tag()).or_insert(0) += 1;
+    }
+
+    // Draining events does NOT reset the registry, so the counters
+    // must equal the event counts — including zero for tags that
+    // never fired.
+    let cs = das_obs::parse(&h.cluster.metrics().encode());
+    for tag in
+        ["server-unavailable", "replica-failover", "degraded-write", "degraded-to-nas", "degraded-to-ts"]
+    {
+        let events = counted.get(tag).copied().unwrap_or(0);
+        let counter =
+            das_obs::sample_value(&cs, "das_client_degrade_events_total", &[("event", tag)])
+                .unwrap_or(0.0) as u64;
+        assert_eq!(counter, events, "counter vs reported events disagree for {tag:?}");
+    }
+
+    h.teardown();
 }
 
 /// Regression: the full CLI lifecycle with *separate* clients per

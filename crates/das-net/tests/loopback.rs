@@ -279,3 +279,73 @@ fn rejected_offload_falls_back_to_normal_io() {
     assert_eq!(nas.output_fingerprint, das.output_fingerprint);
     h.teardown();
 }
+
+/// Read one whole frame's raw bytes off a stream: header, optional
+/// trace field, payload, optional checksum trailer.
+fn read_raw_frame(sock: &mut std::net::TcpStream) -> Vec<u8> {
+    use std::io::Read as _;
+    let mut header = [0u8; 12];
+    sock.read_exact(&mut header).expect("frame header");
+    let flags = u16::from_le_bytes([header[6], header[7]]);
+    let payload_len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    let mut rest = payload_len;
+    if flags & das_net::FLAG_TRACE != 0 {
+        rest += 8;
+    }
+    if flags & das_net::FLAG_CRC != 0 {
+        rest += 4;
+    }
+    let mut body = vec![0u8; rest];
+    sock.read_exact(&mut body).expect("frame body");
+    let mut frame = header.to_vec();
+    frame.extend_from_slice(&body);
+    frame
+}
+
+#[test]
+fn crc_only_client_interops_bit_identically() {
+    use std::io::Write as _;
+
+    use das_net::{encode_frame, Message, Role, CAP_CRC, CAP_TRACE};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = spawn(DasdConfig::new(0, vec![addr.clone()]), listener).expect("spawn dasd");
+
+    // A pre-CAP_TRACE client: advertises only the checksum capability
+    // and speaks the legacy frame encoding.
+    let mut sock = std::net::TcpStream::connect(&addr).expect("connect");
+    sock.write_all(&encode_frame(&Message::Hello {
+        role: Role::Client,
+        peer_id: 0,
+        caps: CAP_CRC,
+    }))
+    .expect("hello");
+
+    // The server still advertises everything it can do…
+    let hello_ok = read_raw_frame(&mut sock);
+    let flags = u16::from_le_bytes([hello_ok[6], hello_ok[7]]);
+    assert_eq!(flags & das_net::FLAG_TRACE, 0, "handshake reply must not carry a trace field");
+    match das_net::read_frame(&mut std::io::Cursor::new(&hello_ok)).expect("parse").unwrap() {
+        (Message::HelloOk { caps, .. }, None) => {
+            assert_ne!(caps & CAP_TRACE, 0, "server should advertise CAP_TRACE")
+        }
+        other => panic!("expected HelloOk, got {other:?}"),
+    }
+
+    // …but every reply to this client must be bit-identical to the
+    // legacy encoding: no trace field, no new flags.
+    sock.write_all(&encode_frame(&Message::Ping)).expect("ping");
+    let reply = read_raw_frame(&mut sock);
+    assert_eq!(
+        reply,
+        encode_frame(&Message::Pong),
+        "reply to a CRC-only client must match the legacy encoding byte-for-byte"
+    );
+
+    sock.write_all(&encode_frame(&Message::Shutdown)).expect("shutdown");
+    let reply = read_raw_frame(&mut sock);
+    assert_eq!(reply, encode_frame(&Message::ShutdownOk));
+    drop(sock);
+    handle.join();
+}

@@ -4,7 +4,7 @@
 
 use std::io::Cursor;
 
-use das_net::{read_message, write_message, Message, NetError};
+use das_net::{read_frame, read_message, write_message, Message, NetError};
 use das_net::{ErrorCode, Role, WireStats, MAX_PAYLOAD};
 use das_pfs::LayoutPolicy;
 use proptest::prelude::*;
@@ -125,6 +125,10 @@ fn arb_message() -> BoxedStrategy<Message> {
         ),
         Just(Message::ResetStats),
         Just(Message::ResetStatsOk),
+        Just(Message::MetricsDump),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|bytes| Message::MetricsText {
+            text: String::from_utf8_lossy(&bytes).into_owned(),
+        }),
         Just(Message::Ping),
         Just(Message::Pong),
         Just(Message::Shutdown),
@@ -211,12 +215,62 @@ proptest! {
     }
 
     #[test]
+    fn traced_frames_roundtrip_message_and_trace_id(msg in arb_message(), trace in any::<u64>()) {
+        let frame = das_net::encode_frame_traced(&msg, Some(trace));
+        let mut cursor = Cursor::new(&frame);
+        let (back, got_trace) = read_frame(&mut cursor).expect("decode").expect("one frame");
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(got_trace, Some(trace));
+        prop_assert!(read_frame(&mut cursor).expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_a_traced_frame_is_rejected(
+        msg in arb_message(),
+        trace in any::<u64>(),
+        pos in any::<u32>(),
+        bit in 0u8..8,
+    ) {
+        // Same contract as the untraced property: the checksum covers
+        // the header, the trace field and the payload, so one flipped
+        // bit yields a typed error. Two exceptions, both in the flag
+        // byte (pos 6): bit 0 clears FLAG_CRC, producing a valid
+        // CRC-less traced frame whose orphaned trailer desyncs the
+        // next read; bit 1 clears FLAG_TRACE, shifting the reader's
+        // payload window over the trace field so the checksum compares
+        // unrelated bytes (astronomically unlikely to pass, but not
+        // structurally impossible — tolerated if it ever does).
+        let mut frame = das_net::encode_frame_traced(&msg, Some(trace));
+        let pos = (pos as usize) % frame.len();
+        frame[pos] ^= 1 << bit;
+        let mut cursor = Cursor::new(&frame);
+        match read_frame(&mut cursor) {
+            Err(_) => {}
+            Ok(got) => {
+                prop_assert_eq!(pos, 6, "corruption outside the flag byte parsed: {:?}", got);
+                prop_assert!(bit <= 1, "unknown flag bit survived: {:?}", got);
+                if bit == 0 {
+                    prop_assert_eq!(
+                        got,
+                        Some((msg.clone(), Some(trace))),
+                        "flag-cleared frame misparsed"
+                    );
+                    prop_assert!(
+                        read_frame(&mut cursor).is_err(),
+                        "orphaned checksum trailer went undetected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn unknown_opcodes_are_rejected(op in any::<u8>()) {
         // Opcodes outside the assigned set must fail cleanly even
         // with an empty payload.
         let assigned = [
             0x01, 0x02, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19,
-            0x20, 0x21, 0x22, 0x23, 0x30, 0x31, 0x40, 0x41, 0x42, 0x43,
+            0x20, 0x21, 0x22, 0x23, 0x30, 0x31, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45,
             0x50, 0x51, 0x52, 0x53, 0x7F,
         ];
         if !assigned.contains(&op) {

@@ -1,0 +1,27 @@
+//! Dependency-free observability for the DAS stack.
+//!
+//! Three small pieces, shared by every crate in the workspace:
+//!
+//! * [`metrics`] — a registry of atomic counters, gauges and
+//!   log₂-bucketed histograms, encoded in Prometheus text exposition
+//!   format (and parsed back, for tests and the `das stats` CLI);
+//! * [`log`] — leveled, targeted structured events with a compact
+//!   human format on stderr and an optional JSON-lines sink,
+//!   configured via `DASD_LOG` / `DASD_LOG_FORMAT`;
+//! * [`trace`] — per-request trace-id minting, carried over the wire
+//!   behind the `CAP_TRACE` capability so one offload's cross-server
+//!   fan-out is correlatable end to end.
+//!
+//! The crate has **no dependencies** (std only) so every layer — the
+//! codec, the daemon, the client, the in-process runtime — can afford
+//! to link it.
+
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use log::{enabled, event, set_json, set_level, Level};
+pub use metrics::{parse, sample_value, Counter, Gauge, Histogram, Registry, Sample};
+pub use trace::next_trace_id;

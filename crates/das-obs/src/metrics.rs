@@ -1,0 +1,462 @@
+//! Metrics registry: atomic counters, gauges and log₂ histograms,
+//! registered by name + label set and encoded in Prometheus text
+//! exposition format.
+//!
+//! Handles are `Arc`s: registering the same name and labels twice
+//! returns the same underlying metric, so hot paths can cache a
+//! handle once and bump it lock-free forever after.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge that can move in both directions.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Overwrite the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for `0`, one per power of two up
+/// to `2^63`, and the top bucket reaching `u64::MAX`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket an observation lands in: `0` holds only zero and bucket
+/// `i ≥ 1` holds `[2^(i-1), 2^i - 1]`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`; `None` means unbounded
+/// (rendered as `+Inf`).
+pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+    if i == 0 {
+        Some(0)
+    } else if i >= HIST_BUCKETS - 1 {
+        None
+    } else {
+        Some((1u64 << i) - 1)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` observations (latencies in
+/// microseconds, sizes in bytes). The sum wraps on `u64` overflow.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Wrapping sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// One registered metric's identity: sanitized name plus label pairs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<Key, Arc<Counter>>,
+    gauges: BTreeMap<Key, Arc<Gauge>>,
+    histograms: BTreeMap<Key, Arc<Histogram>>,
+}
+
+/// A registry of named metrics. Cloning the `Arc<Registry>` that owns
+/// it is the intended sharing model.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+/// Force a string into the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_` and an
+/// empty or digit-leading name gains a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    Key {
+        name: sanitize_name(name),
+        labels: labels
+            .iter()
+            .map(|(k, v)| (sanitize_name(k), v.to_string()))
+            .collect(),
+    }
+}
+
+fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The counter registered under `name` + `labels`, creating it on
+    /// first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        Arc::clone(self.lock().counters.entry(key(name, labels)).or_default())
+    }
+
+    /// The gauge registered under `name` + `labels`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        Arc::clone(self.lock().gauges.entry(key(name, labels)).or_default())
+    }
+
+    /// The histogram registered under `name` + `labels`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        Arc::clone(self.lock().histograms.entry(key(name, labels)).or_default())
+    }
+
+    /// Encode every metric in Prometheus text exposition format.
+    ///
+    /// Histograms emit cumulative `_bucket{le=...}` series (only
+    /// non-empty buckets, plus the mandatory `+Inf`), `_sum` and
+    /// `_count`. Output order is deterministic (sorted by name, then
+    /// labels).
+    pub fn encode(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        let mut last_type: Option<(String, String)> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let cur = Some((name.to_string(), kind.to_string()));
+            if last_type != cur {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                last_type = cur;
+            }
+        };
+        for (k, c) in &inner.counters {
+            type_line(&mut out, &k.name, "counter");
+            out.push_str(&format!("{}{} {}\n", k.name, fmt_labels(&k.labels, None), c.get()));
+        }
+        for (k, g) in &inner.gauges {
+            type_line(&mut out, &k.name, "gauge");
+            out.push_str(&format!("{}{} {}\n", k.name, fmt_labels(&k.labels, None), g.get()));
+        }
+        for (k, h) in &inner.histograms {
+            type_line(&mut out, &k.name, "histogram");
+            let counts = h.bucket_counts();
+            let mut cum = 0u64;
+            for (i, n) in counts.iter().enumerate() {
+                cum += n;
+                if *n == 0 {
+                    continue;
+                }
+                if let Some(ub) = bucket_upper_bound(i) {
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        k.name,
+                        fmt_labels(&k.labels, Some(("le", &ub.to_string()))),
+                        cum
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                k.name,
+                fmt_labels(&k.labels, Some(("le", "+Inf"))),
+                h.count()
+            ));
+            out.push_str(&format!("{}_sum{} {}\n", k.name, fmt_labels(&k.labels, None), h.sum()));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                k.name,
+                fmt_labels(&k.labels, None),
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+/// One sample line parsed back out of the text exposition format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (for histograms this includes the `_bucket` /
+    /// `_sum` / `_count` suffix).
+    pub name: String,
+    /// Label pairs in the order they appeared.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+fn unescape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn parse_line(line: &str) -> Option<Sample> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (name_labels, value) = match line.find([' ', '\t']) {
+        Some(_) => {
+            // Split at the last whitespace run: label values may
+            // contain spaces, the value never does.
+            let idx = line.rfind([' ', '\t'])?;
+            (&line[..idx], line[idx + 1..].trim())
+        }
+        None => return None,
+    };
+    let value: f64 = value.parse().ok()?;
+    let (name, labels) = match name_labels.find('{') {
+        None => (name_labels.trim().to_string(), Vec::new()),
+        Some(open) => {
+            let name = name_labels[..open].trim().to_string();
+            let body = name_labels[open + 1..].trim_end().strip_suffix('}')?;
+            let bytes = body.as_bytes();
+            let mut labels = Vec::new();
+            let mut pos = 0usize;
+            while pos < body.len() {
+                let eq = body[pos..].find('=')? + pos;
+                let k = body[pos..eq].trim().to_string();
+                let vstart = eq + body[eq..].find('"')? + 1;
+                // Scan for the closing unescaped quote.
+                let mut i = vstart;
+                let mut escaped = false;
+                while i < body.len() {
+                    match bytes[i] {
+                        _ if escaped => escaped = false,
+                        b'\\' => escaped = true,
+                        b'"' => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                if i >= body.len() {
+                    return None;
+                }
+                labels.push((k, unescape_label(&body[vstart..i])));
+                pos = i + 1;
+                while pos < body.len() && matches!(bytes[pos], b',' | b' ' | b'\t') {
+                    pos += 1;
+                }
+            }
+            (name, labels)
+        }
+    };
+    Some(Sample { name, labels, value })
+}
+
+/// Parse Prometheus text exposition format back into samples.
+/// Comment and malformed lines are skipped.
+pub fn parse(text: &str) -> Vec<Sample> {
+    text.lines().filter_map(parse_line).collect()
+}
+
+fn sorted(labels: &[(String, String)]) -> Vec<(String, String)> {
+    let mut v = labels.to_vec();
+    v.sort();
+    v
+}
+
+/// Look up the value of the sample matching `name` and exactly the
+/// given `labels` (order-insensitive).
+pub fn sample_value(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    let want: Vec<(String, String)> =
+        sorted(&labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect::<Vec<_>>());
+    samples
+        .iter()
+        .find(|s| s.name == name && sorted(&s.labels) == want)
+        .map(|s| s.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        let c = r.counter("reqs", &[("op", "ping")]);
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        // Same key → same handle.
+        assert_eq!(r.counter("reqs", &[("op", "ping")]).get(), 3);
+        let g = r.gauge("depth", &[]);
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_domain() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), Some(0));
+        assert_eq!(bucket_upper_bound(1), Some(1));
+        assert_eq!(bucket_upper_bound(2), Some(3));
+        assert_eq!(bucket_upper_bound(64), None);
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let r = Registry::new();
+        r.counter("das_reqs_total", &[("op", "get strip"), ("q", "a\"b\\c\nd")]).add(7);
+        r.gauge("das_breaker_open", &[("peer", "2")]).set(1);
+        let h = r.histogram("das_lat_us", &[("op", "exec")]);
+        h.observe(0);
+        h.observe(5);
+        h.observe(5000);
+        let text = r.encode();
+        let samples = parse(&text);
+        assert_eq!(
+            sample_value(&samples, "das_reqs_total", &[("op", "get strip"), ("q", "a\"b\\c\nd")]),
+            Some(7.0)
+        );
+        assert_eq!(sample_value(&samples, "das_breaker_open", &[("peer", "2")]), Some(1.0));
+        assert_eq!(sample_value(&samples, "das_lat_us_count", &[("op", "exec")]), Some(3.0));
+        assert_eq!(sample_value(&samples, "das_lat_us_sum", &[("op", "exec")]), Some(5005.0));
+        assert_eq!(
+            sample_value(&samples, "das_lat_us_bucket", &[("op", "exec"), ("le", "+Inf")]),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("a b-c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the metrics layer: histogram bucketing is
+//! monotone and total-preserving under arbitrary `u64` observations,
+//! and the Prometheus text encoding round-trips name/label escaping.
+
+use das_obs::metrics::{
+    bucket_index, bucket_upper_bound, parse, sample_value, sanitize_name, Registry, HIST_BUCKETS,
+};
+use proptest::prelude::*;
+
+proptest! {
+    // Bucket upper bounds are strictly increasing and every value
+    // lands in the bucket whose range contains it.
+    #[test]
+    fn bucket_boundaries_are_monotone(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        // v is within its bucket's bounds.
+        if let Some(ub) = bucket_upper_bound(i) {
+            prop_assert!(v <= ub);
+        }
+        if i > 0 {
+            let below = bucket_upper_bound(i - 1).unwrap();
+            prop_assert!(v > below, "{v} should be above bucket {} bound {below}", i - 1);
+        }
+        // Bounds are strictly monotone across all buckets.
+        for j in 1..HIST_BUCKETS - 1 {
+            prop_assert!(bucket_upper_bound(j).unwrap() > bucket_upper_bound(j - 1).unwrap());
+        }
+    }
+
+    // Observing any multiset of values preserves the total count and
+    // (wrapping) sum, and cumulative bucket counts are monotone with
+    // the final cumulative equal to the count.
+    #[test]
+    fn histogram_is_total_preserving(values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let r = Registry::new();
+        let h = r.histogram("h", &[]);
+        let mut want_sum = 0u64;
+        for &v in &values {
+            h.observe(v);
+            want_sum = want_sum.wrapping_add(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), want_sum);
+        let counts = h.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(total, values.len() as u64);
+        // The encoded cumulative series is non-decreasing and ends at
+        // the total.
+        let text = r.encode();
+        let samples = parse(&text);
+        let mut last = 0.0f64;
+        for s in samples.iter().filter(|s| s.name == "h_bucket") {
+            prop_assert!(s.value >= last, "cumulative bucket series decreased");
+            last = s.value;
+        }
+        prop_assert_eq!(
+            sample_value(&samples, "h_bucket", &[("le", "+Inf")]),
+            Some(values.len() as f64)
+        );
+        prop_assert_eq!(sample_value(&samples, "h_count", &[]), Some(values.len() as f64));
+    }
+
+    // Arbitrary label values — including quotes, backslashes and
+    // newlines — survive encode → parse exactly; names are sanitized
+    // into the Prometheus alphabet.
+    #[test]
+    fn prometheus_text_roundtrips_escaping(
+        name in "[a-zA-Z_][a-zA-Z0-9_]{0,24}",
+        key in "[a-zA-Z_][a-zA-Z0-9_]{0,12}",
+        value in prop::collection::vec(prop_oneof![
+            Just('\\'), Just('"'), Just('\n'), Just('x'), Just('é'), Just(' '), Just('='),
+        ], 0..20),
+        n in 0u64..1_000_000,
+    ) {
+        let value: String = value.into_iter().collect();
+        let r = Registry::new();
+        r.counter(&name, &[(key.as_str(), value.as_str())]).add(n);
+        let samples = parse(&r.encode());
+        prop_assert_eq!(samples.len(), 1);
+        prop_assert_eq!(&samples[0].name, &sanitize_name(&name));
+        prop_assert_eq!(&samples[0].labels, &vec![(sanitize_name(&key), value)]);
+        prop_assert_eq!(samples[0].value, n as f64);
+    }
+}

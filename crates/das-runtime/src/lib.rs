@@ -60,7 +60,9 @@ pub mod sweep;
 
 pub use assembly::StripAssembly;
 pub use config::ClusterConfig;
-pub use pipeline::{redistribution_cost, run_pipeline, PipelineReport, RedistributionCost};
+pub use pipeline::{
+    redistribution_cost, run_pipeline, run_pipeline_observed, PipelineReport, RedistributionCost,
+};
 pub use report::{DegradeEvent, RunReport};
 pub use scheme::{
     run_das_forced_offload, run_das_with_policy, run_mixed, run_scheme, DasOutcome, JobResult,

@@ -194,6 +194,43 @@ pub fn run_pipeline(
     }
 }
 
+/// [`run_pipeline`], recording the run into a metrics registry:
+/// stages and redistribution bytes as counters and per-stage
+/// simulated time as a histogram, all labelled by scheme. The report
+/// is unchanged — observation is strictly additive.
+pub fn run_pipeline_observed(
+    cfg: &ClusterConfig,
+    scheme: SchemeKind,
+    kernels: &[&dyn Kernel],
+    input: &Raster,
+    metrics: &das_obs::Registry,
+) -> PipelineReport {
+    let report = run_pipeline(cfg, scheme, kernels, input);
+    let scheme_label = report.scheme.name();
+    if let Some(r) = &report.redistribution {
+        metrics
+            .counter("das_pipeline_redistribution_bytes_total", &[("scheme", scheme_label)])
+            .add(r.net_bytes);
+    }
+    for stage in &report.stages {
+        metrics.counter("das_pipeline_stages_total", &[("scheme", scheme_label)]).inc();
+        metrics
+            .histogram("das_pipeline_stage_time_us", &[("scheme", scheme_label)])
+            .observe((stage.exec_time.as_secs_f64() * 1e6) as u64);
+    }
+    das_obs::event(
+        das_obs::Level::Debug,
+        "das.runtime",
+        "pipeline run",
+        &[
+            ("scheme", scheme_label.to_string()),
+            ("stages", report.stages.len().to_string()),
+            ("total_secs", format!("{:.6}", report.total_secs())),
+        ],
+    );
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

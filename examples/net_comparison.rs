@@ -166,6 +166,47 @@ fn main() {
         das.output_fingerprint, predicted_nas.fetches, predicted_nas.bytes, das.redistribution_bytes
     );
 
+    // Pull each daemon's live metrics registry (`das stats` over the
+    // library API) and compare its own Eqs. 1–13 prediction against
+    // the dependence traffic it actually served. Predicted counters
+    // carry the full cluster-wide prediction on every daemon; the
+    // measured side is each daemon's share, so the fleet total is the
+    // sum of measured vs the max of predicted.
+    println!("\nlive daemon registries (predicted vs measured dependence traffic):");
+    let dumps = cluster.metrics_dump_all().expect("metrics dump");
+    let parsed: Vec<(u32, Vec<das::obs::Sample>)> =
+        dumps.iter().map(|(id, text)| (*id, das::obs::parse(text))).collect();
+    let mut fleet_meas = 0.0f64;
+    let mut fleet_pred = 0.0f64;
+    for (id, samples) in &parsed {
+        let v = |name: &str| das::obs::sample_value(samples, name, &[]).unwrap_or(0.0);
+        let outcome = |o: &str| {
+            das::obs::sample_value(samples, "dasd_decisions_total", &[("outcome", o)])
+                .unwrap_or(0.0)
+        };
+        fleet_meas += v("dasd_dep_fetch_bytes_total");
+        fleet_pred = fleet_pred.max(v("dasd_predicted_dep_fetch_bytes_total"));
+        println!(
+            "  server {id}: decisions das={} nas={} ts={}  dep fetches {} ({} B)  \
+             strips computed {}",
+            outcome("das"),
+            outcome("nas"),
+            outcome("ts"),
+            v("dasd_dep_fetches_total"),
+            v("dasd_dep_fetch_bytes_total"),
+            v("dasd_strips_computed_total"),
+        );
+    }
+    let delta = if fleet_pred > 0.0 {
+        format!("{:+.1}%", (fleet_meas - fleet_pred) / fleet_pred * 100.0)
+    } else {
+        "—".to_string()
+    };
+    println!(
+        "  fleet: predicted {fleet_pred} B of dependence fetches, measured {fleet_meas} B \
+         (error {delta})"
+    );
+
     cluster.shutdown_all().expect("shutdown");
     drop(cluster);
     for h in handles {

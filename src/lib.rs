@@ -19,6 +19,7 @@
 //! | [`core`] (`das-core`) | **the paper's contribution**: kernel-features descriptors, bandwidth prediction (Eqs. 1–17), distribution planning, offload decisions |
 //! | [`runtime`] (`das-runtime`) | the TS / NAS / DAS evaluation schemes over the simulator |
 //! | [`net`] (`das-net`) | the networked service: `dasd` storage daemons + `das` client over real TCP |
+//! | [`obs`] (`das-obs`) | dependency-free observability: metrics registry, structured events, trace ids |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@
 pub use das_core as core;
 pub use das_kernels as kernels;
 pub use das_net as net;
+pub use das_obs as obs;
 pub use das_pfs as pfs;
 pub use das_runtime as runtime;
 pub use das_sim as sim;
