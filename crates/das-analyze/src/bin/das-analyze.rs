@@ -1,0 +1,109 @@
+//! `das-analyze` — run the workspace's static-analysis passes.
+//!
+//! ```text
+//! das-analyze [--root PATH] [--deny] [--json] [--pass NAME]...
+//! ```
+//!
+//! * `--root PATH` — repository root to analyze (default `.`).
+//! * `--pass NAME` — run only the named pass (repeatable; default
+//!   all of `descriptors`, `protocol`, `fetchgraph`, `lints`).
+//! * `--json` — one JSON object per finding on stdout instead of
+//!   aligned text.
+//! * `--deny` — exit 1 if any warning- or error-level finding was
+//!   produced (the CI mode).
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 denied,
+//! 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use das_analyze::{run_pass, Report, Severity, PASSES};
+
+struct Opts {
+    root: PathBuf,
+    deny: bool,
+    json: bool,
+    passes: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: das-analyze [--root PATH] [--deny] [--json] [--pass NAME]...");
+    eprintln!("passes: {}", PASSES.join(", "));
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Opts, ExitCode> {
+    let mut opts =
+        Opts { root: PathBuf::from("."), deny: false, json: false, passes: Vec::new() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => opts.root = PathBuf::from(p),
+                None => return Err(usage()),
+            },
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--pass" => match args.next() {
+                Some(p) if PASSES.contains(&p.as_str()) => opts.passes.push(p),
+                Some(p) => {
+                    eprintln!("das-analyze: unknown pass `{p}`");
+                    return Err(usage());
+                }
+                None => return Err(usage()),
+            },
+            "--help" | "-h" => {
+                println!("usage: das-analyze [--root PATH] [--deny] [--json] [--pass NAME]...");
+                println!("passes: {}", PASSES.join(", "));
+                return Err(ExitCode::SUCCESS);
+            }
+            other => {
+                eprintln!("das-analyze: unknown argument `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    if opts.passes.is_empty() {
+        opts.passes = PASSES.iter().map(|p| p.to_string()).collect();
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
+
+    let mut report = Report::default();
+    for pass in &opts.passes {
+        match run_pass(pass, &opts.root) {
+            Some(findings) => report.findings.extend(findings),
+            None => return usage(),
+        }
+    }
+
+    for f in &report.findings {
+        if opts.json {
+            println!("{}", f.to_json());
+        } else {
+            println!("{f}");
+        }
+    }
+
+    let (info, warn, err) = report.counts();
+    if !opts.json {
+        println!(
+            "das-analyze: {} pass(es), {info} info, {warn} warning(s), {err} error(s)",
+            opts.passes.len()
+        );
+    }
+
+    if opts.deny && report.denied() {
+        let worst = report.worst().unwrap_or(Severity::Info);
+        eprintln!("das-analyze: --deny failed (worst severity: {worst})");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,451 @@
+//! Pass 3 — peer-fetch deadlock analysis.
+//!
+//! When a `dasd` daemon executes an offloaded kernel, strips whose
+//! dependence window crosses a strip boundary force it to fetch
+//! neighbor strips from the peer daemons that hold them. If servers
+//! fetched from each other *while blocking their own service loop*,
+//! a cyclic server→server dependence graph would be a distributed
+//! deadlock waiting for a full request queue. This pass:
+//!
+//! 1. builds the server-level dependence-fetch digraph each shipped
+//!    descriptor induces on every layout of a (D, r, policy) grid,
+//!    using the same strip arithmetic as the bandwidth predictor
+//!    ([`StripingParams::remote_dependent_strips`]);
+//! 2. finds cycles (strongly connected components with more than one
+//!    node — the graph has no self-loops, a server never peer-fetches
+//!    from itself);
+//! 3. emits a canonical deadlock-free fetch order — ascending strip
+//!    id, ties by server id — for every cyclic cell, and
+//! 4. proves the shipped service cannot deadlock anyway, by checking
+//!    the `GetStrip` handler in `das-net/src/server.rs` performs no
+//!    nested peer fetch: the fetch protocol is depth-1, so a cycle in
+//!    the server graph never becomes a cycle in the waits-for graph.
+//!
+//! Finding codes:
+//!
+//! * `DA301` (info) — a descriptor induces cyclic fetch graphs on
+//!   some grid cells; the finding carries the canonical acyclic order
+//!   and the depth-1 bound that makes the cycles harmless.
+//! * `DA302` (error) — the `GetStrip` handler performs a nested peer
+//!   fetch, so cyclic cells are a real distributed-deadlock risk.
+//! * `DA303` (info) — proof records: a descriptor whose fetch graph
+//!   is edge-free on the whole grid, or the depth-1 service check
+//!   passing.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use das_core::features::KernelFeatures;
+use das_core::predict::StripingParams;
+use das_pfs::{Layout, LayoutPolicy, ServerId, StripId};
+
+use crate::finding::{Finding, Severity};
+
+const PASS: &str = "fetchgraph";
+
+/// Element size, image width and strip shape for the grid sweep: f32
+/// elements, 64-element rows, 2 rows per strip — small enough that
+/// every stencil in the shipped set crosses strips, so the graph is
+/// exercised, and matching the shapes the descriptor pass sweeps.
+const ELEMENT: u64 = 4;
+const WIDTH: u64 = 64;
+const STRIP_ROWS: u64 = 2;
+
+/// The (D, r) grid from the acceptance criteria.
+const SERVER_COUNTS: [u32; 3] = [2, 4, 8];
+const GROUP_SIZES: [u64; 3] = [1, 2, 4];
+
+/// One analyzed grid cell.
+#[derive(Debug)]
+struct Cell {
+    servers: u32,
+    policy: LayoutPolicy,
+    /// Edges server → set of servers it fetches from.
+    edges: BTreeMap<ServerId, BTreeSet<ServerId>>,
+    /// A cycle, as a server sequence `s0 → s1 → … → s0`, if any.
+    cycle: Option<Vec<ServerId>>,
+}
+
+/// Run the pass: grid analysis over `root/descriptors/kernels.txt`
+/// plus the depth-1 source proof over `root/crates/das-net`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_service_depth(root, &mut out);
+
+    let desc = root.join("descriptors/kernels.txt");
+    let src = match std::fs::read_to_string(&desc) {
+        Ok(src) => src,
+        // The descriptor pass already reports unreadable/unparseable
+        // descriptor files; this pass just has nothing to sweep.
+        Err(_) => return out,
+    };
+    let kernels = match KernelFeatures::parse_text_with_lines(&src) {
+        Ok(recs) => recs,
+        Err(_) => return out,
+    };
+
+    for (_, kernel) in &kernels {
+        analyze_kernel(kernel, &mut out);
+    }
+    out
+}
+
+fn analyze_kernel(kernel: &KernelFeatures, out: &mut Vec<Finding>) {
+    let offsets = kernel.offsets(WIDTH);
+    let entity = format!("kernel {}", kernel.name);
+    if offsets.is_empty() {
+        out.push(Finding::new(
+            "DA303",
+            Severity::Info,
+            PASS,
+            entity,
+            "pointwise (no dependence offsets): fetch graph is empty on every layout".to_string(),
+        ));
+        return;
+    }
+
+    let mut cyclic_cells = Vec::new();
+    let mut edge_cells = 0usize;
+    let mut total_cells = 0usize;
+    let mut example: Option<(Cell, Vec<(u64, ServerId)>)> = None;
+
+    for servers in SERVER_COUNTS {
+        for group in GROUP_SIZES {
+            for policy in [
+                LayoutPolicy::Grouped { group },
+                LayoutPolicy::GroupedReplicated { group },
+            ] {
+                total_cells += 1;
+                let cell = analyze_cell(&offsets, servers, policy);
+                if !cell.edges.is_empty() {
+                    edge_cells += 1;
+                }
+                if cell.cycle.is_some() {
+                    let label = format!("D={} r={} {}", servers, group, policy.name());
+                    if example.is_none() {
+                        let order = canonical_order(&offsets, servers, policy);
+                        example = Some((cell, order));
+                    }
+                    cyclic_cells.push(label);
+                }
+            }
+        }
+    }
+
+    if cyclic_cells.is_empty() {
+        out.push(Finding::new(
+            "DA303",
+            Severity::Info,
+            PASS,
+            entity,
+            format!(
+                "fetch graph acyclic on all {total_cells} grid cells ({edge_cells} with cross-server edges): no fetch ordering constraint needed"
+            ),
+        ));
+        return;
+    }
+
+    let (cell, order) = example.expect("cyclic cells imply an example");
+    let cycle = cell.cycle.as_ref().expect("example cell is cyclic");
+    let cycle_str = cycle
+        .iter()
+        .map(|s| format!("S{}", s.0))
+        .collect::<Vec<_>>()
+        .join(" → ");
+    let order_str = order
+        .iter()
+        .take(8)
+        .map(|(strip, server)| format!("strip {strip}@S{}", server.0))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push(Finding::new(
+        "DA301",
+        Severity::Info,
+        PASS,
+        entity,
+        format!(
+            "fetch graph cyclic on {}/{} grid cells (e.g. D={} {}: {cycle_str}); safe because GetStrip is depth-1 (no nested fetch), and a canonical acyclic order exists: ascending (strip, server) — first of {}: {order_str}, …",
+            cyclic_cells.len(),
+            total_cells,
+            cell.servers,
+            cell.policy.name(),
+            order.len(),
+        ),
+    ));
+}
+
+/// Strip count for a cell: enough strips that every server appears in
+/// the layout several times, bounded below for small D·r.
+fn strip_count(servers: u32, policy: LayoutPolicy) -> u64 {
+    let span = u64::from(servers) * policy.group_size();
+    (span * 3).max(24)
+}
+
+/// The sweep's striping parameters for one grid cell.
+fn cell_params(servers: u32, policy: LayoutPolicy) -> StripingParams {
+    StripingParams {
+        element_size: ELEMENT,
+        strip_size: ELEMENT * WIDTH * STRIP_ROWS,
+        layout: Layout::new(policy, servers),
+    }
+}
+
+fn analyze_cell(offsets: &[i64], servers: u32, policy: LayoutPolicy) -> Cell {
+    let params = cell_params(servers, policy);
+    let strips = strip_count(servers, policy);
+    let total_elements = strips * WIDTH * STRIP_ROWS;
+    let mut edges: BTreeMap<ServerId, BTreeSet<ServerId>> = BTreeMap::new();
+    for t in 0..strips {
+        let owner = params.layout.primary(StripId(t));
+        // remote_dependent_strips already excludes strips a local
+        // replica covers, so with replication the fetch only goes out
+        // when no copy is held.
+        for u in params.remote_dependent_strips(owner, t, offsets, total_elements) {
+            let target = params.layout.primary(StripId(u));
+            if target != owner {
+                edges.entry(owner).or_default().insert(target);
+            }
+        }
+    }
+    let cycle = find_cycle(&edges);
+    Cell { servers, policy, edges, cycle }
+}
+
+/// DFS cycle detection over the server digraph; returns one witness
+/// cycle as `s0 → … → s0`.
+fn find_cycle(edges: &BTreeMap<ServerId, BTreeSet<ServerId>>) -> Option<Vec<ServerId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let nodes: Vec<ServerId> = edges.keys().copied().collect();
+    let mut mark: BTreeMap<ServerId, Mark> = nodes.iter().map(|&n| (n, Mark::White)).collect();
+
+    fn dfs(
+        n: ServerId,
+        edges: &BTreeMap<ServerId, BTreeSet<ServerId>>,
+        mark: &mut BTreeMap<ServerId, Mark>,
+        stack: &mut Vec<ServerId>,
+    ) -> Option<Vec<ServerId>> {
+        mark.insert(n, Mark::Grey);
+        stack.push(n);
+        if let Some(next) = edges.get(&n) {
+            for &m in next {
+                match mark.get(&m).copied().unwrap_or(Mark::White) {
+                    Mark::Grey => {
+                        // Cycle: slice the stack from m's position.
+                        let start = stack.iter().position(|&s| s == m).unwrap_or(0);
+                        let mut cycle = stack[start..].to_vec();
+                        cycle.push(m);
+                        return Some(cycle);
+                    }
+                    Mark::White => {
+                        if let Some(c) = dfs(m, edges, mark, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+        }
+        stack.pop();
+        mark.insert(n, Mark::Black);
+        None
+    }
+
+    for n in nodes {
+        if mark[&n] == Mark::White {
+            let mut stack = Vec::new();
+            if let Some(c) = dfs(n, edges, &mut mark, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// The canonical deadlock-free fetch order for a cell: all
+/// (strip, owner) fetch obligations sorted ascending by strip id,
+/// ties by server id. Acquiring fetches in a global total order can
+/// never form a waits-for cycle.
+fn canonical_order(offsets: &[i64], servers: u32, policy: LayoutPolicy) -> Vec<(u64, ServerId)> {
+    let params = cell_params(servers, policy);
+    let strips = strip_count(servers, policy);
+    let total_elements = strips * WIDTH * STRIP_ROWS;
+    let mut order = BTreeSet::new();
+    for t in 0..strips {
+        let owner = params.layout.primary(StripId(t));
+        for u in params.remote_dependent_strips(owner, t, offsets, total_elements) {
+            order.insert((u, params.layout.primary(StripId(u))));
+        }
+    }
+    order.into_iter().collect()
+}
+
+/// Source proof that the peer-fetch protocol is depth-1: the
+/// `GetStrip` handler in the daemon must not itself call into the
+/// peer table, so a server blocked on a peer fetch still answers the
+/// `GetStrip` requests other servers send it, and no waits-for cycle
+/// can form regardless of the dependence graph's shape.
+fn check_service_depth(root: &Path, out: &mut Vec<Finding>) {
+    let rel = "crates/das-net/src/server.rs";
+    let path = root.join(rel);
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        // Not every analyzed root ships das-net (fixtures); nothing
+        // to prove or refute.
+        Err(_) => return,
+    };
+    let Some(body) = getstrip_arm(&src) else {
+        out.push(Finding::new(
+            "DA302",
+            Severity::Error,
+            PASS,
+            rel,
+            "cannot locate the Message::GetStrip handler arm — the depth-1 service proof no longer applies; re-verify the fetch protocol".to_string(),
+        ));
+        return;
+    };
+    let nested = ["peers.", ".call(", ".call_traced(", "get_strip("];
+    if let Some(pat) = nested.iter().find(|p| body.contains(**p)) {
+        out.push(Finding::new(
+            "DA302",
+            Severity::Error,
+            PASS,
+            rel,
+            format!(
+                "the GetStrip handler contains `{pat}` — a nested peer fetch makes the fetch protocol recursive, and cyclic dependence-fetch graphs become a distributed-deadlock risk"
+            ),
+        ));
+    } else {
+        out.push(Finding::new(
+            "DA303",
+            Severity::Info,
+            PASS,
+            rel,
+            "GetStrip handler performs no nested peer fetch: the fetch protocol is depth-1, so server-graph cycles cannot become waits-for cycles".to_string(),
+        ));
+    }
+}
+
+/// The source text of the `Message::GetStrip { … } => { … }` match
+/// arm, by brace matching from the pattern to the arm's end.
+fn getstrip_arm(src: &str) -> Option<&str> {
+    let start = src.find("Message::GetStrip")?;
+    let rest = &src[start..];
+    let arrow = rest.find("=>")?;
+    let body = &rest[arrow + 2..];
+    // The arm body is either a block or an expression ending at the
+    // next `,` at depth 0; handle the block case (das-net style).
+    let open = body.find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in body[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&body[open..open + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-row-up/1-row-down stencil on a 2-server grouped layout with
+    /// 2-row strips: consecutive strips alternate groups, so S0 and S1
+    /// must fetch from each other — the canonical cyclic case.
+    #[test]
+    fn symmetric_stencil_on_grouped_layout_is_cyclic() {
+        let offsets: Vec<i64> = vec![-(WIDTH as i64), WIDTH as i64];
+        let cell = analyze_cell(&offsets, 2, LayoutPolicy::Grouped { group: 1 });
+        assert!(!cell.edges.is_empty());
+        assert!(cell.cycle.is_some(), "{:?}", cell.edges);
+    }
+
+    /// Replication with a group large enough to cover the reach kills
+    /// every edge: neighbors are held locally.
+    #[test]
+    fn covering_replication_removes_all_edges() {
+        let offsets: Vec<i64> = vec![-(WIDTH as i64), WIDTH as i64];
+        let cell = analyze_cell(&offsets, 2, LayoutPolicy::GroupedReplicated { group: 4 });
+        assert!(cell.edges.is_empty(), "{:?}", cell.edges);
+    }
+
+    #[test]
+    fn canonical_order_is_sorted_and_total() {
+        let offsets: Vec<i64> = vec![-(WIDTH as i64), WIDTH as i64];
+        let order = canonical_order(&offsets, 4, LayoutPolicy::Grouped { group: 2 });
+        assert!(!order.is_empty());
+        let mut sorted = order.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(order, sorted, "canonical order must be a sorted set");
+    }
+
+    #[test]
+    fn cycle_detector_finds_two_cycle_and_accepts_dag() {
+        let mut edges: BTreeMap<ServerId, BTreeSet<ServerId>> = BTreeMap::new();
+        edges.entry(ServerId(0)).or_default().insert(ServerId(1));
+        edges.entry(ServerId(1)).or_default().insert(ServerId(0));
+        let cycle = find_cycle(&edges).expect("2-cycle");
+        assert!(cycle.len() >= 3, "{cycle:?}");
+        assert_eq!(cycle.first(), cycle.last());
+
+        let mut dag: BTreeMap<ServerId, BTreeSet<ServerId>> = BTreeMap::new();
+        dag.entry(ServerId(0)).or_default().insert(ServerId(1));
+        dag.entry(ServerId(1)).or_default().insert(ServerId(2));
+        assert!(find_cycle(&dag).is_none());
+    }
+
+    #[test]
+    fn getstrip_arm_extraction_and_nested_fetch_detection() {
+        let clean = r#"
+            match msg {
+                Message::GetStrip { file, strip } => {
+                    let inner = lock(&self.inner);
+                    inner.store.read_strip(file, strip)
+                }
+                _ => {}
+            }
+        "#;
+        let body = getstrip_arm(clean).expect("arm found");
+        assert!(body.contains("read_strip"));
+        assert!(!body.contains("peers."));
+
+        let dirty = r#"
+            match msg {
+                Message::GetStrip { file, strip } => {
+                    if !local { return self.peers.get_strip(file, strip); }
+                    inner.store.read_strip(file, strip)
+                }
+            }
+        "#;
+        let body = getstrip_arm(dirty).expect("arm found");
+        assert!(body.contains("peers."));
+    }
+
+    /// Acceptance sweep: every builtin kernel must come out either
+    /// edge-free or cyclic-but-proven-safe — never DA302 — and the
+    /// analysis must terminate over the full D×r grid.
+    #[test]
+    fn builtin_kernels_sweep_produces_only_info() {
+        let recs = KernelFeatures::parse_text_with_lines(das_core::features::BUILTIN_DESCRIPTORS)
+            .expect("builtin descriptors parse");
+        let mut out = Vec::new();
+        for (_, k) in &recs {
+            analyze_kernel(k, &mut out);
+        }
+        assert_eq!(out.len(), recs.len());
+        assert!(out.iter().all(|f| f.severity == Severity::Info), "{out:#?}");
+        assert!(out.iter().any(|f| f.code == "DA301"), "expected at least one cyclic kernel");
+    }
+}

@@ -1,0 +1,70 @@
+//! # das-analyze — static analysis for the DAS workspace
+//!
+//! Four passes, each emitting machine-readable [`Finding`]s
+//! (`docs/ANALYSIS.md` is the code registry):
+//!
+//! * [`descriptors`] — parse every Kernel Features descriptor under
+//!   `descriptors/`, validate offsets symbolically (affine in
+//!   `imgWidth`), cross-check the txt and XML forms, verify the
+//!   shipped file against the compiled-in copy, check each deployment
+//!   in `descriptors/layouts.txt` for replication radii that do not
+//!   cover the kernel's stencil reach, and sweep the paper's
+//!   Eqs. 1–13 decision over a (D, strip, E, r) grid to flag "dead"
+//!   descriptors no layout would ever offload.
+//! * [`protocol`] — exhaustively roundtrip the das-net wire protocol
+//!   (every message variant × every frame flag combination), probe
+//!   every unassigned opcode and flag bit for rejection, and parse
+//!   the tables in `docs/PROTOCOL.md` to fail on constant drift
+//!   between the spec and the code.
+//! * [`fetchgraph`] — build the server→server dependence-fetch graph
+//!   each descriptor induces on each layout of a (D, r, policy) grid,
+//!   detect cycles that could distributed-deadlock a blocking
+//!   fetch-while-serving design, and prove the shipped service is
+//!   safe (depth-1 `GetStrip`, canonical ascending-strip fetch
+//!   order).
+//! * [`lints`] — line-based source lints on the request path: no
+//!   `unwrap()`/`expect(`/`panic!` in das-net's wire-facing modules,
+//!   no `eprintln!` outside das-obs, no stray stdout prints in
+//!   library code, and lock acquisitions ordered against the declared
+//!   hierarchy. `// das-lint: allow(<code>)` on the same or preceding
+//!   line waives a site.
+//!
+//! The `das-analyze` binary runs the passes against a repository
+//! root; `--deny` turns any warning- or error-level finding into a
+//! nonzero exit for CI.
+
+pub mod descriptors;
+pub mod fetchgraph;
+pub mod finding;
+pub mod lints;
+pub mod protocol;
+
+use std::path::Path;
+
+pub use finding::{Finding, Report, Severity};
+
+/// Pass names in execution order, as accepted by `--pass`.
+pub const PASSES: [&str; 4] = ["descriptors", "protocol", "fetchgraph", "lints"];
+
+/// Run one pass by name against a repository root. `None` for an
+/// unknown pass name.
+pub fn run_pass(name: &str, root: &Path) -> Option<Vec<Finding>> {
+    match name {
+        "descriptors" => Some(descriptors::run(root)),
+        "protocol" => Some(protocol::run(root)),
+        "fetchgraph" => Some(fetchgraph::run(root)),
+        "lints" => Some(lints::run(root)),
+        _ => None,
+    }
+}
+
+/// Run every pass against a repository root.
+pub fn run_all(root: &Path) -> Report {
+    let mut report = Report::default();
+    for pass in PASSES {
+        report
+            .findings
+            .extend(run_pass(pass, root).unwrap_or_default());
+    }
+    report
+}

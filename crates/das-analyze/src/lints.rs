@@ -1,0 +1,440 @@
+//! Pass 4 — request-path source lints.
+//!
+//! Line-based lints over the workspace sources, focused on the places
+//! where a panic or a stray print is a production hazard rather than
+//! a style nit:
+//!
+//! * `DA401`/`DA402`/`DA403` (error) — `.unwrap()`, `.expect(` or
+//!   `panic!` in das-net's wire-facing modules. A panic on the
+//!   request path kills a daemon serving every client; these modules
+//!   must surface typed errors instead.
+//! * `DA404` (error) — `eprintln!` outside das-obs. Diagnostics go
+//!   through the das-obs event/metrics layer so they carry structure
+//!   and can be rate-limited; raw stderr writes bypass all of it.
+//! * `DA405` (error) — a function acquires hierarchy locks out of
+//!   the declared order (`rx → conns → inner → downs`). Out-of-order
+//!   acquisition across threads is an AB/BA deadlock.
+//! * `DA406` (warning) — `println!` in library (non-`bin/`,
+//!   non-test) code. Library crates must not write to a stdout they
+//!   do not own; das-bench's report harness is the sanctioned
+//!   exception.
+//!
+//! Any site can be waived with `// das-lint: allow(<code>)` on the
+//! same line or the line directly above; the waiver is deliberate and
+//! greppable. Lines inside `#[cfg(test)]` items are exempt — tests
+//! panic by design.
+
+use std::path::Path;
+
+use crate::finding::{Finding, Severity};
+
+const PASS: &str = "lints";
+
+/// das-net modules on the request path: every byte they touch comes
+/// off a socket, so panics are remote-triggerable.
+const REQUEST_PATH: [&str; 6] =
+    ["client.rs", "server.rs", "codec.rs", "peer.rs", "retry.rs", "proto.rs"];
+
+/// The declared lock hierarchy for das-net (outermost first). A
+/// function's first acquisitions must follow this order.
+const LOCK_HIERARCHY: [&str; 4] = ["rx", "conns", "inner", "downs"];
+
+/// Crates whose library code may print to stdout: das-obs is the
+/// diagnostics layer itself; das-bench's report renderer exists to
+/// print.
+const STDOUT_EXEMPT: [&str; 2] = ["das-obs", "das-bench"];
+
+/// Run the lints over `root/crates/*/src/**/*.rs`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    collect_rs_files(&crates_dir, &mut files);
+    files.sort();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scanned += 1;
+        lint_file(&rel, &src, &mut out);
+    }
+    out.push(Finding::new(
+        "DA400",
+        Severity::Info,
+        PASS,
+        "crates/*/src",
+        format!("{scanned} source files linted"),
+    ));
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // From the crates/ level, descend only into each crate's
+            // src/ tree — benches, tests/ and target/ are out of
+            // scope by construction.
+            if dir.ends_with("crates") {
+                collect_rs_files(&path.join("src"), out);
+            } else {
+                collect_rs_files(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Which crate (directory under `crates/`) a repo-relative path is in.
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+fn is_bin(rel: &str) -> bool {
+    rel.contains("/src/bin/") || rel.ends_with("/main.rs")
+}
+
+fn is_request_path(rel: &str) -> bool {
+    crate_of(rel) == "das-net"
+        && REQUEST_PATH.iter().any(|m| rel.ends_with(&format!("src/{m}")))
+}
+
+/// Lint one file. `rel` is the repo-relative path used in entities.
+pub fn lint_file(rel: &str, src: &str, out: &mut Vec<Finding>) {
+    let lines: Vec<&str> = src.lines().collect();
+    let in_test = test_mask(&lines);
+    let request_path = is_request_path(rel);
+    let library = !is_bin(rel) && !STDOUT_EXEMPT.contains(&crate_of(rel));
+    let mut lock_seen: Vec<usize> = Vec::new(); // hierarchy ranks in first-acquisition order
+
+    for (i, raw) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let line = sanitize(raw);
+        if in_test[i] {
+            continue;
+        }
+
+        // Reset the per-function lock-order window at function heads.
+        if line.contains("fn ") && line.contains('(') {
+            lock_seen.clear();
+        }
+
+        if request_path {
+            if line.contains(".unwrap()") && !allowed(&lines, i, "DA401") {
+                out.push(site(
+                    "DA401",
+                    rel,
+                    lineno,
+                    "`.unwrap()` on the request path — a malformed or unlucky input panics the daemon; return a typed NetError instead",
+                ));
+            }
+            if line.contains(".expect(") && !line.contains(".expect_err(") && !allowed(&lines, i, "DA402")
+            {
+                out.push(site(
+                    "DA402",
+                    rel,
+                    lineno,
+                    "`.expect(` on the request path — same hazard as unwrap; return a typed NetError instead",
+                ));
+            }
+            if line.contains("panic!") && !allowed(&lines, i, "DA403") {
+                out.push(site(
+                    "DA403",
+                    rel,
+                    lineno,
+                    "`panic!` on the request path — the daemon must degrade, not die",
+                ));
+            }
+        }
+
+        if line.contains("eprintln!")
+            && crate_of(rel) != "das-obs"
+            && !is_bin(rel)
+            && !allowed(&lines, i, "DA404")
+        {
+            out.push(site(
+                "DA404",
+                rel,
+                lineno,
+                "`eprintln!` outside das-obs — route diagnostics through the das-obs event layer",
+            ));
+        }
+
+        if line.contains("println!") && library && !allowed(&lines, i, "DA406") {
+            out.push(Finding::new(
+                "DA406",
+                Severity::Warning,
+                PASS,
+                format!("{rel}:{lineno}"),
+                "`println!` in library code — the caller owns stdout".to_string(),
+            ));
+        }
+
+        // Lock-order: record the rank of each hierarchy lock the
+        // first time a function acquires it; a rank lower than one
+        // already held is an inversion.
+        if crate_of(rel) == "das-net" {
+            for name in lock_names(&line) {
+                if let Some(rank) = LOCK_HIERARCHY.iter().position(|&h| h == name) {
+                    if lock_seen.contains(&rank) {
+                        continue;
+                    }
+                    if let Some(&held) = lock_seen.iter().max() {
+                        if rank < held && !allowed(&lines, i, "DA405") {
+                            out.push(site(
+                                "DA405",
+                                rel,
+                                lineno,
+                                &format!(
+                                    "lock `{}` acquired after `{}` — violates the declared hierarchy {:?} and risks an AB/BA deadlock",
+                                    name, LOCK_HIERARCHY[held], LOCK_HIERARCHY
+                                ),
+                            ));
+                        }
+                    }
+                    lock_seen.push(rank);
+                }
+            }
+        }
+    }
+}
+
+fn site(code: &'static str, rel: &str, lineno: usize, msg: &str) -> Finding {
+    Finding::new(code, Severity::Error, PASS, format!("{rel}:{lineno}"), msg.to_string())
+}
+
+/// Whether line `i` (0-based) carries a `das-lint: allow(code)`
+/// waiver on itself or the line directly above. Waivers live in
+/// comments, which [`sanitize`] strips — so look at the raw lines.
+fn allowed(lines: &[&str], i: usize, code: &str) -> bool {
+    let token = format!("das-lint: allow({code})");
+    lines[i].contains(&token) || (i > 0 && lines[i - 1].contains(&token))
+}
+
+/// Lock variable names acquired on a line: for each `lock(` call
+/// site, the last `.`-segment of the argument, `&`/`mut` stripped.
+/// Matches both the poison-recovering helper `lock(&self.conns)` and
+/// method form `self.inner.lock()`.
+fn lock_names(line: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find("lock(") {
+        let after = &rest[pos + 5..];
+        // Helper form: lock(&self.conns) — name inside the parens.
+        if let Some(end) = after.find(')') {
+            let arg = after[..end].trim().trim_start_matches('&').trim_start_matches("mut ");
+            if !arg.is_empty() {
+                if let Some(name) = arg.rsplit('.').next() {
+                    names.push(name.to_string());
+                }
+            } else {
+                // Method form: self.inner.lock() — name before the call.
+                let before = &rest[..pos];
+                let recv = before.trim_end_matches('.');
+                if let Some(name) = recv.rsplit(['.', ' ', '(', '&']).next() {
+                    if !name.is_empty() {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+        }
+        rest = after;
+    }
+    names
+}
+
+/// Strip string literals and `//` comments so lint substrings inside
+/// them do not fire. Char-level scan; no raw-string awareness needed
+/// at this precision.
+fn sanitize(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '/' if chars.peek() == Some(&'/') => break,
+            '\'' => {
+                // char literal: consume up to the closing quote (max
+                // a few chars; lifetimes like 'a have no closing
+                // quote and fall through harmlessly).
+                out.push(c);
+                let mut la = chars.clone();
+                let consumed = match (la.next(), la.next(), la.next()) {
+                    (Some('\\'), _, Some('\'')) => 3,
+                    (Some(_), Some('\''), _) => 2,
+                    _ => 0,
+                };
+                for _ in 0..consumed {
+                    chars.next();
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-line mask: true where the line is inside a `#[cfg(test)]`
+/// item, tracked by brace depth from the attribute.
+fn test_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth = 0i64; // >0 while inside a cfg(test) item
+    let mut pending = false; // saw the attribute, waiting for the opening brace
+    for (i, raw) in lines.iter().enumerate() {
+        let line = sanitize(raw);
+        if line.contains("#[cfg(test)]") {
+            pending = true;
+            mask[i] = true;
+            continue;
+        }
+        if pending || depth > 0 {
+            mask[i] = true;
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        pending = false;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            // `#[cfg(test)]` on a braceless item (`use`, `mod x;`)
+            // ends at the semicolon.
+            if pending && line.contains(';') {
+                pending = false;
+            }
+            if depth < 0 {
+                depth = 0;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_path_panics_are_flagged_and_waivable() {
+        let src = "\
+fn handle(&self) {
+    let v = frame.len().checked_sub(4).unwrap();
+    let w = map.get(&k).expect(\"present\");
+    // das-lint: allow(DA403)
+    panic!(\"boom\");
+}
+";
+        let mut out = Vec::new();
+        lint_file("crates/das-net/src/server.rs", src, &mut out);
+        let codes: Vec<&str> = out.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"DA401"), "{out:?}");
+        assert!(codes.contains(&"DA402"), "{out:?}");
+        assert!(!codes.contains(&"DA403"), "waiver must hold: {out:?}");
+    }
+
+    #[test]
+    fn strings_comments_and_tests_do_not_fire() {
+        let src = "\
+fn ok() {
+    let s = \"call .unwrap() for fun\"; // .unwrap() here too
+}
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); panic!(); }
+}
+";
+        let mut out = Vec::new();
+        lint_file("crates/das-net/src/codec.rs", src, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn expect_err_and_non_request_path_are_exempt() {
+        let mut out = Vec::new();
+        lint_file(
+            "crates/das-net/src/proto.rs",
+            "fn f() { let e = r.expect_err(\"no\"); }\n",
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        // unwrap in a non-request-path crate is clippy's business,
+        // not this pass's.
+        lint_file("crates/das-core/src/predict.rs", "fn f() { x.unwrap(); }\n", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn print_macros_are_scoped() {
+        let mut out = Vec::new();
+        lint_file("crates/das-core/src/plan.rs", "fn f() { eprintln!(\"x\"); }\n", &mut out);
+        assert!(out.iter().any(|f| f.code == "DA404"), "{out:?}");
+        out.clear();
+        lint_file("crates/das-core/src/plan.rs", "fn f() { println!(\"x\"); }\n", &mut out);
+        assert!(out.iter().any(|f| f.code == "DA406"), "{out:?}");
+        out.clear();
+        // bins own their stdio; das-obs and das-bench are exempt.
+        lint_file("crates/das-net/src/bin/dasd.rs", "fn f() { eprintln!(\"x\"); println!(); }\n", &mut out);
+        lint_file("crates/das-bench/src/lib.rs", "fn f() { println!(\"x\"); }\n", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lock_order_inversion_is_caught() {
+        let bad = "\
+fn inverted(&self) {
+    let d = lock(&self.downs);
+    let c = lock(&self.conns);
+}
+";
+        let mut out = Vec::new();
+        lint_file("crates/das-net/src/peer.rs", bad, &mut out);
+        assert!(out.iter().any(|f| f.code == "DA405"), "{out:?}");
+
+        let good = "\
+fn ordered(&self) {
+    let c = lock(&self.conns);
+    let i = lock(&self.inner);
+    let d = lock(&self.downs);
+}
+fn fresh(&self) {
+    let c = lock(&self.conns);
+}
+";
+        out.clear();
+        lint_file("crates/das-net/src/peer.rs", good, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lock_names_parse_helper_and_method_forms() {
+        assert_eq!(lock_names("let c = lock(&self.conns);"), vec!["conns"]);
+        assert_eq!(lock_names("let g = self.inner.lock();"), vec!["inner"]);
+        assert_eq!(lock_names("let x = lock(&mut rx);"), vec!["rx"]);
+        assert!(lock_names("no locks here").is_empty());
+    }
+}

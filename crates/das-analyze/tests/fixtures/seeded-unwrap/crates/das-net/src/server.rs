@@ -1,0 +1,5 @@
+// Fixture: a request-path module with a seeded panic site.
+fn handle_frame(frame: &[u8]) -> u32 {
+    let len = frame.len().checked_sub(4).unwrap();
+    len as u32
+}

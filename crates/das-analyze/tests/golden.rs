@@ -1,0 +1,102 @@
+//! Golden-fixture tests for the `das-analyze` binary: each fixture
+//! under `tests/fixtures/` is a miniature repository seeded with one
+//! class of defect, and `das-analyze --deny` must exit nonzero with
+//! the expected finding code on it — and exit zero on the real repo.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+/// Run the binary with `--deny --json` against `root`, returning
+/// (exit-ok, stdout).
+fn analyze(root: &Path, passes: &[&str]) -> (bool, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_das-analyze"));
+    cmd.arg("--root").arg(root).arg("--deny").arg("--json");
+    for pass in passes {
+        cmd.arg("--pass").arg(pass);
+    }
+    let out = cmd.output().expect("spawn das-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.success(), stdout)
+}
+
+fn assert_denied_with(root: &Path, passes: &[&str], codes: &[&str]) {
+    let (ok, stdout) = analyze(root, passes);
+    assert!(!ok, "expected --deny to fail on {}:\n{stdout}", root.display());
+    for code in codes {
+        assert!(
+            stdout.contains(&format!("\"code\":\"{code}\"")),
+            "expected {code} on {}:\n{stdout}",
+            root.display()
+        );
+    }
+}
+
+#[test]
+fn malformed_descriptor_fails_with_parse_error() {
+    assert_denied_with(&fixture("malformed"), &["descriptors"], &["DA101"]);
+}
+
+#[test]
+fn conflicting_txt_and_xml_fail_with_drift_codes() {
+    let (ok, stdout) = analyze(&fixture("conflict"), &["descriptors"]);
+    assert!(!ok, "{stdout}");
+    // Pattern disagreement on the shared kernel…
+    assert!(stdout.contains("\"code\":\"DA106\""), "{stdout}");
+    // …and one-sided kernels in both directions.
+    assert!(stdout.contains("\"code\":\"DA105\""), "{stdout}");
+    assert!(stdout.contains("txt-only"), "{stdout}");
+    assert!(stdout.contains("xml-only"), "{stdout}");
+}
+
+#[test]
+fn under_replicated_layout_fails_with_da107() {
+    assert_denied_with(&fixture("underrep"), &["descriptors"], &["DA107"]);
+}
+
+#[test]
+fn doctored_protocol_doc_fails_with_drift_codes() {
+    let (ok, stdout) = analyze(&fixture("doc-drift"), &["protocol"]);
+    assert!(!ok, "{stdout}");
+    // Misnamed opcode 0x01 and the ghost opcode both surface as DA205.
+    assert!(stdout.contains("\"code\":\"DA205\""), "{stdout}");
+    assert!(stdout.contains("0x7e"), "{stdout}");
+    // Misnamed error code 1 and the missing rows surface as DA206.
+    assert!(stdout.contains("\"code\":\"DA206\""), "{stdout}");
+    // No fault class is documented at all.
+    assert!(stdout.contains("\"code\":\"DA207\""), "{stdout}");
+}
+
+#[test]
+fn seeded_unwrap_in_request_path_fails_with_da401() {
+    let (ok, stdout) = analyze(&fixture("seeded-unwrap"), &["lints"]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA401\""), "{stdout}");
+    assert!(stdout.contains("server.rs:3"), "{stdout}");
+}
+
+#[test]
+fn real_repo_is_clean_under_deny() {
+    let (ok, stdout) = analyze(&repo_root(), &[]);
+    assert!(ok, "the shipped repo must pass --deny:\n{stdout}");
+    // The proof findings must be on the record.
+    assert!(stdout.contains("\"code\":\"DA200\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA301\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA303\""), "{stdout}");
+}
+
+#[test]
+fn unknown_pass_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_das-analyze"))
+        .args(["--pass", "nonsense"])
+        .output()
+        .expect("spawn das-analyze");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -53,17 +53,17 @@
 //! println!("{decision:?}");
 //! ```
 
-#![warn(missing_docs)]
 
 pub mod client;
 pub mod decide;
 pub mod features;
 pub mod plan;
 pub mod predict;
-mod xml;
+pub mod xml;
 
 pub use client::{ActiveStorageClient, RequestOptions};
 pub use decide::{decide, decide_timed, Decision, DecisionInput, LinkCost, RejectReason};
 pub use features::{FeatureRegistry, KernelFeatures, OffsetExpr, ParseError};
 pub use plan::{plan_distribution, LayoutPlan, PlanOptions};
 pub use predict::{dependent_strips, DependencePrediction, NasFetchPrediction, StripingParams};
+pub use xml::parse_kernel_xml;

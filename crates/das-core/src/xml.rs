@@ -139,10 +139,19 @@ pub fn parse_kernel_xml(src: &str) -> Result<Vec<KernelFeatures>, ParseError> {
         }
         let mut name: Option<String> = None;
         let mut dependence: Option<Vec<OffsetExpr>> = None;
+        let mut dependence_none = false;
         for child in &el.children {
             match child.tag.as_str() {
                 "name" => name = Some(child.text.trim().to_string()),
                 "dependence" => {
+                    // `<dependence>none</dependence>` declares a
+                    // dependence-free operator, mirroring
+                    // `Dependence: none` in the plain-text format.
+                    if child.text.trim() == "none" {
+                        dependence = Some(Vec::new());
+                        dependence_none = true;
+                        continue;
+                    }
                     let mut offsets = Vec::new();
                     for part in child.text.split(',') {
                         let part = part.trim();
@@ -164,8 +173,8 @@ pub fn parse_kernel_xml(src: &str) -> Result<Vec<KernelFeatures>, ParseError> {
         if name.is_empty() {
             return Err(ParseError::new(src, "<name> is empty"));
         }
-        if dependence.is_empty() {
-            return Err(ParseError::new(src, "<dependence> lists no offsets"));
+        if dependence.is_empty() && !dependence_none {
+            return Err(ParseError::new(src, "<dependence> lists no offsets (use `none` for a dependence-free operator)"));
         }
         out.push(KernelFeatures { name, dependence });
     }
@@ -227,6 +236,16 @@ mod tests {
             "<kernel><name>x</name><dependence>1</dependence></kernel><kernel>"
         )
         .is_err()); // trailing content
+    }
+
+    #[test]
+    fn dependence_none_yields_pointwise_kernel() {
+        let src = "<kernel><name>scale</name><dependence>none</dependence></kernel>";
+        let recs = parse_kernel_xml(src).unwrap();
+        assert!(recs[0].offsets(100).is_empty());
+        // An empty list without the explicit `none` is still an error.
+        assert!(parse_kernel_xml("<kernel><name>x</name><dependence> </dependence></kernel>")
+            .is_err());
     }
 
     #[test]

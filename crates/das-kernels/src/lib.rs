@@ -43,7 +43,6 @@
 //! assert_eq!(offsets.len(), 8);
 //! ```
 
-#![warn(missing_docs)]
 
 mod extended;
 mod filters;

@@ -228,7 +228,7 @@ impl DasCluster {
         );
         let base_timeout = self.policy.read_timeout;
         let trace = if self.conns[s].traced { self.trace } else { None };
-        let stream = self.conns[s].stream.as_mut().expect("dial just succeeded");
+        let stream = self.conns[s].stream.as_mut().expect("dial just succeeded"); // das-lint: allow(DA402) ensure_conn filled the slot on the line above
         if long_op {
             let _ = stream.get_ref().set_read_timeout(Some(base_timeout.saturating_mul(10)));
         }

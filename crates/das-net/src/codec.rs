@@ -44,6 +44,12 @@ pub const FLAG_CRC: u16 = 0x0001;
 /// advertised [`crate::proto::CAP_TRACE`].
 pub const FLAG_TRACE: u16 = 0x0002;
 
+/// Every assigned frame-flag bit. A frame setting any other bit is
+/// rejected before its payload is read; the protocol-conformance
+/// pass sweeps the full 4-combination space of these bits (and probes
+/// unassigned ones) against [`read_frame`].
+pub const KNOWN_FLAGS: u16 = FLAG_CRC | FLAG_TRACE;
+
 /// Consecutive mid-frame read timeouts tolerated before the reader
 /// gives up and surfaces a typed timeout error. A peer that started a
 /// frame and then went silent must not hang the reader forever — the
@@ -271,11 +277,11 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(Message, Option<u64>)>, 
         )));
     }
     let opcode = header[5];
-    let flags = u16::from_le_bytes(header[6..8].try_into().unwrap());
-    if flags & !(FLAG_CRC | FLAG_TRACE) != 0 {
+    let flags = u16::from_le_bytes(header[6..8].try_into().unwrap()); // das-lint: allow(DA401) infallible 2-byte slice → array
+    if flags & !KNOWN_FLAGS != 0 {
         return Err(NetError::Protocol(format!("unknown flags 0x{flags:04x}")));
     }
-    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize; // das-lint: allow(DA401) infallible 4-byte slice → array
     if len > MAX_PAYLOAD {
         return Err(NetError::Protocol(format!(
             "payload length {len} exceeds cap {MAX_PAYLOAD}"

@@ -51,6 +51,34 @@ pub enum FaultClass {
     Get,
 }
 
+impl FaultClass {
+    /// Every fault class, in the order `docs/PROTOCOL.md` documents
+    /// them. The protocol-conformance pass iterates this to prove the
+    /// doc and the [`FaultPlan::parse`] grammar agree.
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::Accept,
+        FaultClass::Client,
+        FaultClass::Server,
+        FaultClass::AnyRequest,
+        FaultClass::Redist,
+        FaultClass::Exec,
+        FaultClass::Get,
+    ];
+
+    /// The spelling [`FaultPlan::parse`] accepts for this class.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Accept => "accept",
+            FaultClass::Client => "client",
+            FaultClass::Server => "server",
+            FaultClass::AnyRequest => "any",
+            FaultClass::Redist => "redist",
+            FaultClass::Exec => "exec",
+            FaultClass::Get => "get",
+        }
+    }
+}
+
 /// What a firing rule does to the connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
@@ -267,6 +295,16 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_enumerated_class_name_parses() {
+        for class in FaultClass::ALL {
+            // The accept path supports only refuse/delay actions.
+            let action = if class == FaultClass::Accept { "refuse" } else { "retryable" };
+            let plan = FaultPlan::parse(&format!("{}:{action}", class.name()), 0).unwrap();
+            assert!(!plan.is_empty(), "class {:?}", class);
+        }
+    }
 
     #[test]
     fn parse_roundtrip_and_budget() {

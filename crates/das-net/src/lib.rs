@@ -34,7 +34,6 @@
 //! predictions of `das-core` — the strongest end-to-end validation of
 //! the paper's bandwidth model this repo has.
 
-#![warn(missing_docs)]
 
 pub mod client;
 pub mod codec;
@@ -49,11 +48,12 @@ pub use client::{
 };
 pub use codec::{
     encode_frame, encode_frame_traced, read_frame, read_message, write_message,
-    write_message_traced, CountingStream, NetError, FLAG_CRC, FLAG_TRACE,
+    write_message_traced, CountingStream, NetError, FLAG_CRC, FLAG_TRACE, KNOWN_FLAGS,
 };
 pub use fault::{FaultAction, FaultClass, FaultPlan, FaultPoint, FaultRule};
 pub use proto::{
-    ErrorCode, Message, Role, WireStats, CAP_CRC, CAP_TRACE, LOCAL_CAPS, MAX_PAYLOAD, VERSION,
+    ErrorCode, Message, Role, WireStats, CAP_CRC, CAP_TRACE, KNOWN_OPCODES, LOCAL_CAPS,
+    MAX_PAYLOAD, VERSION,
 };
 pub use retry::RetryPolicy;
 pub use server::{spawn, ConnClass, DasdConfig, DasdHandle, StatsRegistry};

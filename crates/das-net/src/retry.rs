@@ -136,6 +136,7 @@ impl RetryPolicy {
                 Err(e) => return Err(e),
             }
         }
+        // das-lint: allow(DA402) the loop body runs at least once, so `last` is always set here
         Err(last.expect("at least one attempt"))
     }
 }

@@ -16,7 +16,6 @@
 //! codec, the daemon, the client, the in-process runtime — can afford
 //! to link it.
 
-#![warn(missing_docs)]
 
 pub mod log;
 pub mod metrics;

@@ -198,6 +198,30 @@ impl Layout {
             .map(|s| 1 + self.replicas(StripId(s)).len() as u64)
             .sum()
     }
+
+    /// Placement introspection: the strips within `radius` strips of
+    /// `strip` (either direction, clipped to `strip_count`) that the
+    /// **primary holder of `strip`** has no local copy of — exactly
+    /// the neighbor strips an active-storage task on that server must
+    /// fetch from a peer. Empty means the layout's grouping and
+    /// replication fully cover a stencil reaching `radius` strips.
+    pub fn uncovered_neighbors(
+        &self,
+        strip: StripId,
+        radius: u64,
+        strip_count: u64,
+    ) -> Vec<StripId> {
+        let server = self.primary(strip);
+        let lo = strip.0.saturating_sub(radius);
+        let hi = strip
+            .0
+            .saturating_add(radius)
+            .min(strip_count.saturating_sub(1));
+        (lo..=hi)
+            .map(StripId)
+            .filter(|&u| u != strip && !self.holds(server, u))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +334,31 @@ mod tests {
         let h = l.holders(StripId(2)); // first of group 1, server 1
         assert_eq!(h[0], ServerId(1));
         assert_eq!(h[1], ServerId(0));
+    }
+
+    #[test]
+    fn uncovered_neighbors_reflects_replication() {
+        // Grouped without replication: every strip on the far side of
+        // a group boundary is uncovered.
+        let grouped = Layout::new(LayoutPolicy::Grouped { group: 3 }, 4);
+        // Strip 2 is last of group 0 (server 0); strip 3 is on server 1.
+        assert_eq!(grouped.uncovered_neighbors(StripId(2), 1, 100), vec![StripId(3)]);
+        // Interior strip: both neighbors in-group.
+        assert!(grouped.uncovered_neighbors(StripId(1), 1, 100).is_empty());
+
+        // Replication covers radius 1 at every boundary…
+        let rep = Layout::new(LayoutPolicy::GroupedReplicated { group: 3 }, 4);
+        for s in 0..24u64 {
+            assert!(
+                rep.uncovered_neighbors(StripId(s), 1, 24).is_empty(),
+                "strip {s} should be radius-1 covered"
+            );
+        }
+        // …but not radius 2 from a boundary strip.
+        assert!(!rep.uncovered_neighbors(StripId(2), 2, 100).is_empty());
+
+        // File edges clip the window instead of underflowing.
+        assert!(rep.uncovered_neighbors(StripId(0), 5, 1).is_empty());
     }
 
     #[test]

@@ -49,7 +49,6 @@
 //! assert_eq!(pfs.read(file, 100_000, 1234).unwrap().0, bytes);
 //! ```
 
-#![warn(missing_docs)]
 
 mod cluster;
 mod error;

@@ -49,7 +49,6 @@
 //! assert!(das.bytes.net_server_server < dem.byte_len());
 //! ```
 
-#![warn(missing_docs)]
 
 pub mod assembly;
 pub mod config;

@@ -50,7 +50,6 @@
 //! let _ = send;
 //! ```
 
-#![warn(missing_docs)]
 
 mod engine;
 mod op;
