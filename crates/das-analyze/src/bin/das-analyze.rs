@@ -1,16 +1,19 @@
 //! `das-analyze` — run the workspace's static-analysis passes.
 //!
 //! ```text
-//! das-analyze [--root PATH] [--deny] [--json] [--pass NAME]...
+//! das-analyze [--root PATH] [--deny] [--json] [--pass NAME]... [--list]
 //! ```
 //!
 //! * `--root PATH` — repository root to analyze (default `.`).
 //! * `--pass NAME` — run only the named pass (repeatable; default
-//!   all of `descriptors`, `protocol`, `fetchgraph`, `lints`).
+//!   all of `registry`, `descriptors`, `protocol`, `fetchgraph`,
+//!   `lints`, `taint`, `lockgraph`, `model`).
 //! * `--json` — one JSON object per finding on stdout instead of
 //!   aligned text.
 //! * `--deny` — exit 1 if any warning- or error-level finding was
 //!   produced (the CI mode).
+//! * `--list` — print every registered finding code with its nominal
+//!   severity and summary, then exit.
 //!
 //! Exit codes: 0 clean (or findings without `--deny`), 1 denied,
 //! 2 usage error.
@@ -28,7 +31,7 @@ struct Opts {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: das-analyze [--root PATH] [--deny] [--json] [--pass NAME]...");
+    eprintln!("usage: das-analyze [--root PATH] [--deny] [--json] [--pass NAME]... [--list]");
     eprintln!("passes: {}", PASSES.join(", "));
     ExitCode::from(2)
 }
@@ -45,6 +48,10 @@ fn parse_args() -> Result<Opts, ExitCode> {
             },
             "--deny" => opts.deny = true,
             "--json" => opts.json = true,
+            "--list" => {
+                print!("{}", das_analyze::registry::list());
+                return Err(ExitCode::SUCCESS);
+            }
             "--pass" => match args.next() {
                 Some(p) if PASSES.contains(&p.as_str()) => opts.passes.push(p),
                 Some(p) => {
@@ -54,7 +61,9 @@ fn parse_args() -> Result<Opts, ExitCode> {
                 None => return Err(usage()),
             },
             "--help" | "-h" => {
-                println!("usage: das-analyze [--root PATH] [--deny] [--json] [--pass NAME]...");
+                println!(
+                    "usage: das-analyze [--root PATH] [--deny] [--json] [--pass NAME]... [--list]"
+                );
                 println!("passes: {}", PASSES.join(", "));
                 return Err(ExitCode::SUCCESS);
             }

@@ -1,8 +1,12 @@
 //! # das-analyze — static analysis for the DAS workspace
 //!
-//! Four passes, each emitting machine-readable [`Finding`]s
-//! (`docs/ANALYSIS.md` is the code registry):
+//! Eight passes, each emitting machine-readable [`Finding`]s
+//! (`registry::REGISTRY` is the code registry; `das-analyze --list`
+//! prints it, `docs/ANALYSIS.md` documents it):
 //!
+//! * [`registry`] — cross-check the compiled-in finding-code registry
+//!   against the pass sources and the documentation tables; any code
+//!   present in one but missing from another is drift.
 //! * [`descriptors`] — parse every Kernel Features descriptor under
 //!   `descriptors/`, validate offsets symbolically (affine in
 //!   `imgWidth`), cross-check the txt and XML forms, verify the
@@ -22,12 +26,27 @@
 //!   fetch-while-serving design, and prove the shipped service is
 //!   safe (depth-1 `GetStrip`, canonical ascending-strip fetch
 //!   order).
-//! * [`lints`] — line-based source lints on the request path: no
-//!   `unwrap()`/`expect(`/`panic!` in das-net's wire-facing modules,
-//!   no `eprintln!` outside das-obs, no stray stdout prints in
-//!   library code, and lock acquisitions ordered against the declared
-//!   hierarchy. `// das-lint: allow(<code>)` on the same or preceding
-//!   line waives a site.
+//! * [`lints`] — token-based source lints via the in-crate [`syntax`]
+//!   lexer: no `unwrap()`/`expect(`/`panic!` in das-net's wire-facing
+//!   modules, no `eprintln!` outside das-obs, no stray stdout prints
+//!   in library code, and intra-function lock ordering against the
+//!   declared hierarchy. `// das-lint: allow(<code>)` on the same or
+//!   preceding line waives a site; `#[cfg(test)]` code is masked out.
+//! * [`taint`] — wire-taint dataflow: lengths and counts decoded off
+//!   the wire in das-net's `proto`/`codec` must be bounds-checked
+//!   before they reach an allocation or index sink, and peer-returned
+//!   strip payloads must be length-validated before the server
+//!   assembles them.
+//! * [`lockgraph`] — inter-procedural lock-order analysis: propagate
+//!   guard-held sets through the das-net call graph and report
+//!   cross-function hierarchy inversions and AB/BA cycles, with the
+//!   witness call chain.
+//! * [`model`] — bounded protocol model checker: exhaustively explore
+//!   the client↔daemon session state machine (caps negotiation ×
+//!   framing × retry/backoff × breaker × the DAS→NAS→TS ladder),
+//!   driving the real codec and retry policy, and report any stuck
+//!   state, idempotence breach, or discipline violation with a
+//!   minimal counterexample trace.
 //!
 //! The `das-analyze` binary runs the passes against a repository
 //! root; `--deny` turns any warning- or error-level finding into a
@@ -37,23 +56,41 @@ pub mod descriptors;
 pub mod fetchgraph;
 pub mod finding;
 pub mod lints;
+pub mod lockgraph;
+pub mod model;
 pub mod protocol;
+pub mod registry;
+pub mod syntax;
+pub mod taint;
 
 use std::path::Path;
 
 pub use finding::{Finding, Report, Severity};
 
 /// Pass names in execution order, as accepted by `--pass`.
-pub const PASSES: [&str; 4] = ["descriptors", "protocol", "fetchgraph", "lints"];
+pub const PASSES: [&str; 8] = [
+    "registry",
+    "descriptors",
+    "protocol",
+    "fetchgraph",
+    "lints",
+    "taint",
+    "lockgraph",
+    "model",
+];
 
 /// Run one pass by name against a repository root. `None` for an
 /// unknown pass name.
 pub fn run_pass(name: &str, root: &Path) -> Option<Vec<Finding>> {
     match name {
+        "registry" => Some(registry::run(root)),
         "descriptors" => Some(descriptors::run(root)),
         "protocol" => Some(protocol::run(root)),
         "fetchgraph" => Some(fetchgraph::run(root)),
         "lints" => Some(lints::run(root)),
+        "taint" => Some(taint::run(root)),
+        "lockgraph" => Some(lockgraph::run(root)),
+        "model" => Some(model::run(root)),
         _ => None,
     }
 }

@@ -1,0 +1,40 @@
+//! False-positive regression fixture: every pattern below is one the
+//! old line-based lints misfired on, and the token-based lints must
+//! pass. Doc prose mentioning unwrap() or panic! is not code.
+
+/// Calling `.expect("boom")` is merely *documented* here — and this
+/// doc comment also says panic!("no").
+pub fn fine() -> &'static str {
+    // a comment saying .unwrap() must not count
+    let s = "calling .unwrap() or panic!(\"x\") in a string is data";
+    /* block comment: .expect("also fine") and eprintln!("quiet") */
+    s
+}
+
+/// A multi-line string literal holding lint-shaped text.
+pub fn raw() -> &'static str {
+    r#"
+    .unwrap()
+    .expect("inside a raw string")
+    panic!("inert")
+    println!("inert")
+    "#
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_masked() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+        let r: Result<u8, u8> = Ok(1);
+        r.expect("fine inside cfg(test)");
+        if fine().is_empty() {
+            panic!("unreachable");
+        }
+        println!("tests may print");
+        eprintln!("and eprint");
+    }
+}

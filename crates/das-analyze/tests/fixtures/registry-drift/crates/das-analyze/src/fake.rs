@@ -1,0 +1,6 @@
+//! Seeded defect: this "pass" emits a finding code nobody
+//! registered — DA001 drift.
+
+pub fn rogue_code() -> &'static str {
+    "DA999"
+}

@@ -1,0 +1,20 @@
+//! Seeded defects for the wire-taint pass: `read_blob` allocates
+//! directly from a wire-decoded length (DA501), and `read_quads`
+//! allocates from a value *derived* from one (DA502). Neither length
+//! is compared against any bound first.
+
+impl Dec {
+    fn read_blob(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.take_u32()? as usize;
+        let buf = vec![0u8; n];
+        Ok(buf)
+    }
+
+    fn read_quads(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.take_u32()? as usize;
+        let m = n * 4;
+        let mut v = Vec::with_capacity(m);
+        v.push(0);
+        Ok(v)
+    }
+}

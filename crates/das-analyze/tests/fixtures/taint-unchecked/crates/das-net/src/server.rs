@@ -1,0 +1,10 @@
+//! Seeded defect for the blob-taint rule: a peer-returned strip is
+//! stored without its length ever being validated (DA503).
+
+impl Srv {
+    fn assemble(&self, file: u32, u: u64) -> Result<(), NetError> {
+        let payload = self.get_strip_failover(file, u)?;
+        self.store.insert(u, payload);
+        Ok(())
+    }
+}

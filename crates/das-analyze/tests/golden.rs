@@ -83,6 +83,75 @@ fn seeded_unwrap_in_request_path_fails_with_da401() {
 }
 
 #[test]
+fn lint_shaped_text_in_comments_strings_and_tests_is_clean() {
+    // Regression net for the old line-heuristic false positives:
+    // every pattern in this fixture once misfired, and the
+    // token-based lints must pass it.
+    let (ok, stdout) = analyze(&fixture("lint-fp"), &["lints"]);
+    assert!(ok, "token-based lints must not fire on comments/strings/tests:\n{stdout}");
+}
+
+#[test]
+fn cross_function_lock_inversion_fails_with_da407() {
+    let (ok, stdout) = analyze(&fixture("lock-inversion"), &["lockgraph"]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA407\""), "{stdout}");
+    // The witness chain names both ends of the call.
+    assert!(stdout.contains("outer"), "{stdout}");
+    assert!(stdout.contains("helper"), "{stdout}");
+}
+
+#[test]
+fn ab_ba_lock_cycle_across_calls_fails_with_da408() {
+    let (ok, stdout) = analyze(&fixture("lock-cycle"), &["lockgraph"]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA408\""), "{stdout}");
+    assert!(stdout.contains("alpha"), "{stdout}");
+    assert!(stdout.contains("beta"), "{stdout}");
+}
+
+#[test]
+fn unchecked_wire_lengths_fail_with_da501_and_da502() {
+    let (ok, stdout) = analyze(&fixture("taint-unchecked"), &["taint"]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA501\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA502\""), "{stdout}");
+}
+
+#[test]
+fn unvalidated_peer_blob_fails_with_da503() {
+    let (_, stdout) = analyze(&fixture("taint-unchecked"), &["taint"]);
+    assert!(stdout.contains("\"code\":\"DA503\""), "{stdout}");
+    assert!(stdout.contains("server.rs"), "{stdout}");
+}
+
+#[test]
+fn every_seeded_model_defect_yields_its_counterexample() {
+    let (ok, stdout) = analyze(&fixture("model-defects"), &["model"]);
+    assert!(!ok, "{stdout}");
+    for code in ["DA601", "DA602", "DA603", "DA604", "DA605", "DA606"] {
+        assert!(stdout.contains(&format!("\"code\":\"{code}\"")), "missing {code}:\n{stdout}");
+    }
+    // The unknown defect name is registry drift…
+    assert!(stdout.contains("\"code\":\"DA607\""), "{stdout}");
+    // …and each counterexample is a readable numbered trace.
+    assert!(stdout.contains("counterexample"), "{stdout}");
+    assert!(stdout.contains("[1] connect"), "{stdout}");
+}
+
+#[test]
+fn registry_drift_fails_with_da001_and_da003() {
+    let (ok, stdout) = analyze(&fixture("registry-drift"), &["registry"]);
+    assert!(!ok, "{stdout}");
+    // An emitted-but-unregistered code…
+    assert!(stdout.contains("\"code\":\"DA001\""), "{stdout}");
+    assert!(stdout.contains("DA999"), "{stdout}");
+    // …and a documented-but-unregistered one.
+    assert!(stdout.contains("\"code\":\"DA003\""), "{stdout}");
+    assert!(stdout.contains("DA888"), "{stdout}");
+}
+
+#[test]
 fn real_repo_is_clean_under_deny() {
     let (ok, stdout) = analyze(&repo_root(), &[]);
     assert!(ok, "the shipped repo must pass --deny:\n{stdout}");
@@ -90,6 +159,12 @@ fn real_repo_is_clean_under_deny() {
     assert!(stdout.contains("\"code\":\"DA200\""), "{stdout}");
     assert!(stdout.contains("\"code\":\"DA301\""), "{stdout}");
     assert!(stdout.contains("\"code\":\"DA303\""), "{stdout}");
+    // …including the deep-analysis summaries: registry, taint,
+    // lock graph, and the model checker's explored-state record.
+    assert!(stdout.contains("\"code\":\"DA000\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA500\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA409\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA600\""), "{stdout}");
 }
 
 #[test]

@@ -424,7 +424,11 @@ impl DasCluster {
         let dist = self.distribution(file)?;
         let spec = StripeSpec::new(dist.strip_size);
         let layout = Layout::new(dist.policy, dist.servers);
-        let mut out = Vec::with_capacity(dist.file_len as usize);
+        // Cap the preallocation hint: `file_len` arrived over the
+        // wire, and a corrupt daemon must not be able to make the
+        // client reserve 16 EiB up front. The Vec still grows to the
+        // true size strip by strip.
+        let mut out = Vec::with_capacity(dist.file_len.min(crate::proto::MAX_PAYLOAD as u64) as usize);
         for s in 0..spec.strip_count(dist.file_len) {
             let sid = StripId(s);
             let placement = layout.placement(sid);

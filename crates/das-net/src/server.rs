@@ -881,6 +881,19 @@ fn execute(shared: &Shared, args: ExecuteArgs<'_>, trace: Option<u64>) -> Messag
                     )
                 }
             };
+            // A short (or long) strip from a confused peer must fail
+            // typed here: accepted into the assembly it would panic
+            // the first out-of-range element read.
+            if payload.len() != spec.strip_len(StripId(u), len) {
+                return err(
+                    ErrorCode::StripLengthMismatch,
+                    format!(
+                        "peer returned {} bytes for dependence strip {u}, wanted {}",
+                        payload.len(),
+                        spec.strip_len(StripId(u), len)
+                    ),
+                );
+            }
             dep_fetches += 1;
             dep_fetch_bytes += payload.len() as u64;
             asm.insert(StripId(u), Bytes::from(payload));
