@@ -102,6 +102,18 @@ fn cross_function_lock_inversion_fails_with_da407() {
 }
 
 #[test]
+fn engine_shard_queue_inversion_fails_with_da407() {
+    // The event-loop engine's locks (`inbox` rank 4, `done` rank 5)
+    // are part of the declared hierarchy; acquiring them backwards
+    // across a call is the same AB/BA deadlock as the server locks.
+    let (ok, stdout) = analyze(&fixture("engine-inversion"), &["lockgraph"]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA407\""), "{stdout}");
+    assert!(stdout.contains("route_done"), "{stdout}");
+    assert!(stdout.contains("adopt"), "{stdout}");
+}
+
+#[test]
 fn ab_ba_lock_cycle_across_calls_fails_with_da408() {
     let (ok, stdout) = analyze(&fixture("lock-cycle"), &["lockgraph"]);
     assert!(!ok, "{stdout}");

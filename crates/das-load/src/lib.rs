@@ -1,0 +1,594 @@
+//! # das-load — open-loop load generation for the das-net service
+//!
+//! Drives a live `dasd` fleet with a mixed put/get/exec workload from
+//! hundreds of concurrent client workers multiplexed over pipelined
+//! connections ([`das_net::PipeClient`]), and reports throughput and
+//! latency quantiles per operation class.
+//!
+//! The generator is **open-loop**: operation *i* is scheduled at an
+//! absolute arrival time drawn from a seeded exponential (Poisson)
+//! process of the configured rate, independent of when earlier
+//! operations complete. Latency is measured from the **scheduled**
+//! arrival, not from when a worker got around to issuing the request,
+//! so queueing delay under overload is charged to the server — the
+//! property that makes open-loop numbers honest where closed-loop
+//! generators silently self-throttle (coordinated omission).
+//!
+//! Two entry points:
+//!
+//! * [`run_bench`] — drive an already-running fleet once and return a
+//!   [`report::BenchReport`].
+//! * [`compare_engines`] — boot two in-process loopback fleets (one
+//!   per [`das_net::Engine`]), run the identical seeded workload
+//!   against each, and return a [`report::CompareReport`] naming the
+//!   winner. This is what `das bench` writes to `BENCH_net.json`.
+
+pub mod fleet;
+pub mod report;
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use das_net::{DasCluster, Message, NetError, PipeClient, RetryPolicy};
+use das_obs::{event, Histogram, Level};
+use das_pfs::LayoutPolicy;
+
+use report::{BenchReport, ClassStats, CompareReport};
+
+/// One operation class of the mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `GetStrip` of a random strip from its primary holder.
+    Get,
+    /// `PutStrip` of a full strip to its primary holder.
+    Put,
+    /// A forced single-server kernel execution (dependence fetches
+    /// and all) over a small raster file.
+    Exec,
+}
+
+impl OpKind {
+    /// All classes, in report order.
+    pub const ALL: [OpKind; 3] = [OpKind::Get, OpKind::Put, OpKind::Exec];
+
+    /// The class's report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Get => "get",
+            OpKind::Put => "put",
+            OpKind::Exec => "exec",
+        }
+    }
+}
+
+/// Relative weights of the operation classes in the arrival stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Weight of [`OpKind::Get`].
+    pub get: u32,
+    /// Weight of [`OpKind::Put`].
+    pub put: u32,
+    /// Weight of [`OpKind::Exec`].
+    pub exec: u32,
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        Mix { get: 70, put: 25, exec: 5 }
+    }
+}
+
+impl Mix {
+    /// Parse `get:put:exec` weights, e.g. `70:25:5`. At least one
+    /// weight must be nonzero.
+    pub fn parse(s: &str) -> Option<Mix> {
+        let mut it = s.split(':');
+        let get = it.next()?.trim().parse().ok()?;
+        let put = it.next()?.trim().parse().ok()?;
+        let exec = it.next()?.trim().parse().ok()?;
+        if it.next().is_some() || get + put + exec == 0 {
+            return None;
+        }
+        Some(Mix { get, put, exec })
+    }
+
+    fn pick(&self, roll: u64) -> OpKind {
+        let total = (self.get + self.put + self.exec) as u64;
+        let r = roll % total;
+        if r < self.get as u64 {
+            OpKind::Get
+        } else if r < (self.get + self.put) as u64 {
+            OpKind::Put
+        } else {
+            OpKind::Exec
+        }
+    }
+}
+
+/// Everything one benchmark run needs to know.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Target aggregate arrival rate, operations per second.
+    pub rate: f64,
+    /// Run length: arrivals are scheduled across this window.
+    pub duration: Duration,
+    /// Concurrent client workers draining the arrival schedule.
+    pub clients: usize,
+    /// Pipelined connections opened per server; workers share them.
+    pub conns_per_server: usize,
+    /// Strip size of the benchmark file, bytes.
+    pub strip_size: u32,
+    /// Number of strips in the benchmark file.
+    pub strips: u64,
+    /// Operation-class mix.
+    pub mix: Mix,
+    /// Seed for arrivals, class picks, and strip picks.
+    pub seed: u64,
+    /// Kernel the exec class runs.
+    pub kernel: String,
+    /// Rows (= strips) of the small raster the exec class computes on.
+    pub exec_rows: u64,
+    /// Servers per in-process fleet ([`compare_engines`] only).
+    pub servers: usize,
+    /// Daemon worker-pool size ([`compare_engines`] only).
+    pub pool: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            // A rate the fleet can actually sustain: the exec class
+            // (kernel + peer dependence fetches) costs tens of
+            // milliseconds of pool time per call, so an open-loop
+            // rate far past capacity just measures queueing collapse
+            // on BOTH engines instead of the architectural gap.
+            rate: 400.0,
+            duration: Duration::from_secs(5),
+            clients: 64,
+            // More sockets per daemon than the daemon has pool
+            // threads: the load shape a thread-per-connection core
+            // cannot serve (it pins one thread per socket for the
+            // socket's lifetime) and the event loop handles without
+            // breaking stride.
+            conns_per_server: 16,
+            strip_size: 4096,
+            strips: 64,
+            mix: Mix::default(),
+            seed: 42,
+            kernel: "gaussian-filter".to_string(),
+            exec_rows: 32,
+            servers: 3,
+            pool: 8,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in (0, 1] from one rng draw (never 0, so `ln` is safe).
+fn unit_open(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// One pre-scheduled arrival.
+struct ScheduledOp {
+    /// Arrival offset from the run's start, microseconds.
+    offset_us: u64,
+    kind: OpKind,
+    /// Strip the op touches (get/put) — also selects the server.
+    strip: u64,
+}
+
+/// Deterministic per-strip payload so puts are reproducible and gets
+/// verifiable by length.
+fn strip_bytes(seed: u64, strip: u64, len: usize) -> Vec<u8> {
+    let mut state = seed ^ strip.wrapping_mul(0x9e3779b97f4a7c15);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        out.extend_from_slice(&splitmix64(&mut state).to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Build the full arrival schedule up front: exponential inter-arrival
+/// times at `rate` until `duration` is covered.
+fn build_schedule(cfg: &BenchConfig) -> Vec<ScheduledOp> {
+    let mut state = cfg.seed;
+    let mut ops = Vec::new();
+    let horizon_us = cfg.duration.as_micros() as u64;
+    let mut t_us = 0f64;
+    loop {
+        t_us += -unit_open(&mut state).ln() / cfg.rate * 1e6;
+        if t_us as u64 >= horizon_us {
+            break;
+        }
+        let kind = cfg.mix.pick(splitmix64(&mut state));
+        let strip = splitmix64(&mut state) % cfg.strips.max(1);
+        ops.push(ScheduledOp { offset_us: t_us as u64, kind, strip });
+    }
+    ops
+}
+
+/// File ids the workload operates on, established during setup.
+#[derive(Clone, Copy)]
+struct BenchFiles {
+    bench: u32,
+    exec_in: u32,
+    exec_out: u32,
+}
+
+/// Create and populate the benchmark files through a serial client.
+fn setup_files(
+    cluster: &mut DasCluster,
+    cfg: &BenchConfig,
+    tag: &str,
+) -> Result<BenchFiles, NetError> {
+    let bench_len = cfg.strips * cfg.strip_size as u64;
+    let bench = cluster.create_file(
+        &format!("bench-{tag}.dat"),
+        bench_len,
+        cfg.strip_size,
+        LayoutPolicy::RoundRobin,
+    )?;
+    let data = strip_bytes(cfg.seed, u64::MAX, bench_len as usize);
+    cluster.put_file(bench, &data)?;
+
+    let exec_len = cfg.exec_rows * cfg.strip_size as u64;
+    let exec_data = strip_bytes(cfg.seed ^ 1, u64::MAX - 1, exec_len as usize);
+    let exec_in = cluster.create_file(
+        &format!("bench-{tag}-exec.in"),
+        exec_len,
+        cfg.strip_size,
+        LayoutPolicy::RoundRobin,
+    )?;
+    cluster.put_file(exec_in, &exec_data)?;
+    let exec_out = cluster.create_file(
+        &format!("bench-{tag}-exec.out"),
+        exec_len,
+        cfg.strip_size,
+        LayoutPolicy::RoundRobin,
+    )?;
+    Ok(BenchFiles { bench, exec_in, exec_out })
+}
+
+/// Per-class accumulation shared by all workers.
+struct ClassAcc {
+    latency_us: Histogram,
+    scheduled: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl ClassAcc {
+    fn new() -> Self {
+        ClassAcc {
+            latency_us: Histogram::default(),
+            scheduled: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+fn class_index(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Get => 0,
+        OpKind::Put => 1,
+        OpKind::Exec => 2,
+    }
+}
+
+/// Drive one already-running fleet at `addrs` with the configured
+/// workload and return the measured report. `engine_label` is carried
+/// into the report verbatim (the generator cannot see which engine a
+/// remote daemon runs).
+pub fn run_bench(
+    addrs: &[String],
+    cfg: &BenchConfig,
+    engine_label: &str,
+) -> Result<BenchReport, NetError> {
+    let policy = bench_policy();
+    let mut setup = DasCluster::connect_with(addrs, policy.clone())?;
+    let files = setup_files(&mut setup, cfg, engine_label)?;
+
+    // Shared pipelined connections: workers interleave requests on
+    // them, which is exactly the concurrency the event-loop server
+    // core exists to serve. Dialed in parallel, and a connection the
+    // server never serves (a thread-per-connection engine with more
+    // sockets than pool threads strands the surplus) becomes a dead
+    // slot whose operations count as errors — the generator measures
+    // that failure mode instead of refusing to run.
+    let per_server = cfg.conns_per_server.max(1);
+    let dials: Vec<_> = (0..addrs.len() * per_server)
+        .map(|slot| {
+            let addr = addrs[slot / per_server].clone();
+            let policy = policy.clone();
+            std::thread::spawn(move || PipeClient::connect(&addr, &policy).ok())
+        })
+        .collect();
+    let conns: Vec<Option<Arc<PipeClient>>> =
+        dials.into_iter().map(|h| h.join().ok().flatten().map(Arc::new)).collect();
+    let dead = conns.iter().filter(|c| c.is_none()).count();
+    if dead > 0 {
+        event(
+            Level::Warn,
+            "das.bench",
+            "connections never served; their ops will fail",
+            &[("dead", dead.to_string()), ("total", conns.len().to_string())],
+        );
+    }
+    if conns.iter().all(|c| c.is_none()) {
+        return Err(NetError::Protocol("no pipelined connection could be established".into()));
+    }
+    let conns = Arc::new(conns);
+    let n_servers = addrs.len();
+
+    let ops = Arc::new(build_schedule(cfg));
+    let accs: Arc<Vec<ClassAcc>> = Arc::new(OpKind::ALL.iter().map(|_| ClassAcc::new()).collect());
+    for op in ops.iter() {
+        accs[class_index(op.kind)].scheduled.fetch_add(1, Ordering::Relaxed);
+    }
+    event(
+        Level::Info,
+        "das.bench",
+        "starting open-loop run",
+        &[
+            ("engine", engine_label.to_string()),
+            ("ops", ops.len().to_string()),
+            ("rate", format!("{:.0}/s", cfg.rate)),
+            ("clients", cfg.clients.to_string()),
+        ],
+    );
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let mut workers = Vec::new();
+    for w in 0..cfg.clients.max(1) {
+        let ops = Arc::clone(&ops);
+        let accs = Arc::clone(&accs);
+        let next = Arc::clone(&next);
+        let conns = Arc::clone(&conns);
+        let cfg = cfg.clone();
+        workers.push(std::thread::spawn(move || {
+            worker_loop(w, &ops, &accs, &next, &conns, n_servers, &cfg, &files, t0)
+        }));
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    let wall = t0.elapsed();
+
+    // Leave the target fleet exactly as capable as we found it: the
+    // bench files stay (ids are monotone, names are tagged), and the
+    // pipelined connections close on drop.
+    drop(conns);
+
+    Ok(build_report(engine_label, cfg, &accs, wall))
+}
+
+/// The retry policy of every bench connection: short timeouts so an
+/// overloaded run fails fast instead of hanging out a 15 s default.
+fn bench_policy() -> RetryPolicy {
+    RetryPolicy {
+        connect_timeout: Duration::from_millis(2000),
+        read_timeout: Duration::from_millis(1000),
+        write_timeout: Duration::from_millis(1000),
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    worker: usize,
+    ops: &[ScheduledOp],
+    accs: &[ClassAcc],
+    next: &AtomicUsize,
+    conns: &[Option<Arc<PipeClient>>],
+    n_servers: usize,
+    cfg: &BenchConfig,
+    files: &BenchFiles,
+    t0: Instant,
+) {
+    let per_server = conns.len() / n_servers.max(1);
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(op) = ops.get(i) else { return };
+        // Open loop: wait for the scheduled arrival, then charge all
+        // time from that instant — including any lateness of this
+        // worker — to the operation.
+        let offset = Duration::from_micros(op.offset_us);
+        let now = t0.elapsed();
+        if offset > now {
+            std::thread::sleep(offset - now);
+        }
+        let (server, msg) = match op.kind {
+            OpKind::Get => (
+                (op.strip % n_servers as u64) as usize,
+                Message::GetStrip { file: files.bench, strip: op.strip },
+            ),
+            OpKind::Put => (
+                (op.strip % n_servers as u64) as usize,
+                Message::PutStrip {
+                    file: files.bench,
+                    strip: op.strip,
+                    payload: strip_bytes(cfg.seed, op.strip, cfg.strip_size as usize),
+                },
+            ),
+            OpKind::Exec => (
+                (op.strip % n_servers as u64) as usize,
+                Message::Execute {
+                    file: files.exec_in,
+                    out_file: files.exec_out,
+                    kernel: cfg.kernel.clone(),
+                    img_width: cfg.strip_size as u64 / 4,
+                    element_size: 4,
+                    successive: true,
+                    force: true,
+                },
+            ),
+        };
+        let slot = server * per_server + worker % per_server.max(1);
+        let acc = &accs[class_index(op.kind)];
+        let ok = match &conns[slot.min(conns.len() - 1)] {
+            Some(conn) => match conn.call(&msg) {
+                Ok(Message::StripData { payload }) => payload.len() == cfg.strip_size as usize,
+                Ok(Message::PutStripOk) => true,
+                Ok(Message::ExecuteOk { .. }) => true,
+                Ok(_) => false,
+                Err(_) => false,
+            },
+            None => false,
+        };
+        let lat_us = (t0.elapsed().saturating_sub(offset)).as_micros() as u64;
+        if ok {
+            acc.latency_us.observe(lat_us);
+            acc.completed.fetch_add(1, Ordering::Relaxed);
+            acc.max_us.fetch_max(lat_us, Ordering::Relaxed);
+        } else {
+            acc.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn build_report(
+    engine: &str,
+    cfg: &BenchConfig,
+    accs: &[ClassAcc],
+    wall: Duration,
+) -> BenchReport {
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    let classes: Vec<ClassStats> = OpKind::ALL
+        .iter()
+        .map(|&k| {
+            let a = &accs[class_index(k)];
+            let completed = a.completed.load(Ordering::Relaxed);
+            let count = a.latency_us.count();
+            ClassStats {
+                class: k.name().to_string(),
+                scheduled: a.scheduled.load(Ordering::Relaxed),
+                completed,
+                errors: a.errors.load(Ordering::Relaxed),
+                throughput_ops_s: completed as f64 / wall_s,
+                mean_us: if count > 0 { a.latency_us.sum() as f64 / count as f64 } else { 0.0 },
+                p50_us: a.latency_us.quantile(0.50).unwrap_or(0),
+                p99_us: a.latency_us.quantile(0.99).unwrap_or(0),
+                p999_us: a.latency_us.quantile(0.999).unwrap_or(0),
+                max_us: a.max_us.load(Ordering::Relaxed),
+            }
+        })
+        .collect();
+    let total_completed: u64 = classes.iter().map(|c| c.completed).sum();
+    let total_errors: u64 = classes.iter().map(|c| c.errors).sum();
+    BenchReport {
+        engine: engine.to_string(),
+        target_rate_ops_s: cfg.rate,
+        duration_ms: cfg.duration.as_millis() as u64,
+        clients: cfg.clients,
+        conns_per_server: cfg.conns_per_server,
+        strip_size: cfg.strip_size,
+        seed: cfg.seed,
+        wall_ms: wall.as_millis() as u64,
+        total_completed,
+        total_errors,
+        achieved_ops_s: total_completed as f64 / wall_s,
+        classes,
+    }
+}
+
+/// Boot an in-process loopback fleet per engine, run the identical
+/// seeded workload against each, and report both runs plus the winner
+/// (higher achieved throughput; ties break on lower aggregate p99).
+pub fn compare_engines(cfg: &BenchConfig) -> Result<CompareReport, NetError> {
+    let mut reports = Vec::new();
+    for engine in [das_net::Engine::EventLoop, das_net::Engine::Threads] {
+        let fleet = fleet::spawn_fleet(cfg.servers, engine, cfg.pool).map_err(NetError::Io)?;
+        let report = run_bench(&fleet.addrs, cfg, engine.name());
+        let shutdown = fleet.shutdown();
+        let report = report?;
+        shutdown?;
+        event(
+            Level::Info,
+            "das.bench",
+            "engine run complete",
+            &[
+                ("engine", report.engine.clone()),
+                ("achieved", format!("{:.0}/s", report.achieved_ops_s)),
+                ("errors", report.total_errors.to_string()),
+            ],
+        );
+        reports.push(report);
+    }
+    Ok(CompareReport::from_runs(reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_parses_and_rejects() {
+        let m = Mix::parse("70:25:5").unwrap();
+        assert_eq!((m.get, m.put, m.exec), (70, 25, 5));
+        assert!(Mix::parse("0:0:0").is_none());
+        assert!(Mix::parse("1:2").is_none());
+        assert!(Mix::parse("1:2:3:4").is_none());
+        assert!(Mix::parse("a:b:c").is_none());
+    }
+
+    #[test]
+    fn mix_pick_respects_zero_weights() {
+        let m = Mix { get: 1, put: 0, exec: 0 };
+        for roll in 0..100 {
+            assert_eq!(m.pick(roll), OpKind::Get);
+        }
+        let m = Mix { get: 0, put: 0, exec: 3 };
+        for roll in 0..100 {
+            assert_eq!(m.pick(roll), OpKind::Exec);
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_ordered() {
+        let cfg = BenchConfig {
+            rate: 1000.0,
+            duration: Duration::from_millis(500),
+            ..BenchConfig::default()
+        };
+        let a = build_schedule(&cfg);
+        let b = build_schedule(&cfg);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        let horizon = cfg.duration.as_micros() as u64;
+        let mut prev = 0;
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.offset_us, y.offset_us);
+            assert_eq!(x.strip, y.strip);
+            assert!(x.offset_us >= prev, "arrivals out of order");
+            assert!(x.offset_us < horizon);
+            assert!(x.strip < cfg.strips);
+            prev = x.offset_us;
+        }
+        // ~rate * duration arrivals, within loose Poisson slack.
+        let expect = (cfg.rate * cfg.duration.as_secs_f64()) as usize;
+        assert!(a.len() > expect / 2 && a.len() < expect * 2, "{} vs {}", a.len(), expect);
+    }
+
+    #[test]
+    fn strip_bytes_deterministic_and_sized() {
+        assert_eq!(strip_bytes(1, 2, 100), strip_bytes(1, 2, 100));
+        assert_ne!(strip_bytes(1, 2, 100), strip_bytes(1, 3, 100));
+        assert_eq!(strip_bytes(7, 0, 4096).len(), 4096);
+        assert_eq!(strip_bytes(7, 0, 0).len(), 0);
+    }
+}

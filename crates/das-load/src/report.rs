@@ -1,0 +1,283 @@
+//! Benchmark reports and their `BENCH_net.json` serialization.
+//!
+//! The JSON writer is hand-rolled (this workspace takes no external
+//! dependencies); the shape is stable so CI and downstream tooling can
+//! assert on it:
+//!
+//! ```json
+//! {
+//!   "bench": "das-load",
+//!   "engines": [ { "engine": "evloop", ..., "classes": [...] }, ... ],
+//!   "winner": "evloop",
+//!   "speedup": 1.42
+//! }
+//! ```
+
+/// Throughput and latency of one operation class in one run.
+#[derive(Debug, Clone)]
+pub struct ClassStats {
+    /// Class label: `get`, `put` or `exec`.
+    pub class: String,
+    /// Arrivals the schedule assigned to this class.
+    pub scheduled: u64,
+    /// Operations that completed successfully.
+    pub completed: u64,
+    /// Operations that failed (transport error, timeout, wrong or
+    /// short reply).
+    pub errors: u64,
+    /// Completed operations per wall-clock second.
+    pub throughput_ops_s: f64,
+    /// Mean latency from scheduled arrival to completion, µs.
+    pub mean_us: f64,
+    /// Median latency, µs.
+    pub p50_us: u64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, µs.
+    pub p999_us: u64,
+    /// Worst observed latency, µs.
+    pub max_us: u64,
+}
+
+/// One full open-loop run against one fleet.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Engine label (`evloop`, `threads`, or `external`).
+    pub engine: String,
+    /// Configured aggregate arrival rate, ops/s.
+    pub target_rate_ops_s: f64,
+    /// Configured run length, ms.
+    pub duration_ms: u64,
+    /// Concurrent client workers.
+    pub clients: usize,
+    /// Pipelined connections per server.
+    pub conns_per_server: usize,
+    /// Strip size, bytes.
+    pub strip_size: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Measured wall-clock of the drain, ms.
+    pub wall_ms: u64,
+    /// Successful operations across all classes.
+    pub total_completed: u64,
+    /// Failed operations across all classes.
+    pub total_errors: u64,
+    /// Aggregate successful throughput, ops/s.
+    pub achieved_ops_s: f64,
+    /// Per-class breakdown, in `get`/`put`/`exec` order.
+    pub classes: Vec<ClassStats>,
+}
+
+/// Two engine runs over the identical seeded workload, plus the
+/// verdict.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// One report per engine, in run order.
+    pub runs: Vec<BenchReport>,
+    /// Engine label of the winner.
+    pub winner: String,
+    /// Winner throughput over the other run's throughput (1.0 when
+    /// only one run exists).
+    pub speedup: f64,
+}
+
+impl CompareReport {
+    /// Pick the winner from finished runs: higher achieved
+    /// throughput; ties (within 1%) break on lower aggregate p99.
+    pub fn from_runs(runs: Vec<BenchReport>) -> CompareReport {
+        let mut winner = 0usize;
+        for i in 1..runs.len() {
+            let (a, b) = (&runs[winner], &runs[i]);
+            let close = (a.achieved_ops_s - b.achieved_ops_s).abs()
+                <= 0.01 * a.achieved_ops_s.max(b.achieved_ops_s);
+            let better = if close {
+                worst_p99(b) < worst_p99(a)
+            } else {
+                b.achieved_ops_s > a.achieved_ops_s
+            };
+            if better {
+                winner = i;
+            }
+        }
+        let speedup = match runs.len() {
+            0 | 1 => 1.0,
+            _ => {
+                let best = runs[winner].achieved_ops_s;
+                let other = runs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != winner)
+                    .map(|(_, r)| r.achieved_ops_s)
+                    .fold(f64::INFINITY, f64::min);
+                if other > 0.0 {
+                    best / other
+                } else {
+                    f64::INFINITY
+                }
+            }
+        };
+        let winner_label =
+            runs.get(winner).map(|r| r.engine.clone()).unwrap_or_else(|| "none".to_string());
+        CompareReport { runs, winner: winner_label, speedup }
+    }
+
+    /// Serialize the whole comparison as the `BENCH_net.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"bench\": \"das-load\",\n  \"engines\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            out.push_str(&indent(&r.to_json(), 4));
+            out.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"winner\": {},\n", json_str(&self.winner)));
+        out.push_str(&format!("  \"speedup\": {}\n}}\n", json_num(self.speedup)));
+        out
+    }
+}
+
+fn worst_p99(r: &BenchReport) -> u64 {
+    r.classes.iter().map(|c| c.p99_us).max().unwrap_or(0)
+}
+
+impl BenchReport {
+    /// Serialize one run as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"engine\": {},\n", json_str(&self.engine)));
+        out.push_str(&format!("  \"target_rate_ops_s\": {},\n", json_num(self.target_rate_ops_s)));
+        out.push_str(&format!("  \"duration_ms\": {},\n", self.duration_ms));
+        out.push_str(&format!("  \"clients\": {},\n", self.clients));
+        out.push_str(&format!("  \"conns_per_server\": {},\n", self.conns_per_server));
+        out.push_str(&format!("  \"strip_size\": {},\n", self.strip_size));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"wall_ms\": {},\n", self.wall_ms));
+        out.push_str(&format!("  \"total_completed\": {},\n", self.total_completed));
+        out.push_str(&format!("  \"total_errors\": {},\n", self.total_errors));
+        out.push_str(&format!("  \"achieved_ops_s\": {},\n", json_num(self.achieved_ops_s)));
+        out.push_str("  \"classes\": [\n");
+        for (i, c) in self.classes.iter().enumerate() {
+            out.push_str(&indent(&c.to_json(), 4));
+            out.push_str(if i + 1 < self.classes.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+impl ClassStats {
+    /// Serialize one class's stats as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"class\": {},\n  \"scheduled\": {},\n  \"completed\": {},\n  \
+             \"errors\": {},\n  \"throughput_ops_s\": {},\n  \"mean_us\": {},\n  \
+             \"p50_us\": {},\n  \"p99_us\": {},\n  \"p999_us\": {},\n  \"max_us\": {}\n}}",
+            json_str(&self.class),
+            self.scheduled,
+            self.completed,
+            self.errors,
+            json_num(self.throughput_ops_s),
+            json_num(self.mean_us),
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.max_us,
+        )
+    }
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite float formatting JSON accepts (JSON has no NaN/Infinity).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn indent(block: &str, spaces: usize) -> String {
+    let pad = " ".repeat(spaces);
+    block.lines().map(|l| format!("{pad}{l}")).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(engine: &str, achieved: f64, p99: u64) -> BenchReport {
+        BenchReport {
+            engine: engine.to_string(),
+            target_rate_ops_s: 1000.0,
+            duration_ms: 1000,
+            clients: 8,
+            conns_per_server: 2,
+            strip_size: 4096,
+            seed: 42,
+            wall_ms: 1003,
+            total_completed: achieved as u64,
+            total_errors: 1,
+            achieved_ops_s: achieved,
+            classes: vec![ClassStats {
+                class: "get".to_string(),
+                scheduled: 10,
+                completed: 9,
+                errors: 1,
+                throughput_ops_s: achieved,
+                mean_us: 120.5,
+                p50_us: 100,
+                p99_us: p99,
+                p999_us: p99 * 2,
+                max_us: p99 * 3,
+            }],
+        }
+    }
+
+    #[test]
+    fn winner_prefers_throughput_then_p99() {
+        let r = CompareReport::from_runs(vec![
+            sample_report("evloop", 2000.0, 500),
+            sample_report("threads", 1000.0, 100),
+        ]);
+        assert_eq!(r.winner, "evloop");
+        assert!((r.speedup - 2.0).abs() < 1e-9);
+
+        // Throughput within 1% → lower p99 wins.
+        let r = CompareReport::from_runs(vec![
+            sample_report("evloop", 1000.0, 100),
+            sample_report("threads", 1001.0, 900),
+        ]);
+        assert_eq!(r.winner, "evloop");
+    }
+
+    #[test]
+    fn json_escapes_and_structure() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_num(f64::NAN), "null");
+        let r = CompareReport::from_runs(vec![sample_report("evloop", 10.0, 5)]);
+        let doc = r.to_json();
+        assert!(doc.contains("\"bench\": \"das-load\""));
+        assert!(doc.contains("\"winner\": \"evloop\""));
+        assert!(doc.contains("\"p999_us\": 10"));
+        // Crude structural sanity: brackets balance.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+}

@@ -28,7 +28,7 @@
 //! `Hello`/`HelloOk`, so frames to a legacy peer stay bit-identical
 //! to protocol version 1 without the field.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -184,20 +184,134 @@ pub fn encode_frame_traced(msg: &Message, trace: Option<u64>) -> Vec<u8> {
     frame
 }
 
-/// Serialize `msg` as one frame onto `w` and flush.
-pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
-    w.write_all(&encode_frame(msg))?;
+/// One frame split into scatter/gather segments: a small owned `head`
+/// (header, optional trace id, payload prefix), a borrowed `body`
+/// (the bulk blob bytes — a strip payload or metrics text), and the
+/// 4-byte CRC trailer. `head ⧺ body ⧺ tail` is bit-identical to
+/// [`encode_frame_traced`] output, but building one never copies the
+/// body: the CRC is computed chunk-wise and the writer hands the
+/// segments to `write_vectored`.
+#[derive(Debug)]
+pub struct FrameParts<'a> {
+    /// Frame header + optional trace id + payload prefix.
+    pub head: Vec<u8>,
+    /// Borrowed bulk payload bytes (empty for non-blob messages).
+    pub body: &'a [u8],
+    /// CRC32 trailer over `head ⧺ body`, little-endian.
+    pub tail: [u8; 4],
+}
+
+impl FrameParts<'_> {
+    /// Total frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.body.len() + self.tail.len()
+    }
+
+    /// A frame is never empty (the header alone is 12 bytes).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Concatenate the segments into one owned frame — the slow path
+    /// for callers (fault injection) that need to slice or corrupt
+    /// the frame as contiguous bytes.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len());
+        v.extend_from_slice(&self.head);
+        v.extend_from_slice(self.body);
+        v.extend_from_slice(&self.tail);
+        v
+    }
+}
+
+/// Build the scatter/gather segments of one frame, optionally traced.
+/// The bulk payload of blob-carrying messages is *borrowed* from the
+/// message ([`Message::split_payload`]), so encoding a 4 MiB strip
+/// allocates only the ~30-byte head.
+pub fn frame_parts_traced(msg: &Message, trace: Option<u64>) -> FrameParts<'_> {
+    let (prefix, body) = msg.split_payload();
+    raw_frame_parts(msg.opcode(), &prefix, body, trace)
+}
+
+/// Build frame segments from an already-split payload: `prefix` holds
+/// the fixed fields (copied into the head), `body` the borrowed bulk
+/// bytes. This is the layer that lets a server reply with a strip
+/// straight out of its store — the caller supplies the store's bytes
+/// as `body` and no intermediate payload `Vec` is ever built.
+pub fn raw_frame_parts<'a>(
+    opcode: u8,
+    prefix: &[u8],
+    body: &'a [u8],
+    trace: Option<u64>,
+) -> FrameParts<'a> {
+    let payload_len = prefix.len() + body.len();
+    assert!(payload_len <= MAX_PAYLOAD, "payload exceeds MAX_PAYLOAD");
+    let flags = FLAG_CRC | if trace.is_some() { FLAG_TRACE } else { 0 };
+    let mut head = Vec::with_capacity(HEADER_LEN + 8 + prefix.len());
+    head.extend_from_slice(&MAGIC);
+    head.push(VERSION);
+    head.push(opcode);
+    head.extend_from_slice(&flags.to_le_bytes());
+    head.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    if let Some(id) = trace {
+        head.extend_from_slice(&id.to_le_bytes());
+    }
+    head.extend_from_slice(prefix);
+    let crc = crc32(&[&head, body]);
+    FrameParts { head, body, tail: crc.to_le_bytes() }
+}
+
+/// Write `parts` onto `w` with `write_vectored`, falling back to a
+/// segment-advancing loop on short writes (the default `Write`
+/// implementation may accept only the first buffer, and a socket may
+/// accept any prefix). Flushes when done.
+pub fn write_frame_vectored<W: Write>(w: &mut W, parts: &FrameParts<'_>) -> io::Result<()> {
+    let segments: [&[u8]; 3] = [&parts.head, parts.body, &parts.tail];
+    let total: usize = segments.iter().map(|s| s.len()).sum();
+    let mut written = 0usize;
+    while written < total {
+        // Re-slice the segments past what has already been written.
+        let mut skip = written;
+        let mut bufs = [IoSlice::new(&[]); 3];
+        let mut n_bufs = 0;
+        for seg in &segments {
+            if skip >= seg.len() {
+                skip -= seg.len();
+                continue;
+            }
+            bufs[n_bufs] = IoSlice::new(&seg[skip..]);
+            n_bufs += 1;
+            skip = 0;
+        }
+        match w.write_vectored(&bufs[..n_bufs]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     w.flush()
 }
 
+/// Serialize `msg` as one frame onto `w` and flush.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    write_message_traced(w, msg, None)
+}
+
 /// Serialize `msg` with an optional trace id onto `w` and flush.
+/// Routes through the vectored writer, so blob payloads (strips,
+/// metrics dumps) go to the socket without an intermediate copy.
 pub fn write_message_traced<W: Write>(
     w: &mut W,
     msg: &Message,
     trace: Option<u64>,
 ) -> io::Result<()> {
-    w.write_all(&encode_frame_traced(msg, trace))?;
-    w.flush()
+    write_frame_vectored(w, &frame_parts_traced(msg, trace))
 }
 
 fn is_timeout(e: &io::Error) -> bool {
@@ -320,6 +434,166 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(Message, Option<u64>)>, 
     Ok(Some((Message::decode(opcode, &payload)?, trace)))
 }
 
+/// Owned scatter/gather write state for one frame on a nonblocking
+/// socket: head (header + payload prefix), body (a refcounted
+/// [`bytes::Bytes`] — a strip straight from the store), and CRC tail,
+/// with a cursor tracking how much the socket has accepted so far.
+/// The event-loop engine keeps one per queued reply and resumes the
+/// write whenever the socket turns writable.
+#[derive(Debug)]
+pub struct IoVecCursor {
+    head: Vec<u8>,
+    body: bytes::Bytes,
+    tail: Vec<u8>,
+    written: usize,
+}
+
+impl IoVecCursor {
+    /// Wrap one frame's segments; `body`/`tail` may be empty.
+    pub fn new(head: Vec<u8>, body: bytes::Bytes, tail: Vec<u8>) -> IoVecCursor {
+        IoVecCursor { head, body, tail, written: 0 }
+    }
+
+    /// Total frame length in bytes.
+    pub fn total(&self) -> usize {
+        self.head.len() + self.body.len() + self.tail.len()
+    }
+
+    /// Whether every byte has been accepted by the socket.
+    pub fn is_done(&self) -> bool {
+        self.written >= self.total()
+    }
+
+    /// Attempt one vectored write of the remaining segments.
+    /// `Ok(0)` means the socket would block (or the frame is already
+    /// done) — try again later; `Err` is fatal to the connection. A
+    /// clean zero-length write from the peer surfaces as
+    /// [`io::ErrorKind::WriteZero`].
+    pub fn write_some<W: Write>(&mut self, w: &mut W) -> io::Result<usize> {
+        if self.is_done() {
+            return Ok(0);
+        }
+        let segments: [&[u8]; 3] = [&self.head, &self.body, &self.tail];
+        let mut skip = self.written;
+        let mut bufs = [IoSlice::new(&[]); 3];
+        let mut n_bufs = 0;
+        for seg in &segments {
+            if skip >= seg.len() {
+                skip -= seg.len();
+                continue;
+            }
+            bufs[n_bufs] = IoSlice::new(&seg[skip..]);
+            n_bufs += 1;
+            skip = 0;
+        }
+        match w.write_vectored(&bufs[..n_bufs]) {
+            Ok(0) => Err(io::Error::new(io::ErrorKind::WriteZero, "peer stopped accepting bytes")),
+            Ok(n) => {
+                self.written += n;
+                Ok(n)
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted) => {
+                Ok(0)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// An incremental frame decoder for nonblocking readers: feed it
+/// whatever bytes the socket produced with [`FrameBuffer::extend`],
+/// then drain complete frames with [`FrameBuffer::next_frame`]. The
+/// validation order and limits are identical to [`read_frame`] — the
+/// wire length field is checked against [`MAX_PAYLOAD`] before any
+/// allocation or indexing derives from it — so a byte stream split at
+/// arbitrary boundaries reassembles bit-identically to blocking
+/// reads.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Append raw bytes read from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact once the consumed prefix dominates, so a long-lived
+        // connection doesn't grow the buffer without bound.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete frame, if the buffer holds one.
+    /// `Ok(None)` means "need more bytes"; errors are fatal to the
+    /// connection (framing violations desynchronize the stream).
+    pub fn next_frame(&mut self) -> Result<Option<(Message, Option<u64>)>, NetError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header = &avail[..HEADER_LEN];
+        if header[0..4] != MAGIC {
+            return Err(NetError::Protocol("bad frame magic".into()));
+        }
+        if header[4] != VERSION {
+            return Err(NetError::Protocol(format!(
+                "unsupported protocol version {} (want {VERSION})",
+                header[4]
+            )));
+        }
+        let opcode = header[5];
+        let flags = u16::from_le_bytes(header[6..8].try_into().unwrap()); // das-lint: allow(DA401) infallible 2-byte slice → array
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(NetError::Protocol(format!("unknown flags 0x{flags:04x}")));
+        }
+        let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize; // das-lint: allow(DA401) infallible 4-byte slice → array
+        if len > MAX_PAYLOAD {
+            return Err(NetError::Protocol(format!(
+                "payload length {len} exceeds cap {MAX_PAYLOAD}"
+            )));
+        }
+        let trace_len = if flags & FLAG_TRACE != 0 { 8 } else { 0 };
+        let crc_len = if flags & FLAG_CRC != 0 { 4 } else { 0 };
+        let total = HEADER_LEN + trace_len + len + crc_len;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let trace = if trace_len == 8 {
+            let field: [u8; 8] = avail[HEADER_LEN..HEADER_LEN + 8].try_into().unwrap(); // das-lint: allow(DA401) infallible 8-byte slice → array
+            Some(u64::from_le_bytes(field))
+        } else {
+            None
+        };
+        let payload = &avail[HEADER_LEN + trace_len..HEADER_LEN + trace_len + len];
+        if crc_len == 4 {
+            let trailer: [u8; 4] = avail[total - 4..total].try_into().unwrap(); // das-lint: allow(DA401) infallible 4-byte slice → array
+            let wanted = u32::from_le_bytes(trailer);
+            let actual = crc32(&[&avail[..HEADER_LEN + trace_len + len]]);
+            if wanted != actual {
+                return Err(NetError::Protocol(format!(
+                    "frame checksum mismatch: wire {wanted:#010x}, computed {actual:#010x}"
+                )));
+            }
+        }
+        let msg = Message::decode(opcode, payload)?;
+        self.pos += total;
+        Ok(Some((msg, trace)))
+    }
+}
+
 /// A `Read + Write` wrapper that counts every byte crossing it, in
 /// both directions, into shared atomic counters. The daemon registers
 /// each connection's counters under its traffic class (client↔server
@@ -370,6 +644,12 @@ impl<S: Read> Read for CountingStream<S> {
 impl<S: Write> Write for CountingStream<S> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         let n = self.inner.write(buf)?;
+        self.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        let n = self.inner.write_vectored(bufs)?;
         self.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
     }
@@ -472,6 +752,103 @@ mod tests {
         let mut frame = encode_frame_traced(&Message::Ping, Some(42));
         frame[HEADER_LEN] ^= 0x01; // first byte of the trace field
         assert!(read_frame(&mut Cursor::new(frame)).is_err());
+    }
+
+    #[test]
+    fn frame_parts_are_bit_identical_to_encode_frame() {
+        for msg in Message::samples() {
+            for trace in [None, Some(0x0123_4567_89AB_CDEFu64)] {
+                let parts = frame_parts_traced(&msg, trace);
+                assert_eq!(parts.to_vec(), encode_frame_traced(&msg, trace));
+                assert_eq!(parts.len(), parts.to_vec().len());
+            }
+        }
+    }
+
+    /// A writer that accepts at most one byte per call, exercising
+    /// the short-write fallback across every segment boundary.
+    struct TrickleWriter(Vec<u8>);
+
+    impl Write for TrickleWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.push(buf[0]);
+            Ok(1)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_writer_survives_short_writes() {
+        let msg = Message::PutStrip { file: 3, strip: 7, payload: vec![0xAB; 300] };
+        let parts = frame_parts_traced(&msg, Some(99));
+        let mut w = TrickleWriter(Vec::new());
+        write_frame_vectored(&mut w, &parts).unwrap();
+        assert_eq!(w.0, encode_frame_traced(&msg, Some(99)));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_at_every_split_point() {
+        let msgs = [
+            Message::Ping,
+            Message::PutStrip { file: 1, strip: 2, payload: vec![5; 96] },
+            Message::GetStrip { file: 1, strip: 2 },
+        ];
+        let mut wire = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            wire.extend_from_slice(&encode_frame_traced(m, Some(i as u64)));
+        }
+        for split in 0..=wire.len() {
+            let mut fb = FrameBuffer::new();
+            fb.extend(&wire[..split]);
+            let mut got = Vec::new();
+            while let Some(f) = fb.next_frame().unwrap() {
+                got.push(f);
+            }
+            fb.extend(&wire[split..]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                got.push(f);
+            }
+            assert_eq!(got.len(), msgs.len(), "split at {split}");
+            for (i, (m, t)) in got.iter().enumerate() {
+                assert_eq!(m, &msgs[i]);
+                assert_eq!(*t, Some(i as u64));
+            }
+            assert_eq!(fb.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_length_before_buffering_payload() {
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&MAGIC);
+        bad.push(VERSION);
+        bad.push(0x50);
+        bad.extend_from_slice(&0u16.to_le_bytes());
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut fb = FrameBuffer::new();
+        fb.extend(&bad);
+        match fb.next_frame() {
+            Err(NetError::Protocol(m)) => assert!(m.contains("cap")),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_buffer_compacts_consumed_prefix() {
+        let frame = encode_frame(&Message::PutStrip { file: 1, strip: 0, payload: vec![1; 2048] });
+        let mut fb = FrameBuffer::new();
+        for _ in 0..16 {
+            fb.extend(&frame);
+            assert!(fb.next_frame().unwrap().is_some());
+        }
+        assert_eq!(fb.pending(), 0);
+        assert!(fb.buf.len() < 3 * frame.len(), "buffer kept growing: {}", fb.buf.len());
     }
 
     #[test]

@@ -586,6 +586,40 @@ impl Message {
         b
     }
 
+    /// Split the payload encoding into a small `prefix` (fixed fields
+    /// plus any blob length prefix) and a borrowed `body` (the blob
+    /// bytes themselves), such that `prefix ⧺ body` is bit-identical
+    /// to [`Message::encode_payload`]. The blob-carrying messages —
+    /// [`Message::PutStrip`], [`Message::StripData`],
+    /// [`Message::MetricsText`] — put their bulk bytes in `body`;
+    /// every other message returns its full encoding as `prefix` with
+    /// an empty `body`. This is what lets the vectored frame writer
+    /// ([`crate::codec::write_frame_vectored`]) send a strip
+    /// without copying it through an intermediate frame buffer.
+    pub fn split_payload(&self) -> (Vec<u8>, &[u8]) {
+        let mut b = Vec::new();
+        match self {
+            Message::PutStrip { file, strip, payload } => {
+                put_u32(&mut b, *file);
+                put_u64(&mut b, *strip);
+                assert!(payload.len() <= u32::MAX as usize, "blob field too long");
+                put_u32(&mut b, payload.len() as u32);
+                (b, payload)
+            }
+            Message::StripData { payload } => {
+                assert!(payload.len() <= u32::MAX as usize, "blob field too long");
+                put_u32(&mut b, payload.len() as u32);
+                (b, payload)
+            }
+            Message::MetricsText { text } => {
+                assert!(text.len() <= u32::MAX as usize, "blob field too long");
+                put_u32(&mut b, text.len() as u32);
+                (b, text.as_bytes())
+            }
+            _ => (self.encode_payload(), &[]),
+        }
+    }
+
     /// Decode a payload for `opcode`. Fails on unknown opcodes, short
     /// or over-long payloads, and malformed fields.
     pub fn decode(opcode: u8, payload: &[u8]) -> Result<Message, DecodeError> {
@@ -869,6 +903,21 @@ mod tests {
             assert!(!code.name().is_empty());
         }
         assert_eq!(ErrorCode::from_u16(ErrorCode::ALL.len() as u16 + 1), None);
+    }
+
+    #[test]
+    fn split_payload_is_bit_identical_to_encode_payload() {
+        for m in Message::samples() {
+            let (prefix, body) = m.split_payload();
+            let mut joined = prefix.clone();
+            joined.extend_from_slice(body);
+            assert_eq!(joined, m.encode_payload(), "split drifted for {}", m.op_name());
+        }
+        // The blob carriers actually borrow their bulk bytes.
+        let strip = Message::StripData { payload: vec![7; 1024] };
+        let (prefix, body) = strip.split_payload();
+        assert_eq!(prefix.len(), 4, "blob length prefix only");
+        assert_eq!(body.len(), 1024);
     }
 
     #[test]

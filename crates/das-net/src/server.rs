@@ -42,7 +42,8 @@ use das_pfs::{FileId, FileMeta, Layout, ServerId, StorageServer, StripId, Stripe
 use das_runtime::StripAssembly;
 
 use crate::codec::{
-    encode_frame_traced, read_frame, write_message, write_message_traced, CountingStream, NetError,
+    encode_frame_traced, raw_frame_parts, read_frame, write_frame_vectored, write_message,
+    write_message_traced, CountingStream, NetError,
 };
 use crate::fault::{FaultAction, FaultPlan, FaultPoint};
 use crate::peer::PeerTable;
@@ -52,13 +53,17 @@ use das_obs::log::{event, Level};
 
 /// Lock a mutex, recovering from poison: a worker that panicked while
 /// holding a daemon lock must not wedge every other connection.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// How often an idle connection handler wakes to poll the shutdown
 /// flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// How often an idle (nonblocking) accept loop wakes to poll for new
+/// connections and the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// Traffic class of a connection, fixed by the peer's `Hello`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +120,50 @@ impl StatsRegistry {
     }
 }
 
+/// Which connection core a daemon runs.
+///
+/// Both engines speak the identical wire protocol through the same
+/// codec, fault injector and dispatch logic — the chaos suite passes
+/// bit-identically on either. They differ in how connections map to
+/// threads:
+///
+/// * [`Engine::EventLoop`] (the default): sharded nonblocking event
+///   loop. A few shard threads each own many sockets, incremental
+///   frame decoding allows **pipelining** (multiple in-flight
+///   requests per connection, responses matched by trace id, possibly
+///   out of order), and request handling runs on a worker pool.
+/// * [`Engine::Threads`]: the original thread-per-connection core —
+///   one pooled handler thread blocks on each connection, strictly
+///   serial per connection. Kept selectable so `das bench` can
+///   measure both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Sharded nonblocking event loop with request pipelining.
+    #[default]
+    EventLoop,
+    /// Blocking thread-per-connection (the seed core).
+    Threads,
+}
+
+impl Engine {
+    /// Parse a CLI name (`evloop` / `threads`).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "evloop" | "event-loop" | "eventloop" => Some(Engine::EventLoop),
+            "threads" | "thread-per-conn" => Some(Engine::Threads),
+            _ => None,
+        }
+    }
+
+    /// The engine's canonical CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::EventLoop => "evloop",
+            Engine::Threads => "threads",
+        }
+    }
+}
+
 /// Static configuration of one daemon.
 #[derive(Debug, Clone)]
 pub struct DasdConfig {
@@ -122,18 +171,23 @@ pub struct DasdConfig {
     pub id: u32,
     /// Listen address of **every** server in the cluster, by id.
     pub cluster: Vec<String>,
-    /// Connection-handler pool size. Must exceed the number of
-    /// simultaneously open inbound connections (clients + peers).
+    /// Connection-handler pool size. For [`Engine::Threads`] it must
+    /// exceed the number of simultaneously open inbound connections
+    /// (clients + peers); for [`Engine::EventLoop`] it sizes the
+    /// request worker pool (connections are not pinned to threads).
     pub pool: usize,
     /// Fault-injection plan (empty by default: inject nothing).
     pub fault: Arc<FaultPlan>,
     /// Retry/timeout policy for this daemon's outbound peer calls.
     pub retry: RetryPolicy,
+    /// Which connection core to run.
+    pub engine: Engine,
 }
 
 impl DasdConfig {
     /// Config for server `id` of `cluster` with the default pool (16),
-    /// no fault injection, and the default retry policy.
+    /// no fault injection, the default retry policy, and the default
+    /// event-loop engine.
     pub fn new(id: u32, cluster: Vec<String>) -> Self {
         DasdConfig {
             id,
@@ -141,6 +195,7 @@ impl DasdConfig {
             pool: 16,
             fault: Arc::new(FaultPlan::none()),
             retry: RetryPolicy::default(),
+            engine: Engine::EventLoop,
         }
     }
 
@@ -153,6 +208,12 @@ impl DasdConfig {
     /// Replace the peer retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Select the connection core.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -175,21 +236,21 @@ impl Inner {
 
 /// State shared by every thread of one daemon.
 pub struct Shared {
-    id: ServerId,
+    pub(crate) id: ServerId,
     inner: Mutex<Inner>,
     as_client: ActiveStorageClient,
     peers: PeerTable,
-    stats: Arc<StatsRegistry>,
-    metrics: Arc<das_obs::Registry>,
-    shutdown: AtomicBool,
-    listen_addr: SocketAddr,
-    fault: Arc<FaultPlan>,
+    pub(crate) stats: Arc<StatsRegistry>,
+    pub(crate) metrics: Arc<das_obs::Registry>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) fault: Arc<FaultPlan>,
 }
 
 /// A running daemon (listener + worker threads).
 pub struct DasdHandle {
     addr: SocketAddr,
     threads: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
 }
 
 impl DasdHandle {
@@ -198,8 +259,19 @@ impl DasdHandle {
         self.addr
     }
 
+    /// Ask the daemon to stop, without a network round-trip: the
+    /// accept loop stops taking connections at its next poll, requests
+    /// already in flight run to completion and their replies are
+    /// flushed, and then every thread exits. Deterministic — callers
+    /// follow with [`DasdHandle::join`], which returns once the drain
+    /// is done, rather than sleeping and hoping.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
     /// Block until the daemon has shut down (a client sent
-    /// [`Message::Shutdown`]) and every thread exited.
+    /// [`Message::Shutdown`], or [`DasdHandle::shutdown`] was called)
+    /// and every thread exited.
     pub fn join(self) {
         for t in self.threads {
             let _ = t.join();
@@ -236,14 +308,29 @@ pub fn spawn(cfg: DasdConfig, listener: TcpListener) -> std::io::Result<DasdHand
         stats,
         metrics,
         shutdown: AtomicBool::new(false),
-        listen_addr: addr,
         fault: cfg.fault,
     });
 
+    let threads = match cfg.engine {
+        Engine::EventLoop => crate::engine::spawn_event_loop(Arc::clone(&shared), listener, cfg.pool)?,
+        Engine::Threads => spawn_thread_pool(Arc::clone(&shared), listener, cfg.pool)?,
+    };
+    Ok(DasdHandle { addr, threads, shared })
+}
+
+/// The [`Engine::Threads`] core: a pooled blocking handler thread per
+/// connection, plus a nonblocking accept loop that polls the shutdown
+/// flag — shutdown needs no throwaway wake-up connection.
+fn spawn_thread_pool(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    pool: usize,
+) -> std::io::Result<Vec<JoinHandle<()>>> {
+    listener.set_nonblocking(true)?;
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
-    let mut threads = Vec::with_capacity(cfg.pool + 1);
-    for _ in 0..cfg.pool {
+    let mut threads = Vec::with_capacity(pool + 1);
+    for _ in 0..pool {
         let rx = Arc::clone(&rx);
         let shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || loop {
@@ -254,36 +341,52 @@ pub fn spawn(cfg: DasdConfig, listener: TcpListener) -> std::io::Result<DasdHand
             handle_conn(&shared, stream);
         }));
     }
-    {
-        let shared = Arc::clone(&shared);
-        threads.push(std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(s) => {
-                        match shared.fault.decide(FaultPoint::Accept) {
-                            Some(FaultAction::RefuseAccept) => {
-                                drop(s); // accepted, immediately closed
-                                continue;
-                            }
-                            Some(FaultAction::Delay { millis }) => {
-                                std::thread::sleep(Duration::from_millis(millis));
-                            }
-                            _ => {}
-                        }
-                        if tx.send(s).is_err() {
-                            break;
-                        }
-                    }
-                    Err(_) => continue,
-                }
+    threads.push(std::thread::spawn(move || {
+        accept_loop(&shared, &listener, |s| tx.send(s).is_ok());
+        // Dropping `tx` releases the worker pool.
+    }));
+    Ok(threads)
+}
+
+/// Nonblocking accept loop shared by both engines: polls the shutdown
+/// flag between accepts, applies accept-point fault injection, and
+/// hands live sockets to `submit`. Returns when the daemon shuts down
+/// or `submit` reports its receiver gone.
+pub(crate) fn accept_loop(
+    shared: &Shared,
+    listener: &TcpListener,
+    mut submit: impl FnMut(TcpStream) -> bool,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let s = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock) => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
             }
-            // Dropping `tx` releases the worker pool.
-        }));
+            Err(_) => continue,
+        };
+        // A listener in nonblocking mode hands out sockets whose mode
+        // is platform-dependent; pin it so each engine sets what it
+        // needs.
+        let _ = s.set_nonblocking(false);
+        match shared.fault.decide(FaultPoint::Accept) {
+            Some(FaultAction::RefuseAccept) => {
+                drop(s); // accepted, immediately closed
+                continue;
+            }
+            Some(FaultAction::Delay { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            _ => {}
+        }
+        if !submit(s) {
+            return;
+        }
     }
-    Ok(DasdHandle { addr, threads })
 }
 
 fn err(code: ErrorCode, message: impl Into<String>) -> Message {
@@ -330,10 +433,6 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
         return;
     }
 
-    let class_label = match class {
-        ConnClass::Client => "client",
-        ConnClass::Server => "server",
-    };
     loop {
         let (msg, trace) = match read_frame(&mut stream) {
             Ok(Some(m)) => m,
@@ -350,106 +449,186 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
         };
         let trace = if peer_traced { trace } else { None };
         let echo = trace;
-        let started = Instant::now();
-        let op = msg.op_name();
-        let opcode = msg.opcode();
-        shared.metrics.counter("dasd_requests_total", &[("op", op), ("class", class_label)]).inc();
-        if das_obs::enabled(Level::Trace) {
-            event(
-                Level::Trace,
-                "dasd",
-                "request",
-                &[
-                    ("server", shared.id.0.to_string()),
-                    ("op", op.to_string()),
-                    ("trace", trace.map(|t| format!("{t:#018x}")).unwrap_or_else(|| "-".into())),
-                ],
-            );
-        }
-        let is_shutdown = matches!(msg, Message::Shutdown);
-        // Consult the fault plan before answering. Shutdown is exempt
-        // so a chaos harness can always tear its cluster down.
-        let fault = if is_shutdown {
-            None
-        } else {
-            shared.fault.decide(FaultPoint::Request { class, opcode })
-        };
-        if let Some(action) = fault {
-            event(
-                Level::Debug,
-                "dasd",
-                "injecting fault",
-                &[
-                    ("server", shared.id.0.to_string()),
-                    ("op", op.to_string()),
-                    ("action", format!("{action:?}")),
-                ],
-            );
-            shared.metrics.counter("dasd_faults_injected_total", &[("op", op)]).inc();
-        }
-        match fault {
-            Some(FaultAction::Retryable) => {
-                let reply = err(ErrorCode::Retryable, "injected fault: try again");
+        match process_request(shared, class, msg, trace) {
+            ReplyAction::Reply(reply) => {
                 if write_message_traced(&mut stream, &reply, echo).is_err() {
                     return;
                 }
-                continue;
             }
-            Some(FaultAction::Delay { millis }) => {
-                std::thread::sleep(Duration::from_millis(millis));
+            ReplyAction::ReplyStrip(bytes) => {
+                // Zero-copy reply: the strip's store bytes go to the
+                // socket as the frame's body segment; only the ~30-byte
+                // head is built.
+                let prefix = (bytes.len() as u32).to_le_bytes();
+                let parts = raw_frame_parts(STRIP_DATA_OPCODE, &prefix, &bytes, echo);
+                if write_frame_vectored(&mut stream, &parts).is_err() {
+                    return;
+                }
             }
-            Some(FaultAction::DropMidFrame) => {
-                // Send half of the real reply, then cut the connection:
-                // the peer sees a mid-frame EOF, never a valid frame.
-                let frame = encode_frame_traced(&dispatch(shared, msg, trace), echo);
-                let _ = stream.write_all(&frame[..frame.len() / 2]);
-                return;
-            }
-            Some(FaultAction::CorruptCrc) => {
+            ReplyAction::ReplyCorrupt(reply) => {
                 // The real reply with its checksum trailer flipped: the
                 // peer's codec must reject it as corrupt, not parse it.
-                let mut frame = encode_frame_traced(&dispatch(shared, msg, trace), echo);
+                let mut frame = encode_frame_traced(&reply, echo);
                 let last = frame.len() - 1;
                 frame[last] ^= 0xFF;
                 if stream.write_all(&frame).is_err() {
                     return;
                 }
-                continue;
             }
-            Some(FaultAction::RefuseAccept) | None => {}
-        }
-        let reply = dispatch(shared, msg, trace);
-        shared
-            .metrics
-            .histogram("dasd_request_duration_us", &[("op", op)])
-            .observe(started.elapsed().as_micros() as u64);
-        if let Message::Error { code, message } = &reply {
-            event(
-                Level::Debug,
-                "dasd",
-                "request failed",
-                &[
-                    ("server", shared.id.0.to_string()),
-                    ("op", op.to_string()),
-                    ("code", format!("{code:?}")),
-                    ("detail", message.clone()),
-                ],
-            );
-        }
-        if write_message_traced(&mut stream, &reply, echo).is_err() {
-            return;
-        }
-        if is_shutdown {
-            initiate_shutdown(shared);
-            return;
+            ReplyAction::ReplyTruncated(reply) => {
+                // Send half of the real reply, then cut the connection:
+                // the peer sees a mid-frame EOF, never a valid frame.
+                let frame = encode_frame_traced(&reply, echo);
+                let _ = stream.write_all(&frame[..frame.len() / 2]);
+                return;
+            }
+            ReplyAction::ShutdownAfter(reply) => {
+                // process_request already set the shutdown flag; the
+                // nonblocking accept loop sees it at its next poll, so
+                // no throwaway wake-up connection is needed.
+                let _ = write_message_traced(&mut stream, &reply, echo);
+                return;
+            }
         }
     }
 }
 
-fn initiate_shutdown(shared: &Shared) {
-    shared.shutdown.store(true, Ordering::SeqCst);
-    // Unblock the accept loop with a throwaway connection.
-    let _ = TcpStream::connect(shared.listen_addr);
+/// Opcode of [`Message::StripData`] — the zero-copy reply path builds
+/// its frame without constructing the message value.
+pub(crate) const STRIP_DATA_OPCODE: u8 = 0x15;
+
+/// What a connection core must do with one request's outcome. Both
+/// engines run requests through [`process_request`] and translate the
+/// action to their own write path, so fault-injection wire effects and
+/// metrics are engine-independent.
+pub(crate) enum ReplyAction {
+    /// Write the reply frame and keep serving.
+    Reply(Message),
+    /// Write a [`Message::StripData`] reply whose payload is these
+    /// store bytes — the zero-copy fast path for `GetStrip`.
+    ReplyStrip(Bytes),
+    /// Write the reply frame with its final CRC byte flipped
+    /// (injected [`FaultAction::CorruptCrc`]), then keep serving.
+    ReplyCorrupt(Message),
+    /// Write only the first half of the reply frame, then close the
+    /// connection (injected [`FaultAction::DropMidFrame`]).
+    ReplyTruncated(Message),
+    /// Write the reply, then set the daemon-wide shutdown flag and
+    /// close the connection (the request was [`Message::Shutdown`]).
+    ShutdownAfter(Message),
+}
+
+/// The engine-independent request core: metrics, trace events, fault
+/// injection, dispatch. `trace` must already be filtered by the
+/// peer's negotiated capabilities.
+pub(crate) fn process_request(
+    shared: &Shared,
+    class: ConnClass,
+    msg: Message,
+    trace: Option<u64>,
+) -> ReplyAction {
+    let class_label = match class {
+        ConnClass::Client => "client",
+        ConnClass::Server => "server",
+    };
+    let started = Instant::now();
+    let op = msg.op_name();
+    let opcode = msg.opcode();
+    shared.metrics.counter("dasd_requests_total", &[("op", op), ("class", class_label)]).inc();
+    if das_obs::enabled(Level::Trace) {
+        event(
+            Level::Trace,
+            "dasd",
+            "request",
+            &[
+                ("server", shared.id.0.to_string()),
+                ("op", op.to_string()),
+                ("trace", trace.map(|t| format!("{t:#018x}")).unwrap_or_else(|| "-".into())),
+            ],
+        );
+    }
+    let is_shutdown = matches!(msg, Message::Shutdown);
+    // Consult the fault plan before answering. Shutdown is exempt
+    // so a chaos harness can always tear its cluster down.
+    let fault = if is_shutdown {
+        None
+    } else {
+        shared.fault.decide(FaultPoint::Request { class, opcode })
+    };
+    if let Some(action) = fault {
+        event(
+            Level::Debug,
+            "dasd",
+            "injecting fault",
+            &[
+                ("server", shared.id.0.to_string()),
+                ("op", op.to_string()),
+                ("action", format!("{action:?}")),
+            ],
+        );
+        shared.metrics.counter("dasd_faults_injected_total", &[("op", op)]).inc();
+    }
+    match fault {
+        Some(FaultAction::Retryable) => {
+            return ReplyAction::Reply(err(ErrorCode::Retryable, "injected fault: try again"));
+        }
+        Some(FaultAction::Delay { millis }) => {
+            std::thread::sleep(Duration::from_millis(millis));
+        }
+        Some(FaultAction::DropMidFrame) => {
+            return ReplyAction::ReplyTruncated(dispatch(shared, msg, trace));
+        }
+        Some(FaultAction::CorruptCrc) => {
+            return ReplyAction::ReplyCorrupt(dispatch(shared, msg, trace));
+        }
+        Some(FaultAction::RefuseAccept) | None => {}
+    }
+    // GetStrip takes the zero-copy path: the strip's bytes leave the
+    // store as a refcounted handle and become the reply frame's body
+    // segment without an intermediate payload `Vec`.
+    if let Message::GetStrip { file, strip } = msg {
+        let action = match get_strip_bytes(shared, file, strip) {
+            Ok(bytes) => ReplyAction::ReplyStrip(bytes),
+            Err(e) => {
+                log_request_failure(shared, op, &e);
+                ReplyAction::Reply(e)
+            }
+        };
+        shared
+            .metrics
+            .histogram("dasd_request_duration_us", &[("op", op)])
+            .observe(started.elapsed().as_micros() as u64);
+        return action;
+    }
+    let reply = dispatch(shared, msg, trace);
+    shared
+        .metrics
+        .histogram("dasd_request_duration_us", &[("op", op)])
+        .observe(started.elapsed().as_micros() as u64);
+    log_request_failure(shared, op, &reply);
+    if is_shutdown {
+        shared.shutdown.store(true, Ordering::SeqCst);
+        ReplyAction::ShutdownAfter(reply)
+    } else {
+        ReplyAction::Reply(reply)
+    }
+}
+
+/// Emit the debug event for a request that produced a typed error.
+fn log_request_failure(shared: &Shared, op: &str, reply: &Message) {
+    if let Message::Error { code, message } = reply {
+        event(
+            Level::Debug,
+            "dasd",
+            "request failed",
+            &[
+                ("server", shared.id.0.to_string()),
+                ("op", op.to_string()),
+                ("code", format!("{code:?}")),
+                ("detail", message.clone()),
+            ],
+        );
+    }
 }
 
 fn dispatch(shared: &Shared, msg: Message, trace: Option<u64>) -> Message {
@@ -574,26 +753,10 @@ fn dispatch(shared: &Shared, msg: Message, trace: Option<u64>) -> Message {
             inner.store.store(id, StripId(strip), Bytes::from(payload), primary);
             Message::PutStripOk
         }
-        Message::GetStrip { file, strip } => {
-            let inner = lock(&shared.inner);
-            let meta = match inner.meta(file) {
-                Ok(m) => m,
-                Err(e) => return e,
-            };
-            if strip >= meta.strip_count() {
-                return err(
-                    ErrorCode::OutOfBounds,
-                    format!("strip {strip} of {}-strip file", meta.strip_count()),
-                );
-            }
-            match inner.store.read_strip(meta.id, StripId(strip)) {
-                Ok(data) => Message::StripData { payload: data.to_vec() },
-                Err(_) => err(
-                    ErrorCode::StripNotLocal,
-                    format!("server {} does not hold strip {strip}", shared.id.0),
-                ),
-            }
-        }
+        Message::GetStrip { file, strip } => match get_strip_bytes(shared, file, strip) {
+            Ok(data) => Message::StripData { payload: data.to_vec() },
+            Err(e) => e,
+        },
         Message::RedistPrepare { file, policy } => redist_prepare(shared, file, policy, trace),
         Message::RedistCommit { file, policy } => redist_commit(shared, file, policy),
         Message::Execute { file, out_file, kernel, img_width, element_size, successive, force } => {
@@ -605,6 +768,28 @@ fn dispatch(shared: &Shared, msg: Message, trace: Option<u64>) -> Message {
         }
         // Response opcodes arriving as requests.
         other => err(ErrorCode::BadRequest, format!("unexpected opcode 0x{:02x}", other.opcode())),
+    }
+}
+
+/// Read one locally-held strip as a refcounted handle — the zero-copy
+/// source for `GetStrip` replies (both engines write the returned
+/// [`Bytes`] straight into the frame's body segment). Errors come
+/// back as the typed reply message.
+pub(crate) fn get_strip_bytes(shared: &Shared, file: u32, strip: u64) -> Result<Bytes, Message> {
+    let inner = lock(&shared.inner);
+    let meta = inner.meta(file)?;
+    if strip >= meta.strip_count() {
+        return Err(err(
+            ErrorCode::OutOfBounds,
+            format!("strip {strip} of {}-strip file", meta.strip_count()),
+        ));
+    }
+    match inner.store.read_strip(meta.id, StripId(strip)) {
+        Ok(data) => Ok(data),
+        Err(_) => Err(err(
+            ErrorCode::StripNotLocal,
+            format!("server {} does not hold strip {strip}", shared.id.0),
+        )),
     }
 }
 

@@ -22,5 +22,8 @@ pub mod metrics;
 pub mod trace;
 
 pub use log::{enabled, event, set_json, set_level, Level};
-pub use metrics::{parse, sample_value, Counter, Gauge, Histogram, Registry, Sample};
+pub use metrics::{
+    histogram_quantile, parse, quantile_from_buckets, sample_value, Counter, Gauge, Histogram,
+    Registry, Sample,
+};
 pub use trace::next_trace_id;

@@ -122,6 +122,65 @@ impl Histogram {
     pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// observations. `None` if the histogram is empty. See
+    /// [`quantile_from_buckets`] for the estimation contract.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        quantile_from_buckets(&self.bucket_counts(), q)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (the counterpart of
+/// [`bucket_upper_bound`]): `0` for bucket 0, `2^(i-1)` for `i ≥ 1`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1).min(63)
+    }
+}
+
+/// Estimate the `q`-quantile from per-bucket (non-cumulative) counts
+/// laid out as [`bucket_index`] does.
+///
+/// The estimate interpolates linearly inside the bucket the quantile
+/// rank lands in, which bounds the error by the bucket's width (a
+/// factor-of-two band). The result is monotone in `q`: the rank
+/// `q * total` is monotone, and the piecewise-linear inverse CDF it is
+/// pushed through is non-decreasing. Edge behaviour: `q ≤ 0` gives the
+/// smallest occupied bucket's lower bound, `q ≥ 1` the largest
+/// occupied bucket's upper bound, and for the unbounded top bucket the
+/// lower bound (`2^63`) is returned rather than inventing an upper
+/// edge to interpolate toward. Returns `None` when every bucket is
+/// empty.
+pub fn quantile_from_buckets(counts: &[u64; HIST_BUCKETS], q: f64) -> Option<u64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0u64;
+    let mut last_occupied = None;
+    for (i, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let prev = cum;
+        cum += n;
+        last_occupied = Some(i);
+        if (cum as f64) >= target {
+            let lo = bucket_lower_bound(i);
+            let Some(hi) = bucket_upper_bound(i) else {
+                return Some(lo);
+            };
+            let frac = ((target - prev as f64) / n as f64).clamp(0.0, 1.0);
+            return Some(lo + ((hi - lo) as f64 * frac).round() as u64);
+        }
+    }
+    // q ≥ 1 lands exactly on `total`; floating error can overshoot the
+    // loop. Fall back to the top occupied bucket's upper edge.
+    last_occupied.map(|i| bucket_upper_bound(i).unwrap_or(bucket_lower_bound(i)))
 }
 
 /// One registered metric's identity: sanitized name plus label pairs.
@@ -396,6 +455,69 @@ pub fn sample_value(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> 
         .map(|s| s.value)
 }
 
+/// Estimate the `q`-quantile of an exposition-format histogram from
+/// its cumulative `{name}_bucket` samples: the `le`-labelled lines a
+/// [`Registry::encode`] / [`parse`] round trip yields.
+///
+/// `labels` must match the histogram's non-`le` labels exactly.
+/// Interpolates linearly between the previous and current bucket
+/// bound, like `histogram_quantile` in PromQL; a quantile landing in
+/// the `+Inf` bucket reports the highest finite bound instead of
+/// infinity. Returns `None` when no matching bucket samples exist or
+/// the histogram is empty.
+pub fn histogram_quantile(
+    samples: &[Sample],
+    name: &str,
+    labels: &[(&str, &str)],
+    q: f64,
+) -> Option<f64> {
+    let bucket_name = format!("{name}_bucket");
+    let want: Vec<(String, String)> =
+        sorted(&labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect::<Vec<_>>());
+    // Collect (upper bound, cumulative count) pairs for this series.
+    let mut buckets: Vec<(f64, f64)> = Vec::new();
+    for s in samples.iter().filter(|s| s.name == bucket_name) {
+        let mut le = None;
+        let mut rest = Vec::new();
+        for (k, v) in &s.labels {
+            if k == "le" {
+                le = if v == "+Inf" { Some(f64::INFINITY) } else { v.parse().ok() };
+            } else {
+                rest.push((k.clone(), v.clone()));
+            }
+        }
+        if sorted(&rest) == want {
+            buckets.push((le?, s.value));
+        }
+    }
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total = buckets.last().map(|&(_, c)| c)?;
+    if total <= 0.0 {
+        return None;
+    }
+    let target = q.clamp(0.0, 1.0) * total;
+    let mut prev_bound = 0.0;
+    let mut prev_cum = 0.0;
+    let mut last_finite = 0.0;
+    for &(bound, cum) in &buckets {
+        if bound.is_finite() {
+            last_finite = bound;
+        }
+        if cum >= target && cum > prev_cum {
+            if !bound.is_finite() {
+                return Some(last_finite);
+            }
+            let frac = ((target - prev_cum) / (cum - prev_cum)).clamp(0.0, 1.0);
+            return Some(prev_bound + (bound - prev_bound) * frac);
+        }
+        if cum > prev_cum {
+            prev_cum = cum;
+            prev_bound = bound;
+        }
+    }
+    Some(last_finite)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +549,104 @@ mod tests {
         assert_eq!(bucket_upper_bound(1), Some(1));
         assert_eq!(bucket_upper_bound(2), Some(3));
         assert_eq!(bucket_upper_bound(64), None);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(quantile_from_buckets(&[0; HIST_BUCKETS], 0.99), None);
+    }
+
+    #[test]
+    fn quantile_edge_buckets() {
+        // All-zero observations stay pinned to the zero bucket.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(0);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(1.0), Some(0));
+
+        // The unbounded top bucket reports its lower edge rather than
+        // interpolating toward u64::MAX.
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(0.999), Some(1u64 << 63));
+
+        // q outside [0, 1] clamps instead of panicking.
+        let h = Histogram::default();
+        h.observe(10);
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_lands_in_the_right_bucket() {
+        let h = Histogram::default();
+        // 90 fast observations and 10 slow ones: p50 must sit in the
+        // fast band, p99 in the slow band.
+        for _ in 0..90 {
+            h.observe(100); // bucket [64, 127]
+        }
+        for _ in 0..10 {
+            h.observe(10_000); // bucket [8192, 16383]
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((64..=127).contains(&p50), "p50={p50}");
+        assert!((8192..=16383).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::default();
+        // A deliberately lumpy distribution with gaps between
+        // occupied buckets.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.observe(x % 1_000_000);
+        }
+        h.observe(0);
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_matches_live_histogram_after_roundtrip() {
+        let r = Registry::new();
+        let h = r.histogram("das_req_us", &[("op", "get")]);
+        for v in [3u64, 50, 50, 700, 700, 700, 9000, 120_000] {
+            h.observe(v);
+        }
+        // A second series that must NOT leak into the lookup.
+        r.histogram("das_req_us", &[("op", "put")]).observe(1);
+        let samples = parse(&r.encode());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let live = h.quantile(q).unwrap() as f64;
+            let parsed = histogram_quantile(&samples, "das_req_us", &[("op", "get")], q).unwrap();
+            // Both interpolate within the same log2 bucket, so they
+            // agree to within that bucket's width.
+            let live_bucket = bucket_index(live as u64);
+            let parsed_bucket = bucket_index(parsed.max(0.0) as u64);
+            assert!(
+                live_bucket == parsed_bucket
+                    || live_bucket + 1 == parsed_bucket
+                    || parsed_bucket + 1 == live_bucket,
+                "q={q}: live={live} (bucket {live_bucket}) parsed={parsed} (bucket {parsed_bucket})"
+            );
+        }
+        assert_eq!(histogram_quantile(&samples, "das_req_us", &[("op", "nope")], 0.5), None);
+        assert_eq!(histogram_quantile(&samples, "missing", &[], 0.5), None);
     }
 
     #[test]

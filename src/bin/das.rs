@@ -10,13 +10,21 @@
 //! das stats   --cluster ...
 //! das reset-stats --cluster ...
 //! das shutdown    --cluster ...
+//! das bench   [--servers 3 | --cluster ...] [--rate N] [--duration-ms MS] [--clients N]
 //! ```
+//!
+//! `bench` is the open-loop load generator (`das-load`): without
+//! `--cluster` it boots two in-process loopback fleets — one per
+//! connection engine — runs the identical seeded workload against
+//! each, and writes the comparison to `BENCH_net.json`.
 
 use std::collections::HashMap;
 use std::process::exit;
 
 use das_kernels::kernel_names;
 use das_kernels::workload;
+use das_load::report::CompareReport;
+use das_load::{compare_engines, run_bench, BenchConfig, Mix};
 use das_net::{run_net_scheme_opts, DasCluster, NetScheme, RetryPolicy};
 use das_obs::{event, Level};
 use das_pfs::LayoutPolicy;
@@ -41,6 +49,13 @@ fn usage() -> ! {
          \x20                              predicted-vs-measured dependence traffic)\n\
          \x20 reset-stats                  zero the counters\n\
          \x20 shutdown                     stop every daemon\n\
+         \x20 bench                        open-loop load generator -> BENCH_net.json\n\
+         \x20        [--servers N]         boot in-process fleets and compare both\n\
+         \x20                              engines (default; N daemons, default 3)\n\
+         \x20        [--cluster ...]       drive an external fleet instead\n\
+         \x20        [--rate OPS] [--duration-ms MS] [--clients N] [--conns N]\n\
+         \x20        [--strip-size S] [--strips N] [--mix G:P:E] [--seed K]\n\
+         \x20        [--kernel K] [--pool N] [--out PATH]\n\
          \n\
          global options:\n\
          \x20 --attempts N     retry budget per call (default 4)\n\
@@ -147,8 +162,122 @@ fn print_registry_summary(dumps: &[(u32, String)]) {
             Some((sum_us, count)) if *count > 0.0 => format!("{:.0} us mean", sum_us / count),
             _ => "no timing".to_string(),
         };
-        println!("  requests {op}: {n} ({mean})");
+        let quantiles = match (
+            fleet_duration_quantile(&parsed, op, 0.50),
+            fleet_duration_quantile(&parsed, op, 0.99),
+            fleet_duration_quantile(&parsed, op, 0.999),
+        ) {
+            (Some(p50), Some(p99), Some(p999)) => {
+                format!(", p50/p99/p999 {p50:.0}/{p99:.0}/{p999:.0} us")
+            }
+            _ => String::new(),
+        };
+        println!("  requests {op}: {n} ({mean}{quantiles})");
     }
+}
+
+/// `das bench`: run the open-loop load generator and write
+/// `BENCH_net.json`. Without `--cluster`, boots two in-process
+/// loopback fleets and compares the connection engines on the
+/// identical seeded workload.
+fn bench_command(opts: &HashMap<String, String>) {
+    let mut cfg = BenchConfig::default();
+    let num = |key: &str| -> Option<u64> {
+        opts.get(key).map(|v| v.parse().unwrap_or_else(|_| fail(format!("bad --{key}"))))
+    };
+    if let Some(r) = opts.get("rate") {
+        cfg.rate = r.parse().unwrap_or_else(|_| fail("bad --rate"));
+    }
+    if let Some(ms) = num("duration-ms") {
+        cfg.duration = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = num("clients") {
+        cfg.clients = n as usize;
+    }
+    if let Some(n) = num("conns") {
+        cfg.conns_per_server = n as usize;
+    }
+    if let Some(n) = num("strip-size") {
+        cfg.strip_size = n as u32;
+    }
+    if let Some(n) = num("strips") {
+        cfg.strips = n;
+    }
+    if let Some(n) = num("seed") {
+        cfg.seed = n;
+    }
+    if let Some(n) = num("servers") {
+        cfg.servers = n as usize;
+    }
+    if let Some(n) = num("pool") {
+        cfg.pool = n as usize;
+    }
+    if let Some(m) = opts.get("mix") {
+        cfg.mix = Mix::parse(m).unwrap_or_else(|| fail(format!("bad --mix {m:?} (want G:P:E)")));
+    }
+    if let Some(k) = opts.get("kernel") {
+        cfg.kernel = k.clone();
+    }
+
+    let cmp = match opts.get("cluster") {
+        Some(cluster_arg) => {
+            let addrs: Vec<String> =
+                cluster_arg.split(',').map(|s| s.trim().to_string()).collect();
+            let report = run_bench(&addrs, &cfg, "external").unwrap_or_else(|e| fail(e));
+            CompareReport::from_runs(vec![report])
+        }
+        None => compare_engines(&cfg).unwrap_or_else(|e| fail(e)),
+    };
+
+    for r in &cmp.runs {
+        println!(
+            "engine {}: {:.0} ops/s achieved (target {:.0}), {} ok / {} errors over {} ms",
+            r.engine, r.achieved_ops_s, r.target_rate_ops_s, r.total_completed, r.total_errors,
+            r.wall_ms
+        );
+        for c in &r.classes {
+            println!(
+                "  {:<5} {:>8.1} ops/s  p50 {:>6} us  p99 {:>7} us  p999 {:>7} us  \
+                 (n={}, err={})",
+                c.class, c.throughput_ops_s, c.p50_us, c.p99_us, c.p999_us, c.completed, c.errors
+            );
+        }
+    }
+    if cmp.runs.len() > 1 {
+        println!("winner: {} ({:.2}x throughput)", cmp.winner, cmp.speedup);
+    }
+
+    let out = opts.get("out").map(String::as_str).unwrap_or("BENCH_net.json");
+    std::fs::write(out, cmp.to_json()).unwrap_or_else(|e| fail(format!("writing {out}: {e}")));
+    println!("wrote {out}");
+}
+
+/// Fleet-wide latency quantile for one op: sum the cumulative
+/// `dasd_request_duration_us` buckets across every daemon's dump,
+/// then interpolate with `das_obs::histogram_quantile`.
+fn fleet_duration_quantile(parsed: &[Vec<das_obs::Sample>], op: &str, q: f64) -> Option<f64> {
+    use std::collections::BTreeMap;
+    let mut by_le: BTreeMap<String, f64> = BTreeMap::new();
+    for s in parsed.iter().flatten() {
+        if s.name != "dasd_request_duration_us_bucket" {
+            continue;
+        }
+        if !s.labels.iter().any(|(k, v)| k == "op" && v == op) {
+            continue;
+        }
+        if let Some((_, le)) = s.labels.iter().find(|(k, _)| k == "le") {
+            *by_le.entry(le.clone()).or_default() += s.value;
+        }
+    }
+    let merged: Vec<das_obs::Sample> = by_le
+        .into_iter()
+        .map(|(le, value)| das_obs::Sample {
+            name: "fleet_us_bucket".to_string(),
+            labels: vec![("le".to_string(), le)],
+            value,
+        })
+        .collect();
+    das_obs::histogram_quantile(&merged, "fleet_us", &[], q)
 }
 
 /// Print the client-side registry (degradations, retries) when this
@@ -186,6 +315,11 @@ fn main() {
             usage();
         };
         opts.insert(key.to_string(), value);
+    }
+
+    if command == "bench" {
+        bench_command(&opts);
+        return;
     }
 
     let Some(cluster_arg) = opts.get("cluster") else {
