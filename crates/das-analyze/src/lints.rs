@@ -12,8 +12,8 @@
 //!   through the das-obs event/metrics layer so they carry structure
 //!   and can be rate-limited; raw stderr writes bypass all of it.
 //! * `DA405` (error) — a function acquires hierarchy locks out of
-//!   the declared order (`rx → conns → inner → downs → inbox → done
-//!   → pending → wr`). Out-of-order
+//!   the declared order (`rx → conns → inner → downs → inbox → sched
+//!   → done → pending → wr → ewma`). Out-of-order
 //!   acquisition across threads is an AB/BA deadlock. This is the
 //!   *intra*-procedural check; the `lockgraph` pass propagates
 //!   acquisitions across calls (`DA407`/`DA408`).
@@ -42,7 +42,7 @@ const PASS: &str = "lints";
 
 /// das-net modules on the request path: every byte they touch comes
 /// off a socket, so panics are remote-triggerable.
-pub const REQUEST_PATH: [&str; 8] = [
+pub const REQUEST_PATH: [&str; 9] = [
     "client.rs",
     "server.rs",
     "codec.rs",
@@ -51,15 +51,19 @@ pub const REQUEST_PATH: [&str; 8] = [
     "proto.rs",
     "engine.rs",
     "pipeline.rs",
+    "hedge.rs",
 ];
 
 /// The declared lock hierarchy for das-net (outermost first). A
-/// function's first acquisitions must follow this order. `inbox` and
-/// `done` are the event-loop engine's shard queues; `pending` and
-/// `wr` belong to the pipelined client (reply-routing table, then
-/// write half).
-pub const LOCK_HIERARCHY: [&str; 8] =
-    ["rx", "conns", "inner", "downs", "inbox", "done", "pending", "wr"];
+/// function's first acquisitions must follow this order. `inbox`,
+/// `sched` and `done` are the event-loop engine's shard queues and
+/// fair scheduler (the shed path pushes an `Overloaded` reply to
+/// `done` while holding `sched`, hence the order); `pending` and `wr`
+/// belong to the pipelined client (reply-routing table, then write
+/// half); `ewma` is the load tracker's leaf — nothing may be acquired
+/// while it is held.
+pub const LOCK_HIERARCHY: [&str; 10] =
+    ["rx", "conns", "inner", "downs", "inbox", "sched", "done", "pending", "wr", "ewma"];
 
 /// Crates whose library code may print to stdout: das-obs is the
 /// diagnostics layer itself; das-bench's report renderer exists to

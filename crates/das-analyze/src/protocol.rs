@@ -35,8 +35,8 @@ use std::path::Path;
 use das_net::fault::FaultClass;
 use das_net::proto::{ErrorCode, Message, HEADER_LEN, MAGIC, VERSION};
 use das_net::{
-    encode_frame_traced, read_frame, CAP_CRC, CAP_TRACE, FLAG_CRC, FLAG_TRACE, KNOWN_FLAGS,
-    KNOWN_OPCODES, LOCAL_CAPS,
+    encode_frame_opts, read_frame, read_frame_ex, CAP_CRC, CAP_DEADLINE, CAP_TRACE, FLAG_CRC,
+    FLAG_DEADLINE, FLAG_TRACE, KNOWN_FLAGS, KNOWN_OPCODES, LOCAL_CAPS,
 };
 
 use crate::finding::{Finding, Severity};
@@ -64,7 +64,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
             format!(
                 "{} message variants roundtripped under {} framings; {} unassigned opcodes and {} unassigned flag bits rejected",
                 samples.len(),
-                3,
+                5,
                 256 - KNOWN_OPCODES.len(),
                 16 - KNOWN_FLAGS.count_ones()
             ),
@@ -103,22 +103,25 @@ fn check_sample_coverage(samples: &[Message], out: &mut Vec<Finding>) {
     }
 }
 
-/// Every sample × three framings: plain CRC frame, traced CRC frame,
-/// and the negotiated-downgrade frame with no CRC trailer.
+/// Every sample × five framings: the (trace × deadline-budget) CRC
+/// frame combinations, plus the negotiated-downgrade frame with no
+/// CRC trailer.
 fn check_roundtrips(samples: &[Message], out: &mut Vec<Finding>) {
     for msg in samples {
         let entity = format!("opcode 0x{:02x} ({})", msg.opcode(), variant_name(msg));
         for trace in [None, Some(0x0102_0304_0506_0708u64)] {
-            let frame = encode_frame_traced(msg, trace);
-            match read_frame(&mut Cursor::new(frame)) {
-                Ok(Some((back, got_trace))) if back == *msg && got_trace == trace => {}
-                other => out.push(Finding::new(
-                    "DA201",
-                    Severity::Error,
-                    PASS,
-                    entity.clone(),
-                    format!("roundtrip with trace={trace:?} failed: {other:?}"),
-                )),
+            for budget in [None, Some(750u32)] {
+                let frame = encode_frame_opts(msg, trace, budget);
+                match read_frame_ex(&mut Cursor::new(frame)) {
+                    Ok(Some(f)) if f.msg == *msg && f.trace == trace && f.budget_ms == budget => {}
+                    other => out.push(Finding::new(
+                        "DA201",
+                        Severity::Error,
+                        PASS,
+                        entity.clone(),
+                        format!("roundtrip with trace={trace:?} budget={budget:?} failed: {other:?}"),
+                    )),
+                }
             }
         }
         let bare = raw_frame(msg.opcode(), 0, &msg.encode_payload());
@@ -189,7 +192,11 @@ fn check_unknown_flags(out: &mut Vec<Finding>) {
 }
 
 fn check_caps_cover_flags(out: &mut Vec<Finding>) {
-    let pairs = [("FLAG_CRC", FLAG_CRC, "CAP_CRC", CAP_CRC), ("FLAG_TRACE", FLAG_TRACE, "CAP_TRACE", CAP_TRACE)];
+    let pairs = [
+        ("FLAG_CRC", FLAG_CRC, "CAP_CRC", CAP_CRC),
+        ("FLAG_TRACE", FLAG_TRACE, "CAP_TRACE", CAP_TRACE),
+        ("FLAG_DEADLINE", FLAG_DEADLINE, "CAP_DEADLINE", CAP_DEADLINE),
+    ];
     for (flag_name, flag, cap_name, cap) in pairs {
         if KNOWN_FLAGS & flag == 0 {
             out.push(Finding::new(

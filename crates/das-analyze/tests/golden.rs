@@ -114,6 +114,19 @@ fn engine_shard_queue_inversion_fails_with_da407() {
 }
 
 #[test]
+fn ewma_leaf_inversion_fails_with_da407() {
+    // `ewma` is the hierarchy's declared leaf (the hedging load
+    // tracker): acquiring the fair scheduler's `sched` through a call
+    // made under it inverts the tail-tolerance ranks added with the
+    // hedged-read/shedding work.
+    let (ok, stdout) = analyze(&fixture("ewma-inversion"), &["lockgraph"]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA407\""), "{stdout}");
+    assert!(stdout.contains("observe"), "{stdout}");
+    assert!(stdout.contains("reorder"), "{stdout}");
+}
+
+#[test]
 fn ab_ba_lock_cycle_across_calls_fails_with_da408() {
     let (ok, stdout) = analyze(&fixture("lock-cycle"), &["lockgraph"]);
     assert!(!ok, "{stdout}");

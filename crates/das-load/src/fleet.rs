@@ -18,7 +18,15 @@ pub struct Fleet {
 
 /// Bind `servers` ephemeral loopback ports and spawn one daemon per
 /// port, all running `engine` with a `pool`-sized worker pool.
-pub fn spawn_fleet(servers: usize, engine: Engine, pool: usize) -> io::Result<Fleet> {
+/// `max_backlog` overrides the daemons' admission-control bound
+/// (`None` keeps the default) — small bounds turn a past-capacity run
+/// into a reproducible overload/shedding scenario.
+pub fn spawn_fleet(
+    servers: usize,
+    engine: Engine,
+    pool: usize,
+    max_backlog: Option<usize>,
+) -> io::Result<Fleet> {
     let mut listeners = Vec::with_capacity(servers);
     let mut addrs = Vec::with_capacity(servers);
     for _ in 0..servers {
@@ -30,6 +38,9 @@ pub fn spawn_fleet(servers: usize, engine: Engine, pool: usize) -> io::Result<Fl
     for (i, l) in listeners.into_iter().enumerate() {
         let mut cfg = DasdConfig::new(i as u32, addrs.clone()).with_engine(engine);
         cfg.pool = pool;
+        if let Some(b) = max_backlog {
+            cfg = cfg.with_max_backlog(b);
+        }
         handles.push(spawn(cfg, l)?);
     }
     Ok(Fleet { addrs, handles })

@@ -26,8 +26,9 @@
 pub mod fleet;
 pub mod report;
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use das_net::{DasCluster, Message, NetError, PipeClient, RetryPolicy};
@@ -133,6 +134,13 @@ pub struct BenchConfig {
     pub servers: usize,
     /// Daemon worker-pool size ([`compare_engines`] only).
     pub pool: usize,
+    /// Daemon admission-control bound ([`compare_engines`] only):
+    /// `None` keeps the daemon default. Set small together with a
+    /// past-capacity `rate` to run a reproducible overload scenario —
+    /// the excess is shed as typed `Overloaded`, which the report
+    /// shows under `errors_by_code` / `requests_shed` while
+    /// `queue_depth_peak` stays at this bound.
+    pub max_backlog: Option<usize>,
 }
 
 impl Default for BenchConfig {
@@ -160,6 +168,7 @@ impl Default for BenchConfig {
             exec_rows: 32,
             servers: 3,
             pool: 8,
+            max_backlog: None,
         }
     }
 }
@@ -268,6 +277,25 @@ struct ClassAcc {
     max_us: AtomicU64,
 }
 
+/// Failure breakdown shared by all workers: typed remote errors are
+/// keyed by their wire [`ErrorCode`] name (so an overload run shows
+/// exactly how many ops were shed as `Overloaded` vs. timed out),
+/// everything else by a coarse transport class. Locked only on the
+/// error path, which by construction is off the happy-path clock.
+///
+/// [`ErrorCode`]: das_net::ErrorCode
+type ErrorBreakdown = Mutex<BTreeMap<&'static str, u64>>;
+
+/// Classify one failed operation for the breakdown.
+fn error_class(outcome: &Result<Message, NetError>) -> &'static str {
+    match outcome {
+        Err(NetError::Remote { code, .. }) => code.name(),
+        Err(NetError::Io(_)) => "io",
+        Err(_) => "protocol",
+        Ok(_) => "bad-reply",
+    }
+}
+
 impl ClassAcc {
     fn new() -> Self {
         ClassAcc {
@@ -351,6 +379,87 @@ pub fn run_bench(
     );
 
     let next = Arc::new(AtomicUsize::new(0));
+    let errs: Arc<ErrorBreakdown> = Arc::new(Mutex::new(BTreeMap::new()));
+
+    // Saturation observer: while the run is in flight, poll every
+    // daemon's registry for the live worker-queue depth (MetricsDump
+    // is shed-exempt, so this works under full overload) and
+    // difference the shed counters across the run. An overloaded run
+    // is thereby *characterized*, not just failed: the report shows
+    // the queue staying at its bound while the excess is shed.
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let stop = Arc::clone(&stop);
+        let mut cluster = setup;
+        let maddrs: Vec<String> = addrs.to_vec();
+        let mpolicy = policy.clone();
+        std::thread::spawn(move || {
+            let shed_of = |text: &str| -> u64 {
+                das_obs::parse(text)
+                    .iter()
+                    .filter(|s| s.name == "dasd_requests_shed_total")
+                    .map(|s| s.value)
+                    .sum::<f64>() as u64
+            };
+            // Shed counters are tracked as one monotonic high-water
+            // mark *per daemon*: a dump that times out under peak
+            // load gets its server marked down, after which
+            // `metrics_dump_all` silently covers fewer daemons — a
+            // single fleet-wide sum would then collapse to whatever
+            // subset answered last, undercounting the run.
+            let mut base: BTreeMap<u32, u64> = BTreeMap::new();
+            let mut seen: BTreeMap<u32, u64> = BTreeMap::new();
+            if let Ok(dumps) = cluster.metrics_dump_all() {
+                for (id, text) in &dumps {
+                    base.insert(*id, shed_of(text));
+                }
+            }
+            let mut depth_peak = 0u64;
+            let mut read = |cluster: &mut DasCluster, seen: &mut BTreeMap<u32, u64>| -> bool {
+                // `DasCluster` marks a server down for good once a
+                // call times out — correct for failover, wrong for a
+                // poller whose targets are merely saturated. Swap in
+                // a fresh cluster to regain the lost daemons.
+                if !cluster.down_servers().is_empty() {
+                    if let Ok(fresh) = DasCluster::connect_with(&maddrs, mpolicy.clone()) {
+                        *cluster = fresh;
+                    }
+                }
+                let Ok(dumps) = cluster.metrics_dump_all() else { return false };
+                for (id, text) in &dumps {
+                    let depth = das_obs::parse(text)
+                        .iter()
+                        .filter(|s| s.name == "dasd_worker_queue_depth")
+                        .map(|s| s.value)
+                        .fold(0.0, f64::max);
+                    depth_peak = depth_peak.max(depth as u64);
+                    let e = seen.entry(*id).or_insert(0);
+                    *e = (*e).max(shed_of(text));
+                }
+                true
+            };
+            while !stop.load(Ordering::Relaxed) {
+                read(&mut cluster, &mut seen);
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            // The workers have drained, so the fleet is idle: retry
+            // the settling read a few times so one dump that raced
+            // the drain (or timed out under peak load) cannot
+            // undercount the final shed total.
+            for _ in 0..10 {
+                if read(&mut cluster, &mut seen) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            let shed: u64 = seen
+                .iter()
+                .map(|(id, v)| v.saturating_sub(base.get(id).copied().unwrap_or(0)))
+                .sum();
+            (depth_peak, shed)
+        })
+    };
+
     let t0 = Instant::now();
     let mut workers = Vec::new();
     for w in 0..cfg.clients.max(1) {
@@ -358,22 +467,25 @@ pub fn run_bench(
         let accs = Arc::clone(&accs);
         let next = Arc::clone(&next);
         let conns = Arc::clone(&conns);
+        let errs = Arc::clone(&errs);
         let cfg = cfg.clone();
         workers.push(std::thread::spawn(move || {
-            worker_loop(w, &ops, &accs, &next, &conns, n_servers, &cfg, &files, t0)
+            worker_loop(w, &ops, &accs, &errs, &next, &conns, n_servers, &cfg, &files, t0)
         }));
     }
     for w in workers {
         let _ = w.join();
     }
     let wall = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let (queue_depth_peak, requests_shed) = monitor.join().unwrap_or((0, 0));
 
     // Leave the target fleet exactly as capable as we found it: the
     // bench files stay (ids are monotone, names are tagged), and the
     // pipelined connections close on drop.
     drop(conns);
 
-    Ok(build_report(engine_label, cfg, &accs, wall))
+    Ok(build_report(engine_label, cfg, &accs, &errs, queue_depth_peak, requests_shed, wall))
 }
 
 /// The retry policy of every bench connection: short timeouts so an
@@ -393,6 +505,7 @@ fn worker_loop(
     worker: usize,
     ops: &[ScheduledOp],
     accs: &[ClassAcc],
+    errs: &ErrorBreakdown,
     next: &AtomicUsize,
     conns: &[Option<Arc<PipeClient>>],
     n_servers: usize,
@@ -440,15 +553,19 @@ fn worker_loop(
         };
         let slot = server * per_server + worker % per_server.max(1);
         let acc = &accs[class_index(op.kind)];
-        let ok = match &conns[slot.min(conns.len() - 1)] {
-            Some(conn) => match conn.call(&msg) {
-                Ok(Message::StripData { payload }) => payload.len() == cfg.strip_size as usize,
-                Ok(Message::PutStripOk) => true,
-                Ok(Message::ExecuteOk { .. }) => true,
-                Ok(_) => false,
-                Err(_) => false,
-            },
-            None => false,
+        let (ok, class) = match &conns[slot.min(conns.len() - 1)] {
+            Some(conn) => {
+                let outcome = conn.call(&msg);
+                let ok = match &outcome {
+                    Ok(Message::StripData { payload }) => {
+                        payload.len() == cfg.strip_size as usize
+                    }
+                    Ok(Message::PutStripOk) | Ok(Message::ExecuteOk { .. }) => true,
+                    Ok(_) | Err(_) => false,
+                };
+                (ok, error_class(&outcome))
+            }
+            None => (false, "no-connection"),
         };
         let lat_us = (t0.elapsed().saturating_sub(offset)).as_micros() as u64;
         if ok {
@@ -457,16 +574,29 @@ fn worker_loop(
             acc.max_us.fetch_max(lat_us, Ordering::Relaxed);
         } else {
             acc.errors.fetch_add(1, Ordering::Relaxed);
+            let mut by_code = match errs.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *by_code.entry(class).or_insert(0) += 1;
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_report(
     engine: &str,
     cfg: &BenchConfig,
     accs: &[ClassAcc],
+    errs: &ErrorBreakdown,
+    queue_depth_peak: u64,
+    requests_shed: u64,
     wall: Duration,
 ) -> BenchReport {
+    let errors_by_code: Vec<(String, u64)> = match errs.lock() {
+        Ok(g) => g.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        Err(poisoned) => poisoned.into_inner().iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+    };
     let wall_s = wall.as_secs_f64().max(1e-9);
     let classes: Vec<ClassStats> = OpKind::ALL
         .iter()
@@ -501,6 +631,9 @@ fn build_report(
         wall_ms: wall.as_millis() as u64,
         total_completed,
         total_errors,
+        errors_by_code,
+        queue_depth_peak,
+        requests_shed,
         achieved_ops_s: total_completed as f64 / wall_s,
         classes,
     }
@@ -512,7 +645,8 @@ fn build_report(
 pub fn compare_engines(cfg: &BenchConfig) -> Result<CompareReport, NetError> {
     let mut reports = Vec::new();
     for engine in [das_net::Engine::EventLoop, das_net::Engine::Threads] {
-        let fleet = fleet::spawn_fleet(cfg.servers, engine, cfg.pool).map_err(NetError::Io)?;
+        let fleet = fleet::spawn_fleet(cfg.servers, engine, cfg.pool, cfg.max_backlog)
+            .map_err(NetError::Io)?;
         let report = run_bench(&fleet.addrs, cfg, engine.name());
         let shutdown = fleet.shutdown();
         let report = report?;

@@ -62,6 +62,20 @@ pub struct BenchReport {
     pub total_completed: u64,
     /// Failed operations across all classes.
     pub total_errors: u64,
+    /// Failure breakdown, sorted by class name: typed remote errors
+    /// keyed by wire `ErrorCode` name (`Overloaded`, `Retryable`, …),
+    /// transport failures as `io`, malformed traffic as `protocol`,
+    /// wrong/short replies as `bad-reply`, dead bench connections as
+    /// `no-connection`. Sums to `total_errors`.
+    pub errors_by_code: Vec<(String, u64)>,
+    /// Highest `dasd_worker_queue_depth` observed on any daemon while
+    /// the run was in flight (sampled via shed-exempt `MetricsDump`).
+    /// Under overload this stays at the daemon's backlog bound — the
+    /// queue is bounded, the excess is shed.
+    pub queue_depth_peak: u64,
+    /// Fleet-wide `dasd_requests_shed_total` growth during the run
+    /// (both `backlog` and `deadline` reasons).
+    pub requests_shed: u64,
     /// Aggregate successful throughput, ops/s.
     pub achieved_ops_s: f64,
     /// Per-class breakdown, in `get`/`put`/`exec` order.
@@ -153,6 +167,14 @@ impl BenchReport {
         out.push_str(&format!("  \"wall_ms\": {},\n", self.wall_ms));
         out.push_str(&format!("  \"total_completed\": {},\n", self.total_completed));
         out.push_str(&format!("  \"total_errors\": {},\n", self.total_errors));
+        let by_code: Vec<String> = self
+            .errors_by_code
+            .iter()
+            .map(|(code, n)| format!("{}: {}", json_str(code), n))
+            .collect();
+        out.push_str(&format!("  \"errors_by_code\": {{{}}},\n", by_code.join(", ")));
+        out.push_str(&format!("  \"queue_depth_peak\": {},\n", self.queue_depth_peak));
+        out.push_str(&format!("  \"requests_shed\": {},\n", self.requests_shed));
         out.push_str(&format!("  \"achieved_ops_s\": {},\n", json_num(self.achieved_ops_s)));
         out.push_str("  \"classes\": [\n");
         for (i, c) in self.classes.iter().enumerate() {
@@ -234,6 +256,9 @@ mod tests {
             wall_ms: 1003,
             total_completed: achieved as u64,
             total_errors: 1,
+            errors_by_code: vec![("Overloaded".to_string(), 1)],
+            queue_depth_peak: 2,
+            requests_shed: 1,
             achieved_ops_s: achieved,
             classes: vec![ClassStats {
                 class: "get".to_string(),
@@ -276,6 +301,7 @@ mod tests {
         assert!(doc.contains("\"bench\": \"das-load\""));
         assert!(doc.contains("\"winner\": \"evloop\""));
         assert!(doc.contains("\"p999_us\": 10"));
+        assert!(doc.contains("\"errors_by_code\": {\"Overloaded\": 1}"));
         // Crude structural sanity: brackets balance.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());

@@ -27,12 +27,16 @@ use das_obs::{event, Level};
 fn usage() -> ! {
     println!(
         "usage: dasd --id <N> --cluster <addr0,addr1,...> [--pool <threads>]\n\
-         \x20           [--engine <evloop|threads>] [--fault <spec>] [--fault-seed <N>]\n\
+         \x20           [--engine <evloop|threads>] [--max-backlog <N>]\n\
+         \x20           [--fault <spec>] [--fault-seed <N>]\n\
          \x20           [--bind-retries <N>] [--log-level <level>]\n\
          \n\
          --id           this server's index into the cluster address list\n\
          --cluster      listen address of every server, comma-separated, in id order\n\
          --pool         connection-handler threads (default 16)\n\
+         --max-backlog  admission-control bound: requests past this many already\n\
+         \x20            in flight are shed with the typed, retryable Overloaded\n\
+         \x20            error (default 256)\n\
          --engine       connection engine: evloop (sharded event loop, default)\n\
          \x20            or threads (thread per connection)  (env: DASD_ENGINE)\n\
          --fault        fault-injection spec: comma-separated class:action[:xN][:pF]\n\
@@ -51,6 +55,7 @@ fn main() {
     let mut id: Option<u32> = None;
     let mut cluster: Option<Vec<String>> = None;
     let mut pool = 16usize;
+    let mut max_backlog: Option<usize> = None;
     let mut fault_spec = std::env::var("DASD_FAULT").ok();
     let mut fault_seed: u64 = std::env::var("DASD_FAULT_SEED")
         .ok()
@@ -73,6 +78,10 @@ fn main() {
             }
             "--pool" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(p) => pool = p,
+                None => usage(),
+            },
+            "--max-backlog" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(b) => max_backlog = Some(b),
                 None => usage(),
             },
             "--fault" => match args.next() {
@@ -183,6 +192,9 @@ fn main() {
 
     let mut cfg = DasdConfig::new(id, cluster).with_fault(Arc::new(fault)).with_engine(engine);
     cfg.pool = pool;
+    if let Some(b) = max_backlog {
+        cfg = cfg.with_max_backlog(b);
+    }
     match spawn(cfg, listener) {
         Ok(handle) => handle.join(),
         Err(e) => {

@@ -23,7 +23,8 @@
 
 use std::io;
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use das_core::{ActiveStorageClient, Decision, RequestOptions};
 use das_kernels::kernel_by_name;
@@ -31,8 +32,9 @@ use das_kernels::Raster;
 use das_pfs::{DistributionInfo, Layout, LayoutPolicy, StripId, StripeSpec};
 use das_runtime::DegradeEvent;
 
-use crate::codec::{read_message, write_message, write_message_traced, CountingStream, NetError};
-use crate::proto::{ErrorCode, Message, Role, WireStats, CAP_TRACE, LOCAL_CAPS};
+use crate::codec::{read_message, write_message, write_message_opts, CountingStream, NetError};
+use crate::hedge::LoadTracker;
+use crate::proto::{ErrorCode, Message, Role, WireStats, CAP_DEADLINE, CAP_TRACE, LOCAL_CAPS};
 use crate::retry::RetryPolicy;
 
 struct ClientConn {
@@ -41,6 +43,24 @@ struct ClientConn {
     /// Whether this server's `HelloOk` advertised [`CAP_TRACE`] —
     /// trace ids are only put on the wire for servers that did.
     traced: bool,
+    /// Whether it advertised [`CAP_DEADLINE`] — deadline budgets are
+    /// only put on the wire for servers that did, so a legacy server
+    /// keeps seeing bit-identical frames.
+    deadline_ok: bool,
+}
+
+impl ClientConn {
+    /// Move this slot's live stream (and negotiated flags) into an
+    /// owned connection a hedge racer thread can drive, leaving a
+    /// redialable placeholder behind.
+    fn take(&mut self) -> ClientConn {
+        ClientConn {
+            addr: self.addr.clone(),
+            stream: self.stream.take(),
+            traced: self.traced,
+            deadline_ok: self.deadline_ok,
+        }
+    }
 }
 
 /// Connections to every `dasd` of a cluster, indexed by server id.
@@ -53,6 +73,26 @@ pub struct DasCluster {
     /// Trace id stamped on outgoing requests (to CAP_TRACE servers)
     /// until the next [`DasCluster::begin_trace`].
     trace: Option<u64>,
+    /// Per-server latency EWMAs (shared with hedge racer threads):
+    /// replica walks demote stragglers, and the hedge delay is derived
+    /// from the chosen server's estimate.
+    load: Arc<LoadTracker>,
+    /// Every racer thread ever spawned reports here. The receiver is
+    /// drained at request-path entry points so a *stale* racer (one
+    /// that outlived its race) still gets its connection restored.
+    racer_tx: mpsc::Sender<RacerDone>,
+    racer_rx: mpsc::Receiver<RacerDone>,
+    /// Id of the next hedge race, to tell current results from stale.
+    next_race: u64,
+}
+
+/// What one hedge racer thread reports back: its (restorable)
+/// connection and the outcome of the strip fetch it raced.
+struct RacerDone {
+    race: u64,
+    server: usize,
+    conn: ClientConn,
+    result: Result<Message, NetError>,
 }
 
 /// One server's execution summary (from [`Message::ExecuteOk`]).
@@ -75,6 +115,93 @@ fn degradable(e: &NetError) -> bool {
     e.is_transient() || matches!(e, NetError::Remote { code: ErrorCode::NoSuchServer, .. })
 }
 
+/// Ensure `conn` holds a live, greeted connection. Free function (not
+/// a method) so hedge racer threads can drive an owned [`ClientConn`]
+/// without borrowing the whole cluster.
+fn conn_dial(conn: &mut ClientConn, policy: &RetryPolicy) -> Result<(), NetError> {
+    if conn.stream.is_some() {
+        return Ok(());
+    }
+    let raw = policy.connect(&conn.addr)?;
+    let mut stream = CountingStream::new(raw);
+    write_message(
+        &mut stream,
+        &Message::Hello { role: Role::Client, peer_id: 0, caps: LOCAL_CAPS },
+    )?;
+    match read_message(&mut stream)? {
+        Some(Message::HelloOk { caps, .. }) => {
+            conn.traced = caps & CAP_TRACE != 0;
+            conn.deadline_ok = caps & CAP_DEADLINE != 0;
+        }
+        Some(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
+        None => {
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed during handshake",
+            )))
+        }
+    }
+    conn.stream = Some(stream);
+    Ok(())
+}
+
+/// One attempt against one connection: dial if needed, write, read.
+/// Transport errors evict the stream so the next attempt redials
+/// instead of reusing a socket in an unknown state.
+///
+/// When the server advertised [`CAP_DEADLINE`], the request carries a
+/// budget equal to the reply deadline this client itself enforces (the
+/// policy's read timeout, stretched for long operations) — a server
+/// that cannot answer within it may shed the request instead of doing
+/// work nobody is waiting for.
+fn conn_call_once(
+    conn: &mut ClientConn,
+    policy: &RetryPolicy,
+    msg: &Message,
+    trace: Option<u64>,
+) -> Result<Message, NetError> {
+    conn_dial(conn, policy)?;
+    // Offloaded executes and redistribution phases do real work
+    // (kernel compute, bulk strip movement) before replying — give
+    // them a far longer reply deadline than the per-frame read
+    // timeout, or a busy server looks dead.
+    let long_op = matches!(
+        msg,
+        Message::Execute { .. } | Message::RedistPrepare { .. } | Message::RedistCommit { .. }
+    );
+    let base_timeout = policy.read_timeout;
+    let reply_deadline =
+        if long_op { base_timeout.saturating_mul(10) } else { base_timeout };
+    let budget_ms = if conn.deadline_ok {
+        Some(reply_deadline.as_millis().clamp(1, u128::from(u32::MAX)) as u32)
+    } else {
+        None
+    };
+    let trace = if conn.traced { trace } else { None };
+    let stream = conn.stream.as_mut().expect("dial just succeeded"); // das-lint: allow(DA402) conn_dial filled the slot on the line above
+    if long_op {
+        let _ = stream.get_ref().set_read_timeout(Some(reply_deadline));
+    }
+    let result = (|| {
+        write_message_opts(stream, msg, trace, budget_ms)?;
+        match read_message(stream)? {
+            Some(Message::Error { code, message }) => Err(NetError::Remote { code, message }),
+            Some(reply) => Ok(reply),
+            None => Err(NetError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-call",
+            ))),
+        }
+    })();
+    if long_op {
+        let _ = stream.get_ref().set_read_timeout(Some(base_timeout));
+    }
+    if result.as_ref().is_err_and(NetError::is_transport) {
+        conn.stream = None;
+    }
+    result
+}
+
 impl DasCluster {
     /// Connect to every server and shake hands, with the default
     /// retry policy.
@@ -88,22 +215,32 @@ impl DasCluster {
     /// rather than failing the whole connect; only a cluster with *no*
     /// reachable server is an error.
     pub fn connect_with(addrs: &[String], policy: RetryPolicy) -> Result<Self, NetError> {
+        let (racer_tx, racer_rx) = mpsc::channel();
         let mut cluster = DasCluster {
             conns: addrs
                 .iter()
-                .map(|a| ClientConn { addr: a.clone(), stream: None, traced: false })
+                .map(|a| ClientConn {
+                    addr: a.clone(),
+                    stream: None,
+                    traced: false,
+                    deadline_ok: false,
+                })
                 .collect(),
             down: vec![false; addrs.len()],
             events: Vec::new(),
             policy,
             metrics: Arc::new(das_obs::Registry::new()),
             trace: None,
+            load: Arc::new(LoadTracker::new(addrs.len())),
+            racer_tx,
+            racer_rx,
+            next_race: 0,
         };
         let mut last = None;
         let mut reachable = 0usize;
         for s in 0..cluster.conns.len() {
             let policy = cluster.policy.clone();
-            match policy.retry(|| cluster.dial(s)) {
+            match policy.retry(|| conn_dial(&mut cluster.conns[s], &policy)) {
                 Ok(()) => reachable += 1,
                 Err(e) => {
                     last = Some(e);
@@ -129,6 +266,7 @@ impl DasCluster {
 
     /// Drain the fault-tolerance events recorded since the last call.
     pub fn take_events(&mut self) -> Vec<DegradeEvent> {
+        self.drain_racers();
         std::mem::take(&mut self.events)
     }
 
@@ -184,70 +322,22 @@ impl DasCluster {
         (0..self.conns.len()).filter(|&s| !self.down[s]).collect()
     }
 
-    /// Ensure a live, greeted connection to server `s`.
-    fn dial(&mut self, s: usize) -> Result<(), NetError> {
-        if self.conns[s].stream.is_some() {
-            return Ok(());
-        }
-        let raw = self.policy.connect(&self.conns[s].addr)?;
-        let mut stream = CountingStream::new(raw);
-        write_message(
-            &mut stream,
-            &Message::Hello { role: Role::Client, peer_id: 0, caps: LOCAL_CAPS },
-        )?;
-        let traced = match read_message(&mut stream)? {
-            Some(Message::HelloOk { caps, .. }) => caps & CAP_TRACE != 0,
-            Some(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
-            None => {
-                return Err(NetError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed during handshake",
-                )))
-            }
-        };
-        self.conns[s].stream = Some(stream);
-        self.conns[s].traced = traced;
-        Ok(())
-    }
-
     /// One attempt: dial if needed, write, read. Transport errors
     /// evict the connection so the next attempt redials instead of
-    /// reusing a socket in an unknown state.
+    /// reusing a socket in an unknown state. The attempt's wall time
+    /// feeds the server's latency EWMA (down servers fail fast and
+    /// are not scored).
     fn call_once(&mut self, s: usize, msg: &Message) -> Result<Message, NetError> {
         if self.down[s] {
             return Err(Self::down_error(s));
         }
-        self.dial(s)?;
-        // Offloaded executes and redistribution phases do real work
-        // (kernel compute, bulk strip movement) before replying — give
-        // them a far longer reply deadline than the per-frame read
-        // timeout, or a busy server looks dead.
-        let long_op = matches!(
-            msg,
-            Message::Execute { .. } | Message::RedistPrepare { .. } | Message::RedistCommit { .. }
-        );
-        let base_timeout = self.policy.read_timeout;
-        let trace = if self.conns[s].traced { self.trace } else { None };
-        let stream = self.conns[s].stream.as_mut().expect("dial just succeeded"); // das-lint: allow(DA402) ensure_conn filled the slot on the line above
-        if long_op {
-            let _ = stream.get_ref().set_read_timeout(Some(base_timeout.saturating_mul(10)));
-        }
-        let result = (|| {
-            write_message_traced(stream, msg, trace)?;
-            match read_message(stream)? {
-                Some(Message::Error { code, message }) => Err(NetError::Remote { code, message }),
-                Some(reply) => Ok(reply),
-                None => Err(NetError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed mid-call",
-                ))),
-            }
-        })();
-        if long_op {
-            let _ = stream.get_ref().set_read_timeout(Some(base_timeout));
-        }
-        if result.as_ref().is_err_and(NetError::is_transport) {
-            self.conns[s].stream = None;
+        let started = Instant::now();
+        let result = conn_call_once(&mut self.conns[s], &self.policy, msg, self.trace);
+        // Only successes feed the estimate — a refused connection
+        // fails in microseconds and would make a dead server score as
+        // the fastest holder in every walk.
+        if result.is_ok() {
+            self.load.observe(s, started.elapsed());
         }
         result
     }
@@ -416,10 +506,15 @@ impl DasCluster {
         Ok(())
     }
 
-    /// Gather a whole file (the "normal I/O" read path). Each strip is
-    /// read from its primary, **failing over** to replica holders in
-    /// placement order ([`DegradeEvent::ReplicaFailover`]); a strip
-    /// fails only when no holder can serve it.
+    /// Gather a whole file (the "normal I/O" read path). Each strip's
+    /// holders are walked **lightest-first** by observed latency (a
+    /// cold tracker preserves primary-first placement order), failing
+    /// over to the next holder on error
+    /// ([`DegradeEvent::ReplicaFailover`]); a strip fails only when no
+    /// holder can serve it. When the first choice has a latency
+    /// estimate and a second holder exists, the fetch is **hedged**: if
+    /// no reply lands within the EWMA-derived delay, the same request
+    /// races on the next-best holder and the first valid reply wins.
     pub fn read_file(&mut self, file: u32) -> Result<Vec<u8>, NetError> {
         let dist = self.distribution(file)?;
         let spec = StripeSpec::new(dist.strip_size);
@@ -433,42 +528,229 @@ impl DasCluster {
             let sid = StripId(s);
             let placement = layout.placement(sid);
             let want = spec.strip_len(sid, dist.file_len);
-            let mut got = None;
-            let mut last = None;
-            for (pos, holder) in placement.holders().into_iter().enumerate() {
-                match self.call(holder.index(), &Message::GetStrip { file, strip: s }) {
-                    Ok(Message::StripData { payload }) => {
-                        if payload.len() != want {
-                            return Err(NetError::Protocol(format!(
-                                "strip {s}: wanted {want} bytes, got {}",
-                                payload.len()
-                            )));
-                        }
-                        if pos > 0 {
-                            self.record_event(DegradeEvent::ReplicaFailover {
-                                file,
-                                strip: s,
-                                primary: placement.primary_server.0,
-                                replica: holder.0,
-                            });
-                        }
-                        got = Some(payload);
-                        break;
+            let mut walk: Vec<u32> = placement.holders().into_iter().map(|h| h.0).collect();
+            self.load.order_by_load(&mut walk, |&h| h as usize);
+            let payload =
+                self.fetch_strip(file, s, want, placement.primary_server.0, &walk)?;
+            out.extend_from_slice(&payload);
+        }
+        Ok(out)
+    }
+
+    /// Fetch one strip from the holders in `walk` order: hedged race
+    /// between the two best holders when possible, otherwise (or when
+    /// the race yields nothing usable) a sequential failover walk.
+    fn fetch_strip(
+        &mut self,
+        file: u32,
+        strip: u64,
+        want: usize,
+        primary: u32,
+        walk: &[u32],
+    ) -> Result<Vec<u8>, NetError> {
+        self.drain_racers();
+        if let [a, b, ..] = *walk {
+            let (a, b) = (a as usize, b as usize);
+            if !self.down[a] && !self.down[b] {
+                // `hedge_delay` is None until the first choice has
+                // enough samples — no estimate, no race.
+                if let Some(delay) = self.load.hedge_delay(a) {
+                    if let Some(payload) =
+                        self.hedged_get_strip(file, strip, want, primary, a, b, delay)?
+                    {
+                        return Ok(payload);
                     }
-                    Ok(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
-                    Err(e) => last = Some(e),
-                }
-            }
-            match got {
-                Some(payload) => out.extend_from_slice(&payload),
-                None => {
-                    return Err(last.unwrap_or_else(|| {
-                        NetError::Protocol(format!("strip {s}: no holders under the layout"))
-                    }))
                 }
             }
         }
-        Ok(out)
+        let mut last = None;
+        for (pos, &h) in walk.iter().enumerate() {
+            match self.call(h as usize, &Message::GetStrip { file, strip }) {
+                Ok(Message::StripData { payload }) => {
+                    if payload.len() != want {
+                        return Err(NetError::Protocol(format!(
+                            "strip {strip}: wanted {want} bytes, got {}",
+                            payload.len()
+                        )));
+                    }
+                    // A replica serving because it was *ordered* first
+                    // is load balancing, not degradation — only record
+                    // a failover when an earlier attempt actually
+                    // failed.
+                    if pos > 0 && h != primary {
+                        self.record_event(DegradeEvent::ReplicaFailover {
+                            file,
+                            strip,
+                            primary,
+                            replica: h,
+                        });
+                    }
+                    return Ok(payload);
+                }
+                Ok(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            NetError::Protocol(format!("strip {strip}: no holders under the layout"))
+        }))
+    }
+
+    /// Settle one racer report: put its connection back in the slot
+    /// table (unless a fresh one was dialed there meanwhile). Racer
+    /// connections are always frame-aligned — the racer either read a
+    /// whole reply or evicted the stream on a transport error — so
+    /// restoring one can never desynchronize the slot.
+    fn settle_racer(&mut self, done: RacerDone) {
+        if self.conns[done.server].stream.is_none() {
+            self.conns[done.server] = done.conn;
+        }
+    }
+
+    /// Collect every racer report that has landed since the last
+    /// drain, so stale racers' connections return to the pool.
+    fn drain_racers(&mut self) {
+        while let Ok(done) = self.racer_rx.try_recv() {
+            self.settle_racer(done);
+        }
+    }
+
+    /// Move server `server`'s connection out of the slot table and
+    /// drive `msg` against it on a detached thread, reporting back on
+    /// the cluster's racer channel. The thread owns the connection:
+    /// the main thread never blocks on the slow racer, which is the
+    /// entire point of hedging.
+    ///
+    /// A racer retries *remote* transient errors through the policy's
+    /// budget (counting retries like [`DasCluster::call`] would, so
+    /// fault accounting is identical either way), but gives up
+    /// immediately on transport errors: a dead server should fail the
+    /// race fast and deterministically fall through to the sequential
+    /// walk, whose full retry-and-mark-down machinery owns that case.
+    fn spawn_racer(&mut self, race: u64, server: usize, msg: &Message) {
+        let mut conn = self.conns[server].take();
+        let policy = self.policy.clone();
+        let load = Arc::clone(&self.load);
+        let metrics = Arc::clone(&self.metrics);
+        let trace = self.trace;
+        let msg = msg.clone();
+        let tx = self.racer_tx.clone();
+        std::thread::spawn(move || {
+            let attempts = policy.max_attempts.max(1);
+            let mut attempt = 0u32;
+            let result = loop {
+                attempt += 1;
+                let started = Instant::now();
+                let r = conn_call_once(&mut conn, &policy, &msg, trace);
+                if r.is_ok() {
+                    load.observe(server, started.elapsed());
+                }
+                match r {
+                    Err(e)
+                        if matches!(e, NetError::Remote { .. })
+                            && e.is_transient()
+                            && attempt < attempts =>
+                    {
+                        policy.sleep_before_retry(attempt)
+                    }
+                    other => break other,
+                }
+            };
+            if attempt > 1 {
+                metrics.counter("das_client_retries_total", &[]).add(u64::from(attempt - 1));
+            }
+            // A send failure means the cluster itself was dropped; the
+            // connection just closes with it.
+            let _ = tx.send(RacerDone { race, server, conn, result });
+        });
+    }
+
+    /// Race a strip fetch: fire at `a`; if no reply lands within
+    /// `delay`, fire the identical request at `b` and take the first
+    /// length-valid [`Message::StripData`]. Returns `Ok(None)` when
+    /// neither racer produced a usable payload, so the caller can fall
+    /// back to the plain sequential walk.
+    #[allow(clippy::too_many_arguments)]
+    fn hedged_get_strip(
+        &mut self,
+        file: u32,
+        strip: u64,
+        want: usize,
+        primary: u32,
+        a: usize,
+        b: usize,
+        delay: Duration,
+    ) -> Result<Option<Vec<u8>>, NetError> {
+        let msg = Message::GetStrip { file, strip };
+        let race = self.next_race;
+        self.next_race += 1;
+        self.spawn_racer(race, a, &msg);
+        let mut outstanding = 1u32;
+        let mut hedged = false;
+        // Once hedged, wait well past the per-frame read timeout: the
+        // racers' retry loops need room to conclude before we give up
+        // on the race entirely.
+        let patience = self.policy.read_timeout.saturating_mul(12);
+        while outstanding > 0 {
+            let done = match self.racer_rx.recv_timeout(if hedged { patience } else { delay }) {
+                Ok(done) => done,
+                Err(_) => {
+                    if hedged {
+                        // Both racers stuck past the generous window:
+                        // abandon the race (their slots redial later).
+                        break;
+                    }
+                    self.metrics.counter("das_client_hedges_total", &[]).inc();
+                    self.spawn_racer(race, b, &msg);
+                    outstanding += 1;
+                    hedged = true;
+                    continue;
+                }
+            };
+            if done.race != race {
+                // A straggler from an earlier race: restore its
+                // connection, it does not decide this strip.
+                self.settle_racer(done);
+                continue;
+            }
+            outstanding -= 1;
+            let RacerDone { server, conn, result, .. } = done;
+            if self.conns[server].stream.is_none() {
+                self.conns[server] = conn;
+            }
+            match result {
+                Ok(Message::StripData { payload }) => {
+                    if payload.len() != want {
+                        return Err(NetError::Protocol(format!(
+                            "strip {strip}: wanted {want} bytes, got {}",
+                            payload.len()
+                        )));
+                    }
+                    if hedged && server == b {
+                        self.metrics.counter("das_client_hedge_wins_total", &[]).inc();
+                        // The first choice did not answer inside its
+                        // latency envelope and the hedge served the
+                        // strip from a replica: that is a replica
+                        // failover in the report's vocabulary, just a
+                        // proactive one.
+                        if server as u32 != primary {
+                            self.record_event(DegradeEvent::ReplicaFailover {
+                                file,
+                                strip,
+                                primary,
+                                replica: server as u32,
+                            });
+                        }
+                    }
+                    return Ok(Some(payload));
+                }
+                Ok(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
+                // This racer lost; the other may still deliver, and if
+                // not the sequential walk below retries everything.
+                Err(_) => {}
+            }
+        }
+        Ok(None)
     }
 
     /// Two-phase redistribution to `policy`: every server prepares

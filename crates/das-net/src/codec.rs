@@ -8,11 +8,13 @@
 //!      0     4  magic "DASN"
 //!      4     1  protocol version (1)
 //!      5     1  opcode
-//!      6     2  flags (bit 0: CRC32 trailer; bit 1: trace id; rest 0)
+//!      6     2  flags (bit 0: CRC32 trailer; bit 1: trace id;
+//!               bit 2: deadline budget; rest 0)
 //!      8     4  payload length
 //!     12     8  trace id (only when flag bit 1 is set)
+//!      …     4  deadline budget in ms (only when flag bit 2 is set)
 //!      …     n  payload (see proto module)
-//!      …     4  CRC32 of header[+trace]+payload (when flag bit 0 set)
+//!      …     4  CRC32 of header[+trace][+budget]+payload (flag bit 0)
 //! ```
 //!
 //! Writers in this build always emit the CRC trailer; readers verify
@@ -27,6 +29,16 @@
 //! sent to peers that advertised `CAP_TRACE` in their
 //! `Hello`/`HelloOk`, so frames to a legacy peer stay bit-identical
 //! to protocol version 1 without the field.
+//!
+//! The optional 4-byte **deadline budget** (little-endian
+//! milliseconds, after the trace id when both are present; also not
+//! counted by the payload-length field) is how much wall time the
+//! sender is still willing to wait for this request. A server sheds
+//! the request with a typed `Overloaded` error instead of running it
+//! once the budget has expired, and forwards the *remaining* budget
+//! on any dependence fetch it issues on the request's behalf. The
+//! field is only sent to peers that advertised `CAP_DEADLINE` —
+//! legacy peers see bit-identical frames without it.
 
 use std::io::{self, IoSlice, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,11 +56,17 @@ pub const FLAG_CRC: u16 = 0x0001;
 /// advertised [`crate::proto::CAP_TRACE`].
 pub const FLAG_TRACE: u16 = 0x0002;
 
+/// Frame-header flag bit 2: a 4-byte little-endian deadline budget
+/// (milliseconds) sits between the trace id (when present) and the
+/// payload, covered by the CRC trailer. Only sent to peers that
+/// advertised [`crate::proto::CAP_DEADLINE`].
+pub const FLAG_DEADLINE: u16 = 0x0004;
+
 /// Every assigned frame-flag bit. A frame setting any other bit is
 /// rejected before its payload is read; the protocol-conformance
-/// pass sweeps the full 4-combination space of these bits (and probes
+/// pass sweeps the full combination space of these bits (and probes
 /// unassigned ones) against [`read_frame`].
-pub const KNOWN_FLAGS: u16 = FLAG_CRC | FLAG_TRACE;
+pub const KNOWN_FLAGS: u16 = FLAG_CRC | FLAG_TRACE | FLAG_DEADLINE;
 
 /// Consecutive mid-frame read timeouts tolerated before the reader
 /// gives up and surfaces a typed timeout error. A peer that started a
@@ -166,10 +184,20 @@ pub fn encode_frame(msg: &Message) -> Vec<u8> {
 /// payload). Callers must only pass `Some` when the receiving peer
 /// advertised [`crate::proto::CAP_TRACE`].
 pub fn encode_frame_traced(msg: &Message, trace: Option<u64>) -> Vec<u8> {
+    encode_frame_opts(msg, trace, None)
+}
+
+/// The full frame encoder: optional trace id and optional deadline
+/// budget (milliseconds). Callers must only pass `Some` for a field
+/// whose capability ([`crate::proto::CAP_TRACE`] /
+/// [`crate::proto::CAP_DEADLINE`]) the receiving peer advertised.
+pub fn encode_frame_opts(msg: &Message, trace: Option<u64>, budget_ms: Option<u32>) -> Vec<u8> {
     let payload = msg.encode_payload();
     assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds MAX_PAYLOAD");
-    let flags = FLAG_CRC | if trace.is_some() { FLAG_TRACE } else { 0 };
-    let mut frame = Vec::with_capacity(HEADER_LEN + 8 + payload.len() + 4);
+    let flags = FLAG_CRC
+        | if trace.is_some() { FLAG_TRACE } else { 0 }
+        | if budget_ms.is_some() { FLAG_DEADLINE } else { 0 };
+    let mut frame = Vec::with_capacity(HEADER_LEN + 12 + payload.len() + 4);
     frame.extend_from_slice(&MAGIC);
     frame.push(VERSION);
     frame.push(msg.opcode());
@@ -177,6 +205,9 @@ pub fn encode_frame_traced(msg: &Message, trace: Option<u64>) -> Vec<u8> {
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     if let Some(id) = trace {
         frame.extend_from_slice(&id.to_le_bytes());
+    }
+    if let Some(ms) = budget_ms {
+        frame.extend_from_slice(&ms.to_le_bytes());
     }
     frame.extend_from_slice(&payload);
     let crc = crc32(&[&frame]);
@@ -229,8 +260,17 @@ impl FrameParts<'_> {
 /// message ([`Message::split_payload`]), so encoding a 4 MiB strip
 /// allocates only the ~30-byte head.
 pub fn frame_parts_traced(msg: &Message, trace: Option<u64>) -> FrameParts<'_> {
+    frame_parts_opts(msg, trace, None)
+}
+
+/// Like [`frame_parts_traced`], optionally carrying a deadline budget.
+pub fn frame_parts_opts(
+    msg: &Message,
+    trace: Option<u64>,
+    budget_ms: Option<u32>,
+) -> FrameParts<'_> {
     let (prefix, body) = msg.split_payload();
-    raw_frame_parts(msg.opcode(), &prefix, body, trace)
+    raw_frame_parts_opts(msg.opcode(), &prefix, body, trace, budget_ms)
 }
 
 /// Build frame segments from an already-split payload: `prefix` holds
@@ -244,10 +284,23 @@ pub fn raw_frame_parts<'a>(
     body: &'a [u8],
     trace: Option<u64>,
 ) -> FrameParts<'a> {
+    raw_frame_parts_opts(opcode, prefix, body, trace, None)
+}
+
+/// Like [`raw_frame_parts`], optionally carrying a deadline budget.
+pub fn raw_frame_parts_opts<'a>(
+    opcode: u8,
+    prefix: &[u8],
+    body: &'a [u8],
+    trace: Option<u64>,
+    budget_ms: Option<u32>,
+) -> FrameParts<'a> {
     let payload_len = prefix.len() + body.len();
     assert!(payload_len <= MAX_PAYLOAD, "payload exceeds MAX_PAYLOAD");
-    let flags = FLAG_CRC | if trace.is_some() { FLAG_TRACE } else { 0 };
-    let mut head = Vec::with_capacity(HEADER_LEN + 8 + prefix.len());
+    let flags = FLAG_CRC
+        | if trace.is_some() { FLAG_TRACE } else { 0 }
+        | if budget_ms.is_some() { FLAG_DEADLINE } else { 0 };
+    let mut head = Vec::with_capacity(HEADER_LEN + 12 + prefix.len());
     head.extend_from_slice(&MAGIC);
     head.push(VERSION);
     head.push(opcode);
@@ -255,6 +308,9 @@ pub fn raw_frame_parts<'a>(
     head.extend_from_slice(&(payload_len as u32).to_le_bytes());
     if let Some(id) = trace {
         head.extend_from_slice(&id.to_le_bytes());
+    }
+    if let Some(ms) = budget_ms {
+        head.extend_from_slice(&ms.to_le_bytes());
     }
     head.extend_from_slice(prefix);
     let crc = crc32(&[&head, body]);
@@ -314,6 +370,17 @@ pub fn write_message_traced<W: Write>(
     write_frame_vectored(w, &frame_parts_traced(msg, trace))
 }
 
+/// Serialize `msg` with optional trace id and deadline budget onto
+/// `w` and flush.
+pub fn write_message_opts<W: Write>(
+    w: &mut W,
+    msg: &Message,
+    trace: Option<u64>,
+    budget_ms: Option<u32>,
+) -> io::Result<()> {
+    write_frame_vectored(w, &frame_parts_opts(msg, trace, budget_ms))
+}
+
 fn is_timeout(e: &io::Error) -> bool {
     matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
@@ -366,6 +433,25 @@ pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Message>, NetError> {
 /// Like [`read_message`], also surfacing the frame's trace id when
 /// the sender attached one (`FLAG_TRACE`).
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(Message, Option<u64>)>, NetError> {
+    Ok(read_frame_ex(r)?.map(|f| (f.msg, f.trace)))
+}
+
+/// One fully decoded frame: the message plus the optional per-request
+/// metadata fields the sender attached.
+#[derive(Debug)]
+pub struct Frame {
+    /// The decoded message.
+    pub msg: Message,
+    /// Trace id (`FLAG_TRACE`), when the sender attached one.
+    pub trace: Option<u64>,
+    /// Deadline budget in milliseconds (`FLAG_DEADLINE`), when the
+    /// sender attached one.
+    pub budget_ms: Option<u32>,
+}
+
+/// Like [`read_frame`], also surfacing the frame's deadline budget
+/// when the sender attached one (`FLAG_DEADLINE`).
+pub fn read_frame_ex<R: Read>(r: &mut R) -> Result<Option<Frame>, NetError> {
     let mut header = [0u8; HEADER_LEN];
     // The first header byte decides clean-close vs mid-frame cut, and
     // a timeout before it belongs to the caller (shutdown polling).
@@ -410,6 +496,15 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(Message, Option<u64>)>, 
     } else {
         None
     };
+    let mut budget_field = [0u8; 4];
+    let budget_ms = if flags & FLAG_DEADLINE != 0 {
+        if read_full(r, &mut budget_field, "deadline budget")? != 4 {
+            return Err(NetError::Protocol("connection closed mid-budget".into()));
+        }
+        Some(u32::from_le_bytes(budget_field))
+    } else {
+        None
+    };
     let mut payload = vec![0u8; len];
     if read_full(r, &mut payload, "payload")? != len {
         return Err(NetError::Protocol("connection closed mid-payload".into()));
@@ -420,18 +515,16 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(Message, Option<u64>)>, 
             return Err(NetError::Protocol("connection closed mid-checksum".into()));
         }
         let wanted = u32::from_le_bytes(trailer);
-        let actual = if trace.is_some() {
-            crc32(&[&header, &trace_field, &payload])
-        } else {
-            crc32(&[&header, &payload])
-        };
+        let trace_bytes: &[u8] = if trace.is_some() { &trace_field } else { &[] };
+        let budget_bytes: &[u8] = if budget_ms.is_some() { &budget_field } else { &[] };
+        let actual = crc32(&[&header, trace_bytes, budget_bytes, &payload]);
         if wanted != actual {
             return Err(NetError::Protocol(format!(
                 "frame checksum mismatch: wire {wanted:#010x}, computed {actual:#010x}"
             )));
         }
     }
-    Ok(Some((Message::decode(opcode, &payload)?, trace)))
+    Ok(Some(Frame { msg: Message::decode(opcode, &payload)?, trace, budget_ms }))
 }
 
 /// Owned scatter/gather write state for one frame on a nonblocking
@@ -540,6 +633,12 @@ impl FrameBuffer {
     /// `Ok(None)` means "need more bytes"; errors are fatal to the
     /// connection (framing violations desynchronize the stream).
     pub fn next_frame(&mut self) -> Result<Option<(Message, Option<u64>)>, NetError> {
+        Ok(self.next_frame_ex()?.map(|f| (f.msg, f.trace)))
+    }
+
+    /// Like [`FrameBuffer::next_frame`], also surfacing the frame's
+    /// deadline budget when the sender attached one (`FLAG_DEADLINE`).
+    pub fn next_frame_ex(&mut self) -> Result<Option<Frame>, NetError> {
         let avail = &self.buf[self.pos..];
         if avail.len() < HEADER_LEN {
             return Ok(None);
@@ -566,8 +665,10 @@ impl FrameBuffer {
             )));
         }
         let trace_len = if flags & FLAG_TRACE != 0 { 8 } else { 0 };
+        let budget_len = if flags & FLAG_DEADLINE != 0 { 4 } else { 0 };
         let crc_len = if flags & FLAG_CRC != 0 { 4 } else { 0 };
-        let total = HEADER_LEN + trace_len + len + crc_len;
+        let meta_len = trace_len + budget_len;
+        let total = HEADER_LEN + meta_len + len + crc_len;
         if avail.len() < total {
             return Ok(None);
         }
@@ -577,11 +678,18 @@ impl FrameBuffer {
         } else {
             None
         };
-        let payload = &avail[HEADER_LEN + trace_len..HEADER_LEN + trace_len + len];
+        let budget_ms = if budget_len == 4 {
+            let at = HEADER_LEN + trace_len;
+            let field: [u8; 4] = avail[at..at + 4].try_into().unwrap(); // das-lint: allow(DA401) infallible 4-byte slice → array
+            Some(u32::from_le_bytes(field))
+        } else {
+            None
+        };
+        let payload = &avail[HEADER_LEN + meta_len..HEADER_LEN + meta_len + len]; // das-lint: allow(DA502) `avail.len() < total` above bounds HEADER_LEN + meta_len + len + crc_len
         if crc_len == 4 {
             let trailer: [u8; 4] = avail[total - 4..total].try_into().unwrap(); // das-lint: allow(DA401) infallible 4-byte slice → array
+            let actual = crc32(&[&avail[..HEADER_LEN + meta_len + len]]); // das-lint: allow(DA502) covered by the same `total` bounds check
             let wanted = u32::from_le_bytes(trailer);
-            let actual = crc32(&[&avail[..HEADER_LEN + trace_len + len]]);
             if wanted != actual {
                 return Err(NetError::Protocol(format!(
                     "frame checksum mismatch: wire {wanted:#010x}, computed {actual:#010x}"
@@ -590,7 +698,7 @@ impl FrameBuffer {
         }
         let msg = Message::decode(opcode, payload)?;
         self.pos += total;
-        Ok(Some((msg, trace)))
+        Ok(Some(Frame { msg, trace, budget_ms }))
     }
 }
 
@@ -745,6 +853,44 @@ mod tests {
         let (back, trace) = read_frame(&mut Cursor::new(plain)).unwrap().unwrap();
         assert_eq!(back, msg);
         assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn budgeted_frames_roundtrip_and_legacy_encoders_are_bit_identical() {
+        let msg = Message::GetStrip { file: 3, strip: 9 };
+        // Every combination of the two optional fields roundtrips.
+        for trace in [None, Some(0xDEAD_BEEF_CAFE_F00Du64)] {
+            for budget in [None, Some(1500u32)] {
+                let frame = encode_frame_opts(&msg, trace, budget);
+                let f = read_frame_ex(&mut Cursor::new(frame.clone())).unwrap().unwrap();
+                assert_eq!(f.msg, msg);
+                assert_eq!(f.trace, trace);
+                assert_eq!(f.budget_ms, budget);
+                // The incremental decoder agrees byte for byte.
+                let mut fb = FrameBuffer::new();
+                fb.extend(&frame);
+                let f = fb.next_frame_ex().unwrap().unwrap();
+                assert_eq!((f.msg, f.trace, f.budget_ms), (msg.clone(), trace, budget));
+                assert_eq!(fb.pending(), 0);
+                // The vectored path builds the identical frame.
+                assert_eq!(frame_parts_opts(&msg, trace, budget).to_vec(), frame);
+            }
+        }
+        // Budget-less encoding through the new entry point is
+        // bit-identical to the legacy encoders: a client that never
+        // negotiated CAP_DEADLINE produces unchanged wire bytes.
+        assert_eq!(encode_frame_opts(&msg, None, None), encode_frame(&msg));
+        assert_eq!(encode_frame_opts(&msg, Some(7), None), encode_frame_traced(&msg, Some(7)));
+    }
+
+    #[test]
+    fn corrupted_budget_field_fails_the_checksum() {
+        let mut frame = encode_frame_opts(&Message::Ping, Some(42), Some(900));
+        frame[HEADER_LEN + 8] ^= 0x01; // first byte of the budget field
+        assert!(read_frame_ex(&mut Cursor::new(frame.clone())).is_err());
+        let mut fb = FrameBuffer::new();
+        fb.extend(&frame);
+        assert!(fb.next_frame_ex().is_err());
     }
 
     #[test]

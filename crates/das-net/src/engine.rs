@@ -18,6 +18,23 @@
 //!   engine) off the shard threads, so a slow `Execute` full of peer
 //!   fetches never stalls other connections.
 //!
+//! **Fair queueing & admission control.** Decoded requests reach the
+//! worker pool through a `FairQueue`: per-connection FIFOs drained
+//! by weighted deficit round-robin, where a heavy request (`Execute`,
+//! redistribution) costs its connection several turns — so one
+//! connection spamming kernel executions cannot starve another's
+//! pipelined striped gets. The queue's total depth is bounded by the
+//! daemon's `max_backlog`; a request that arrives with the backlog
+//! full is **shed** from the shard thread itself with the typed,
+//! transient [`ErrorCode::Overloaded`] — the client's shared retry
+//! policy backs off and retries, so overload degrades throughput
+//! instead of latency-spiraling or wedging sockets. A request whose
+//! propagated deadline budget (frame `FLAG_DEADLINE` field) expires
+//! while queued is shed the same way when a worker finally picks it
+//! up — see `process_request`. Control-plane requests (`Shutdown`,
+//! `Ping`, stats/metrics reads) are exempt from shedding: an operator
+//! must be able to watch and stop an overloaded daemon.
+//!
 //! **Pipelining.** Because frames are decoded incrementally and
 //! handled off-thread, one connection may have many requests in
 //! flight (up to `MAX_INFLIGHT`, 128); replies are written in completion
@@ -34,11 +51,11 @@
 //! fleet scales this repo benchmarks, syscall overhead is dwarfed by
 //! payload copies — which this engine removes instead.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -49,7 +66,8 @@ use crate::codec::{
 };
 use crate::proto::{ErrorCode, Message, Role, CAP_TRACE, LOCAL_CAPS};
 use crate::server::{
-    accept_loop, lock, process_request, ConnClass, ReplyAction, Shared, STRIP_DATA_OPCODE,
+    accept_loop, lock, process_request, shed_exempt, ConnClass, ReplyAction, Shared,
+    STRIP_DATA_OPCODE,
 };
 
 /// Maximum requests in flight (submitted to workers, reply not yet
@@ -106,6 +124,152 @@ struct Job {
     /// Trace id, already filtered by the peer's negotiated caps; the
     /// reply echoes it.
     trace: Option<u64>,
+    /// Absolute deadline derived from the frame's budget field at
+    /// decode time, so time spent queued counts against the budget.
+    deadline: Option<Instant>,
+}
+
+/// How many round-robin turns dispatching this request costs its
+/// connection. Kernel executions and redistribution phases do orders
+/// of magnitude more work than a strip get, so they pay more turns —
+/// the "weight" in the weighted deficit round-robin.
+fn job_weight(msg: &Message) -> u32 {
+    match msg {
+        Message::Execute { .. } | Message::RedistPrepare { .. } | Message::RedistCommit { .. } => 8,
+        _ => 1,
+    }
+}
+
+/// One connection's pending requests inside the fair queue.
+struct ConnQueue {
+    jobs: VecDeque<Job>,
+    /// Turns this connection still owes for an earlier heavy
+    /// dispatch; it is skipped until the debt is paid down.
+    debt: u32,
+}
+
+/// Scheduler state behind the `sched` lock.
+struct SchedState {
+    /// Pending requests per connection. Invariant: a connection id is
+    /// a key here iff it appears exactly once in `order`.
+    queues: HashMap<u64, ConnQueue>,
+    /// Round-robin order over connections with pending requests.
+    order: VecDeque<u64>,
+    /// Total requests queued, across all connections.
+    len: usize,
+    /// Shard threads still running; when the last one exits, idle
+    /// workers are released.
+    shards_live: usize,
+}
+
+/// The shard→worker request scheduler: per-connection FIFOs drained
+/// by weighted deficit round-robin, with a bounded total backlog.
+struct FairQueue {
+    /// Scheduler lock — "sched" in the crate's lock hierarchy: taken
+    /// after a shard's `inbox`, never while a `done` queue is held.
+    sched: Mutex<SchedState>,
+    ready: Condvar,
+    /// Admission bound: a non-exempt request arriving with this many
+    /// already queued is shed with [`ErrorCode::Overloaded`].
+    max_backlog: usize,
+    /// Live queue depth (`dasd_worker_queue_depth`).
+    depth: Arc<das_obs::Gauge>,
+    /// Requests shed at admission (`dasd_requests_shed_total{reason="backlog"}`).
+    shed: Arc<das_obs::Counter>,
+}
+
+impl FairQueue {
+    fn new(max_backlog: usize, n_shards: usize, metrics: &das_obs::Registry) -> FairQueue {
+        let depth = metrics.gauge("dasd_worker_queue_depth", &[]);
+        depth.set(0); // registered up front so dumps always carry it
+        FairQueue {
+            sched: Mutex::new(SchedState {
+                queues: HashMap::new(),
+                order: VecDeque::new(),
+                len: 0,
+                shards_live: n_shards,
+            }),
+            ready: Condvar::new(),
+            max_backlog,
+            depth,
+            shed: metrics.counter("dasd_requests_shed_total", &[("reason", "backlog")]),
+        }
+    }
+
+    /// Enqueue one decoded request, or hand it back when the backlog
+    /// is full (the caller sheds it with a typed reply). Control-plane
+    /// requests are always admitted.
+    fn enqueue(&self, job: Job) -> Result<(), Job> {
+        let mut s = lock(&self.sched);
+        if s.len >= self.max_backlog && !shed_exempt(&job.msg) {
+            drop(s);
+            self.shed.inc();
+            return Err(job);
+        }
+        let conn = job.conn;
+        match s.queues.entry(conn) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut().jobs.push_back(job),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(ConnQueue { jobs: VecDeque::from([job]), debt: 0 });
+                s.order.push_back(conn);
+            }
+        }
+        s.len += 1;
+        self.depth.set(s.len as i64);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next request by weighted deficit round-robin, or
+    /// `None` once every shard has exited and the queue is drained.
+    /// Each turn either dispatches one request or pays down one unit
+    /// of a connection's debt; total debt is bounded, so the walk
+    /// terminates.
+    fn dequeue(&self) -> Option<Job> {
+        let mut s = lock(&self.sched);
+        loop {
+            while s.len > 0 {
+                let Some(conn) = s.order.pop_front() else { break };
+                let Some(q) = s.queues.get_mut(&conn) else { continue };
+                if q.debt > 0 {
+                    q.debt -= 1;
+                    s.order.push_back(conn);
+                    continue;
+                }
+                let Some(job) = q.jobs.pop_front() else {
+                    s.queues.remove(&conn);
+                    continue;
+                };
+                q.debt = job_weight(&job.msg).saturating_sub(1);
+                let drained = q.jobs.is_empty() && q.debt == 0;
+                if drained {
+                    s.queues.remove(&conn);
+                } else {
+                    s.order.push_back(conn);
+                }
+                s.len -= 1;
+                self.depth.set(s.len as i64);
+                return Some(job);
+            }
+            if s.shards_live == 0 {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// One shard thread exited; the last one out releases the idle
+    /// workers so the pool can drain and join.
+    fn shard_done(&self) {
+        let mut s = lock(&self.sched);
+        s.shards_live = s.shards_live.saturating_sub(1);
+        let release = s.shards_live == 0;
+        drop(s);
+        if release {
+            self.ready.notify_all();
+        }
+    }
 }
 
 /// Worker→shard reply queues plus the new-connection inboxes, shared
@@ -122,6 +286,7 @@ pub(crate) fn spawn_event_loop(
     shared: Arc<Shared>,
     listener: TcpListener,
     pool: usize,
+    max_backlog: usize,
 ) -> std::io::Result<Vec<JoinHandle<()>>> {
     listener.set_nonblocking(true)?;
     let n_shards = pool.div_ceil(4).clamp(1, 4);
@@ -130,30 +295,36 @@ pub(crate) fn spawn_event_loop(
         done: (0..n_shards).map(|_| Mutex::new(Vec::new())).collect(),
     });
 
-    let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
-    let rx = Arc::new(Mutex::new(jobs_rx));
+    let fair = Arc::new(FairQueue::new(max_backlog, n_shards, &shared.metrics));
     let mut threads = Vec::with_capacity(pool + n_shards + 1);
     for _ in 0..pool {
-        let rx = Arc::clone(&rx);
+        let fair = Arc::clone(&fair);
         let shared = Arc::clone(&shared);
         let queues = Arc::clone(&queues);
-        threads.push(std::thread::spawn(move || loop {
-            let job = match lock(&rx).recv() {
-                Ok(j) => j,
-                Err(_) => break,
-            };
-            run_job(&shared, &queues, job);
+        threads.push(std::thread::spawn(move || {
+            while let Some(job) = fair.dequeue() {
+                run_job(&shared, &queues, job);
+            }
         }));
     }
     for shard_id in 0..n_shards {
         let shared = Arc::clone(&shared);
         let queues = Arc::clone(&queues);
-        let jobs_tx = jobs_tx.clone();
+        let fair = Arc::clone(&fair);
         threads.push(std::thread::spawn(move || {
-            shard_loop(&shared, &queues, shard_id, &jobs_tx);
+            // Decrement the live-shard count even if the loop panics,
+            // so idle workers are never stranded on the condvar.
+            struct Live(Arc<FairQueue>);
+            impl Drop for Live {
+                fn drop(&mut self) {
+                    self.0.shard_done();
+                }
+            }
+            let live = Live(Arc::clone(&fair));
+            shard_loop(&shared, &queues, shard_id, &fair);
+            drop(live);
         }));
     }
-    drop(jobs_tx); // workers exit once every shard has
     {
         let shared = Arc::clone(&shared);
         let queues = Arc::clone(&queues);
@@ -174,7 +345,7 @@ pub(crate) fn spawn_event_loop(
 /// owning shard.
 fn run_job(shared: &Shared, queues: &ShardQueues, job: Job) {
     let echo = job.trace;
-    let out = match process_request(shared, job.class, job.msg, job.trace) {
+    let out = match process_request(shared, job.class, job.msg, job.trace, job.deadline) {
         ReplyAction::Reply(reply) => Outbound::frame(encode_frame_traced(&reply, echo), false),
         ReplyAction::ReplyStrip(bytes) => {
             // Zero-copy: head and CRC are computed over the store's
@@ -264,12 +435,16 @@ fn shard_loop(
     shared: &Shared,
     queues: &ShardQueues,
     shard_id: usize,
-    jobs: &mpsc::Sender<Job>,
+    fair: &FairQueue,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut next_conn_id = (shard_id as u64) << 48;
     let mut drain_started: Option<Instant> = None;
     let mut idle_passes = 0u32;
+    let inflight_gauge =
+        shared.metrics.gauge("dasd_shard_inflight", &[("shard", &shard_id.to_string())]);
+    inflight_gauge.set(0);
+    let mut last_inflight = 0i64;
     loop {
         let mut progressed = false;
 
@@ -304,10 +479,16 @@ fn shard_loop(
         for c in conns.iter_mut() {
             progressed |= pump_write(c);
             if !draining && !c.dead && !c.close_after_flush {
-                progressed |= pump_read(shared, c, shard_id, jobs);
+                progressed |= pump_read(shared, c, shard_id, fair);
             }
         }
         conns.retain(|c| !c.finished());
+
+        let inflight: i64 = conns.iter().map(|c| c.inflight as i64).sum();
+        if inflight != last_inflight {
+            inflight_gauge.set(inflight);
+            last_inflight = inflight;
+        }
 
         if draining {
             let expired =
@@ -366,7 +547,7 @@ fn pump_read(
     shared: &Shared,
     c: &mut Conn,
     shard_id: usize,
-    jobs: &mpsc::Sender<Job>,
+    fair: &FairQueue,
 ) -> bool {
     let mut progressed = false;
     let mut buf = [0u8; READ_CHUNK];
@@ -394,7 +575,7 @@ fn pump_read(
     }
     // Decode complete frames up to the in-flight cap.
     while c.inflight < MAX_INFLIGHT && !c.dead {
-        let (msg, trace) = match c.fb.next_frame() {
+        let frame = match c.fb.next_frame_ex() {
             Ok(Some(f)) => f,
             Ok(None) => break,
             Err(_) => {
@@ -404,17 +585,29 @@ fn pump_read(
         };
         progressed = true;
         match c.class {
-            None => handle_hello(shared, c, msg),
+            None => handle_hello(shared, c, frame.msg),
             Some(class) => {
-                let trace = if c.peer_traced { trace } else { None };
-                c.inflight += 1;
-                if jobs
-                    .send(Job { shard: shard_id, conn: c.id, class, msg, trace })
-                    .is_err()
-                {
-                    c.inflight -= 1;
-                    c.dead = true;
-                    return true;
+                let trace = if c.peer_traced { frame.trace } else { None };
+                // The budget starts burning now: queueing delay counts
+                // against it, which is exactly what lets an overloaded
+                // worker pool shed requests nobody is waiting for.
+                let deadline = frame
+                    .budget_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(u64::from(ms)));
+                let job =
+                    Job { shard: shard_id, conn: c.id, class, msg: frame.msg, trace, deadline };
+                match fair.enqueue(job) {
+                    Ok(()) => c.inflight += 1,
+                    Err(_) => {
+                        // Backlog full: shed from the shard thread with
+                        // the typed transient error — the one reply
+                        // that must not wait on the worker pool.
+                        let reply = Message::Error {
+                            code: ErrorCode::Overloaded,
+                            message: "request shed: worker backlog full".into(),
+                        };
+                        c.queue(Outbound::frame(encode_frame_traced(&reply, trace), false));
+                    }
                 }
             }
         }

@@ -39,6 +39,7 @@ pub mod client;
 pub mod codec;
 pub mod engine;
 pub mod fault;
+pub mod hedge;
 pub mod peer;
 pub mod pipeline;
 pub mod proto;
@@ -49,15 +50,17 @@ pub use client::{
     run_net_scheme, run_net_scheme_opts, DasCluster, ExecSummary, NetRunReport, NetScheme,
 };
 pub use codec::{
-    encode_frame, encode_frame_traced, frame_parts_traced, read_frame, read_message,
-    write_frame_vectored, write_message, write_message_traced, CountingStream, FrameBuffer,
-    FrameParts, NetError, FLAG_CRC, FLAG_TRACE, KNOWN_FLAGS,
+    encode_frame, encode_frame_opts, encode_frame_traced, frame_parts_opts, frame_parts_traced,
+    read_frame, read_frame_ex, read_message, write_frame_vectored, write_message,
+    write_message_opts, write_message_traced, CountingStream, Frame, FrameBuffer, FrameParts,
+    NetError, FLAG_CRC, FLAG_DEADLINE, FLAG_TRACE, KNOWN_FLAGS,
 };
 pub use fault::{FaultAction, FaultClass, FaultPlan, FaultPoint, FaultRule};
+pub use hedge::{Ewma, LoadTracker};
 pub use pipeline::PipeClient;
 pub use proto::{
-    ErrorCode, Message, Role, WireStats, CAP_CRC, CAP_TRACE, KNOWN_OPCODES, LOCAL_CAPS,
-    MAX_PAYLOAD, VERSION,
+    ErrorCode, Message, Role, WireStats, CAP_CRC, CAP_DEADLINE, CAP_TRACE, KNOWN_OPCODES,
+    LOCAL_CAPS, MAX_PAYLOAD, VERSION,
 };
 pub use retry::RetryPolicy;
 pub use server::{spawn, ConnClass, DasdConfig, DasdHandle, Engine, StatsRegistry};

@@ -34,18 +34,23 @@ use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::codec::{read_message, write_message, write_message_traced, CountingStream, NetError};
-use crate::proto::{ErrorCode, Message, Role, CAP_TRACE, LOCAL_CAPS};
+use crate::codec::{read_message, write_message, write_message_opts, CountingStream, NetError};
+use crate::hedge::LoadTracker;
+use crate::proto::{ErrorCode, Message, Role, CAP_DEADLINE, CAP_TRACE, LOCAL_CAPS};
 use crate::retry::RetryPolicy;
 use crate::server::{ConnClass, StatsRegistry};
 
 /// One live peer link plus what its `HelloOk` told us about it: a
-/// peer that did not advertise [`CAP_TRACE`] must keep seeing frames
-/// that are bit-identical to the legacy encoding, so the traced-send
-/// decision is made per link.
+/// peer that did not advertise [`CAP_TRACE`] (or [`CAP_DEADLINE`])
+/// must keep seeing frames that are bit-identical to the legacy
+/// encoding, so the traced-send and budget-send decisions are made
+/// per link.
 struct Link {
     stream: CountingStream<TcpStream>,
     traced: bool,
+    /// Peer advertised [`CAP_DEADLINE`]: remaining-budget fields may
+    /// be forwarded on this link.
+    deadline_ok: bool,
 }
 
 type PeerConn = Arc<Mutex<Link>>;
@@ -62,12 +67,31 @@ pub struct PeerTable {
     stats: Arc<StatsRegistry>,
     policy: RetryPolicy,
     metrics: Arc<das_obs::Registry>,
+    /// Per-peer latency EWMAs, fed by every call attempt; failover
+    /// walks are reordered lightest-first so a straggling peer drifts
+    /// to the back of every dependence fetch.
+    load: LoadTracker,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     // A worker that panicked while holding the lock must not wedge
     // every other worker: recover the guard and carry on.
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Milliseconds left until `deadline`: `None` means no budget at all,
+/// `Some(0)` means the budget is spent. A live sub-millisecond
+/// remainder rounds up to 1 so it is never silently dropped from the
+/// wire.
+fn remaining_budget_ms(deadline: Option<Instant>) -> Option<u32> {
+    deadline.map(|d| {
+        let left = d.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            0
+        } else {
+            left.as_millis().clamp(1, u128::from(u32::MAX)) as u32
+        }
+    })
 }
 
 impl PeerTable {
@@ -95,6 +119,7 @@ impl PeerTable {
         policy: RetryPolicy,
         metrics: Arc<das_obs::Registry>,
     ) -> Self {
+        let load = LoadTracker::new(addrs.len());
         PeerTable {
             self_id,
             addrs,
@@ -103,6 +128,7 @@ impl PeerTable {
             stats,
             policy,
             metrics,
+            load,
         }
     }
 
@@ -144,8 +170,8 @@ impl PeerTable {
             &mut stream,
             &Message::Hello { role: Role::Server, peer_id: self.self_id, caps: LOCAL_CAPS },
         )?;
-        let traced = match read_message(&mut stream)? {
-            Some(Message::HelloOk { caps, .. }) => caps & CAP_TRACE != 0,
+        let caps = match read_message(&mut stream)? {
+            Some(Message::HelloOk { caps, .. }) => caps,
             Some(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
             None => {
                 return Err(NetError::Io(io::Error::new(
@@ -154,20 +180,53 @@ impl PeerTable {
                 )))
             }
         };
-        let conn = Arc::new(Mutex::new(Link { stream, traced }));
+        let conn = Arc::new(Mutex::new(Link {
+            stream,
+            traced: caps & CAP_TRACE != 0,
+            deadline_ok: caps & CAP_DEADLINE != 0,
+        }));
         Ok(Arc::clone(lock(&self.conns).entry(target).or_insert(conn)))
     }
 
     /// One request/response attempt over the cached (or fresh) link.
     /// Any transport error evicts the connection so the next attempt
-    /// redials instead of reusing a socket in an unknown state.
-    fn call_once(&self, target: u32, msg: &Message, trace: Option<u64>) -> Result<Message, NetError> {
+    /// redials instead of reusing a socket in an unknown state. The
+    /// attempt's wall time — success or failure — feeds the peer's
+    /// latency EWMA, so a peer that keeps timing out scores as slow,
+    /// not as unknown.
+    fn call_once(
+        &self,
+        target: u32,
+        msg: &Message,
+        trace: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> Result<Message, NetError> {
+        // An exhausted budget fails locally before touching the wire:
+        // the caller's client has already given up on this request.
+        // This is the one `Overloaded` a daemon mints on behalf of a
+        // *peer* call, and it counts as a deadline shed so the fleet's
+        // `dasd_requests_shed_total` accounts for every server-minted
+        // `Overloaded` a client can observe.
+        let budget_ms = match remaining_budget_ms(deadline) {
+            Some(0) => {
+                self.metrics
+                    .counter("dasd_requests_shed_total", &[("reason", "deadline")])
+                    .inc();
+                return Err(NetError::Remote {
+                    code: ErrorCode::Overloaded,
+                    message: format!("deadline budget exhausted before calling peer {target}"),
+                });
+            }
+            b => b,
+        };
         let conn = self.conn(target)?;
         let mut link = lock(&conn);
         let trace = if link.traced { trace } else { None };
+        let budget_ms = if link.deadline_ok { budget_ms } else { None };
         let stream = &mut link.stream;
+        let started = Instant::now();
         let result = (|| {
-            write_message_traced(&mut *stream, msg, trace)?;
+            write_message_opts(&mut *stream, msg, trace, budget_ms)?;
             match read_message(&mut *stream)? {
                 Some(Message::Error { code, message }) => Err(NetError::Remote { code, message }),
                 Some(reply) => Ok(reply),
@@ -177,6 +236,12 @@ impl PeerTable {
                 ))),
             }
         })();
+        // Only successful calls feed the latency estimate: a refused
+        // connection fails in microseconds, and scoring that would
+        // make a *dead* peer look like the fastest one in the walk.
+        if result.is_ok() {
+            self.load.observe(target as usize, started.elapsed());
+        }
         if result.as_ref().is_err_and(NetError::is_transport) {
             lock(&self.conns).remove(&target);
         }
@@ -187,6 +252,11 @@ impl PeerTable {
     /// probes the peer again.
     fn cooldown(&self) -> std::time::Duration {
         self.policy.backoff_max.max(std::time::Duration::from_millis(100))
+    }
+
+    /// The table's live latency estimates, for introspection.
+    pub fn load(&self) -> &LoadTracker {
+        &self.load
     }
 
     /// One synchronous request/response exchange with server `target`,
@@ -209,6 +279,22 @@ impl PeerTable {
         msg: &Message,
         trace: Option<u64>,
     ) -> Result<Message, NetError> {
+        self.call_opts(target, msg, trace, None)
+    }
+
+    /// [`PeerTable::call_traced`] additionally carrying the request's
+    /// absolute deadline: the *remaining* budget is stamped on the
+    /// outgoing frame (links whose peer advertised [`CAP_DEADLINE`]
+    /// only), and a budget that is already spent fails locally with
+    /// the typed [`ErrorCode::Overloaded`] instead of burning a peer
+    /// round-trip.
+    pub fn call_opts(
+        &self,
+        target: u32,
+        msg: &Message,
+        trace: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> Result<Message, NetError> {
         if let Some(&until) = lock(&self.downs).get(&target) {
             if Instant::now() < until {
                 return Err(NetError::Remote {
@@ -217,10 +303,17 @@ impl PeerTable {
                 });
             }
         }
+        // A budget that is already spent skips the retry loop: the
+        // typed `Overloaded` it mints is transient *to the client*
+        // (which may retry with a fresh deadline), but retrying here
+        // would only burn backoff on a request the caller abandoned.
+        if remaining_budget_ms(deadline) == Some(0) {
+            return self.call_once(target, msg, trace, deadline);
+        }
         let mut attempts = 0u64;
         let result = self.policy.retry(|| {
             attempts += 1;
-            self.call_once(target, msg, trace)
+            self.call_once(target, msg, trace, deadline)
         });
         if attempts > 1 {
             self.metrics.counter("dasd_peer_retries_total", &[]).add(attempts - 1);
@@ -260,7 +353,20 @@ impl PeerTable {
         strip: u64,
         trace: Option<u64>,
     ) -> Result<Vec<u8>, NetError> {
-        match self.call_traced(target, &Message::GetStrip { file, strip }, trace)? {
+        self.get_strip_opts(target, file, strip, trace, None)
+    }
+
+    /// [`PeerTable::get_strip_traced`] additionally forwarding the
+    /// request's remaining deadline budget.
+    pub fn get_strip_opts(
+        &self,
+        target: u32,
+        file: u32,
+        strip: u64,
+        trace: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<u8>, NetError> {
+        match self.call_opts(target, &Message::GetStrip { file, strip }, trace, deadline)? {
             Message::StripData { payload } => Ok(payload),
             other => Err(NetError::Unexpected { opcode: other.opcode() }),
         }
@@ -282,7 +388,7 @@ impl PeerTable {
     }
 
     /// [`PeerTable::get_strip_failover`] carrying an optional trace
-    /// id. A read served by anything but the primary holder bumps
+    /// id. A read served by anything but the first holder tried bumps
     /// `dasd_peer_failovers_total`.
     pub fn get_strip_failover_traced(
         &self,
@@ -291,12 +397,31 @@ impl PeerTable {
         strip: u64,
         trace: Option<u64>,
     ) -> Result<(Vec<u8>, usize), NetError> {
+        self.get_strip_failover_opts(holders, file, strip, trace, None)
+    }
+
+    /// [`PeerTable::get_strip_failover_traced`] additionally
+    /// forwarding the remaining deadline budget. The walk order is the
+    /// caller's holder list **reordered by observed load**: each
+    /// peer's latency EWMA scores it, lightest first, with unsampled
+    /// peers keeping their caller-given (primary-first) positions — so
+    /// a cold table walks primaries exactly as before, and a warmed-up
+    /// table routes dependence fetches around a straggler instead of
+    /// paying its tail on every strip.
+    pub fn get_strip_failover_opts(
+        &self,
+        holders: &[u32],
+        file: u32,
+        strip: u64,
+        trace: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> Result<(Vec<u8>, usize), NetError> {
+        let mut walk: Vec<u32> =
+            holders.iter().copied().filter(|&h| h != self.self_id).collect();
+        self.load.order_by_load(&mut walk, |&h| h as usize);
         let mut last = None;
-        for (pos, &holder) in holders.iter().enumerate() {
-            if holder == self.self_id {
-                continue;
-            }
-            match self.get_strip_traced(holder, file, strip, trace) {
+        for (pos, &holder) in walk.iter().enumerate() {
+            match self.get_strip_opts(holder, file, strip, trace, deadline) {
                 Ok(payload) => {
                     if pos > 0 {
                         self.metrics.counter("dasd_peer_failovers_total", &[]).inc();

@@ -31,8 +31,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::codec::{read_frame, write_message_traced, CountingStream, NetError};
-use crate::proto::{Message, Role, CAP_TRACE, LOCAL_CAPS};
+use crate::codec::{read_frame, write_message_opts, write_message_traced, CountingStream, NetError};
+use crate::proto::{Message, Role, CAP_DEADLINE, CAP_TRACE, LOCAL_CAPS};
 use crate::retry::RetryPolicy;
 use crate::server::lock;
 
@@ -51,6 +51,10 @@ struct Inner {
     next_id: AtomicU64,
     closed: AtomicBool,
     server_id: u32,
+    /// Whether the server advertised [`CAP_DEADLINE`]: requests then
+    /// carry the same reply budget this client enforces locally, so an
+    /// overloaded server can shed work nobody is still waiting for.
+    deadline_ok: bool,
     policy: RetryPolicy,
 }
 
@@ -109,6 +113,7 @@ impl PipeClient {
             next_id: AtomicU64::new(1),
             closed: AtomicBool::new(false),
             server_id,
+            deadline_ok: caps & CAP_DEADLINE != 0,
             policy: policy.clone(),
         });
         let reader = std::thread::spawn({
@@ -143,17 +148,6 @@ impl PipeClient {
         }
         let inner = &*self.inner;
         let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
-        let (tx, rx) = mpsc::channel();
-        lock(&inner.pending).insert(id, tx);
-        {
-            let mut w = lock(&inner.wr);
-            if let Err(e) = write_message_traced(&mut *w, msg, Some(id)) {
-                drop(w);
-                lock(&inner.pending).remove(&id);
-                inner.poison();
-                return Err(NetError::Io(e));
-            }
-        }
         // Long-running ops get the same stretched deadline the serial
         // client uses; ordinary ops still get several read-timeouts of
         // slack because a pipelined reply legitimately queues behind
@@ -167,6 +161,25 @@ impl PipeClient {
             8
         };
         let deadline = inner.policy.read_timeout.saturating_mul(factor);
+        // Tell a CAP_DEADLINE server the budget we will actually wait —
+        // queueing past it means the server may shed instead of
+        // answering into the void.
+        let budget_ms = if inner.deadline_ok {
+            Some(deadline.as_millis().clamp(1, u128::from(u32::MAX)) as u32)
+        } else {
+            None
+        };
+        let (tx, rx) = mpsc::channel();
+        lock(&inner.pending).insert(id, tx);
+        {
+            let mut w = lock(&inner.wr);
+            if let Err(e) = write_message_opts(&mut *w, msg, Some(id), budget_ms) {
+                drop(w);
+                lock(&inner.pending).remove(&id);
+                inner.poison();
+                return Err(NetError::Io(e));
+            }
+        }
         match rx.recv_timeout(deadline) {
             Ok(Message::Error { code, message }) => Err(NetError::Remote { code, message }),
             Ok(reply) => Ok(reply),

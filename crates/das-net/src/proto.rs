@@ -36,8 +36,16 @@ pub const CAP_CRC: u32 = 1 << 0;
 /// a legacy (CRC-only) peer sees bit-identical frames.
 pub const CAP_TRACE: u32 = 1 << 1;
 
+/// Capability bit advertised in [`Message::Hello`]/[`Message::HelloOk`]:
+/// the sender understands the `FLAG_DEADLINE` frame field
+/// ([`crate::codec::FLAG_DEADLINE`]) carrying a per-request deadline
+/// budget in milliseconds. Budgeted frames are only sent to peers that
+/// advertised this bit, so a legacy peer sees bit-identical frames —
+/// the same negotiation pattern as [`CAP_TRACE`].
+pub const CAP_DEADLINE: u32 = 1 << 2;
+
 /// The capabilities this build advertises.
-pub const LOCAL_CAPS: u32 = CAP_CRC | CAP_TRACE;
+pub const LOCAL_CAPS: u32 = CAP_CRC | CAP_TRACE | CAP_DEADLINE;
 
 /// Who is on the other end of a connection — drives the byte-class a
 /// connection's traffic is accounted under (client↔server vs
@@ -82,6 +90,12 @@ pub enum ErrorCode {
     /// an injected fault). The request itself was well-formed; the
     /// client should back off and retry the same request.
     Retryable = 12,
+    /// The server's admission controller shed this request: the
+    /// bounded backlog was full, or the request's propagated deadline
+    /// budget had already expired on arrival. Transient — the shared
+    /// retry layer backs off and retries, by which time the queue has
+    /// drained (or the caller's own deadline has fired).
+    Overloaded = 13,
 }
 
 impl ErrorCode {
@@ -89,7 +103,7 @@ impl ErrorCode {
     /// and the protocol-conformance pass iterate this to prove the
     /// code table and `docs/PROTOCOL.md` agree; a new variant that is
     /// not added here fails the exhaustiveness test below.
-    pub const ALL: [ErrorCode; 12] = [
+    pub const ALL: [ErrorCode; 13] = [
         ErrorCode::NoSuchFile,
         ErrorCode::DuplicateName,
         ErrorCode::OutOfBounds,
@@ -102,6 +116,7 @@ impl ErrorCode {
         ErrorCode::BadRequest,
         ErrorCode::Internal,
         ErrorCode::Retryable,
+        ErrorCode::Overloaded,
     ];
 
     /// The code's canonical name, exactly as `docs/PROTOCOL.md`
@@ -120,6 +135,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => "BadRequest",
             ErrorCode::Internal => "Internal",
             ErrorCode::Retryable => "Retryable",
+            ErrorCode::Overloaded => "Overloaded",
         }
     }
 
@@ -139,6 +155,7 @@ impl ErrorCode {
             10 => BadRequest,
             11 => Internal,
             12 => Retryable,
+            13 => Overloaded,
             _ => return None,
         })
     }
@@ -146,7 +163,7 @@ impl ErrorCode {
     /// Whether the condition is transient — a retry of the identical
     /// request may succeed (drives the client/peer retry layer).
     pub fn is_transient(self) -> bool {
-        matches!(self, ErrorCode::Retryable)
+        matches!(self, ErrorCode::Retryable | ErrorCode::Overloaded)
     }
 }
 

@@ -29,7 +29,7 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -42,8 +42,8 @@ use das_pfs::{FileId, FileMeta, Layout, ServerId, StorageServer, StripId, Stripe
 use das_runtime::StripAssembly;
 
 use crate::codec::{
-    encode_frame_traced, raw_frame_parts, read_frame, write_frame_vectored, write_message,
-    write_message_traced, CountingStream, NetError,
+    encode_frame_traced, raw_frame_parts, read_frame, read_frame_ex, write_frame_vectored,
+    write_message, write_message_traced, CountingStream, NetError,
 };
 use crate::fault::{FaultAction, FaultPlan, FaultPoint};
 use crate::peer::PeerTable;
@@ -64,6 +64,30 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 /// How often an idle (nonblocking) accept loop wakes to poll for new
 /// connections and the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Default admission bound: how many requests a daemon lets queue
+/// (event-loop engine: the fair queue's total depth; thread engine:
+/// concurrently executing handlers) before shedding new arrivals with
+/// the typed, transient [`ErrorCode::Overloaded`]. Sized to admit a
+/// couple of fully pipelined connections (2 × `MAX_INFLIGHT`) while
+/// keeping worst-case queueing delay bounded.
+pub const DEFAULT_MAX_BACKLOG: usize = 256;
+
+/// Control-plane requests that are never shed by admission control or
+/// an expired deadline budget: `Shutdown` must always work (a chaos
+/// harness tears its cluster down *under* overload), and the
+/// stats/metrics reads are what an operator or bench uses to watch an
+/// overloaded daemon.
+pub(crate) fn shed_exempt(msg: &Message) -> bool {
+    matches!(
+        msg,
+        Message::Shutdown
+            | Message::Ping
+            | Message::Stats
+            | Message::ResetStats
+            | Message::MetricsDump
+    )
+}
 
 /// Traffic class of a connection, fixed by the peer's `Hello`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,6 +206,9 @@ pub struct DasdConfig {
     pub retry: RetryPolicy,
     /// Which connection core to run.
     pub engine: Engine,
+    /// Admission bound before the daemon sheds requests with
+    /// [`ErrorCode::Overloaded`] (see [`DEFAULT_MAX_BACKLOG`]).
+    pub max_backlog: usize,
 }
 
 impl DasdConfig {
@@ -196,6 +223,7 @@ impl DasdConfig {
             fault: Arc::new(FaultPlan::none()),
             retry: RetryPolicy::default(),
             engine: Engine::EventLoop,
+            max_backlog: DEFAULT_MAX_BACKLOG,
         }
     }
 
@@ -214,6 +242,12 @@ impl DasdConfig {
     /// Select the connection core.
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Replace the admission bound (minimum 1).
+    pub fn with_max_backlog(mut self, max_backlog: usize) -> Self {
+        self.max_backlog = max_backlog.max(1);
         self
     }
 }
@@ -244,6 +278,11 @@ pub struct Shared {
     pub(crate) metrics: Arc<das_obs::Registry>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) fault: Arc<FaultPlan>,
+    /// Admission bound shared by both engines.
+    pub(crate) max_backlog: usize,
+    /// Requests currently inside a handler — the thread engine's
+    /// admission gauge (the event loop bounds its fair queue instead).
+    pub(crate) active: AtomicUsize,
 }
 
 /// A running daemon (listener + worker threads).
@@ -309,10 +348,18 @@ pub fn spawn(cfg: DasdConfig, listener: TcpListener) -> std::io::Result<DasdHand
         metrics,
         shutdown: AtomicBool::new(false),
         fault: cfg.fault,
+        max_backlog: cfg.max_backlog.max(1),
+        active: AtomicUsize::new(0),
     });
+    // Register the shed counters up front so a metrics dump carries
+    // them (at zero) before the first overload, not only after.
+    shared.metrics.counter("dasd_requests_shed_total", &[("reason", "backlog")]);
+    shared.metrics.counter("dasd_requests_shed_total", &[("reason", "deadline")]);
 
     let threads = match cfg.engine {
-        Engine::EventLoop => crate::engine::spawn_event_loop(Arc::clone(&shared), listener, cfg.pool)?,
+        Engine::EventLoop => {
+            crate::engine::spawn_event_loop(Arc::clone(&shared), listener, cfg.pool, shared.max_backlog)?
+        }
         Engine::Threads => spawn_thread_pool(Arc::clone(&shared), listener, cfg.pool)?,
     };
     Ok(DasdHandle { addr, threads, shared })
@@ -434,8 +481,8 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
     }
 
     loop {
-        let (msg, trace) = match read_frame(&mut stream) {
-            Ok(Some(m)) => m,
+        let frame = match read_frame_ex(&mut stream) {
+            Ok(Some(f)) => f,
             Ok(None) => return,
             Err(NetError::Io(e))
                 if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) =>
@@ -447,9 +494,24 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             }
             Err(_) => return,
         };
-        let trace = if peer_traced { trace } else { None };
+        let trace = if peer_traced { frame.trace } else { None };
         let echo = trace;
-        match process_request(shared, class, msg, trace) {
+        let deadline =
+            frame.budget_ms.map(|ms| Instant::now() + Duration::from_millis(u64::from(ms)));
+        let msg = frame.msg;
+        // Admission control for the blocking engine: this handler is
+        // about to be busy for the whole request, so the number of
+        // concurrently executing handlers *is* the backlog.
+        let admitted = shared.active.fetch_add(1, Ordering::SeqCst) < shared.max_backlog
+            || shed_exempt(&msg);
+        let action = if admitted {
+            process_request(shared, class, msg, trace, deadline)
+        } else {
+            shared.metrics.counter("dasd_requests_shed_total", &[("reason", "backlog")]).inc();
+            ReplyAction::Reply(err(ErrorCode::Overloaded, "request shed: handler pool saturated"))
+        };
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+        match action {
             ReplyAction::Reply(reply) => {
                 if write_message_traced(&mut stream, &reply, echo).is_err() {
                     return;
@@ -519,13 +581,16 @@ pub(crate) enum ReplyAction {
 }
 
 /// The engine-independent request core: metrics, trace events, fault
-/// injection, dispatch. `trace` must already be filtered by the
-/// peer's negotiated capabilities.
+/// injection, deadline enforcement, dispatch. `trace` must already be
+/// filtered by the peer's negotiated capabilities; `deadline` is the
+/// absolute expiry derived from the frame's budget field at decode
+/// time (`None` for legacy clients — never enforced).
 pub(crate) fn process_request(
     shared: &Shared,
     class: ConnClass,
     msg: Message,
     trace: Option<u64>,
+    deadline: Option<Instant>,
 ) -> ReplyAction {
     let class_label = match class {
         ConnClass::Client => "client",
@@ -548,6 +613,20 @@ pub(crate) fn process_request(
         );
     }
     let is_shutdown = matches!(msg, Message::Shutdown);
+    // A request whose propagated budget already expired (typically:
+    // while queued behind an overload) is shed before any work — the
+    // client gave up on it, so serving it would burn capacity on an
+    // answer nobody reads. Typed and transient: the retry policy
+    // backs off and retries with a fresh budget.
+    if let Some(d) = deadline {
+        if Instant::now() >= d && !shed_exempt(&msg) {
+            shared.metrics.counter("dasd_requests_shed_total", &[("reason", "deadline")]).inc();
+            return ReplyAction::Reply(err(
+                ErrorCode::Overloaded,
+                "request shed: deadline budget expired before execution",
+            ));
+        }
+    }
     // Consult the fault plan before answering. Shutdown is exempt
     // so a chaos harness can always tear its cluster down.
     let fault = if is_shutdown {
@@ -576,10 +655,10 @@ pub(crate) fn process_request(
             std::thread::sleep(Duration::from_millis(millis));
         }
         Some(FaultAction::DropMidFrame) => {
-            return ReplyAction::ReplyTruncated(dispatch(shared, msg, trace));
+            return ReplyAction::ReplyTruncated(dispatch(shared, msg, trace, deadline));
         }
         Some(FaultAction::CorruptCrc) => {
-            return ReplyAction::ReplyCorrupt(dispatch(shared, msg, trace));
+            return ReplyAction::ReplyCorrupt(dispatch(shared, msg, trace, deadline));
         }
         Some(FaultAction::RefuseAccept) | None => {}
     }
@@ -600,7 +679,7 @@ pub(crate) fn process_request(
             .observe(started.elapsed().as_micros() as u64);
         return action;
     }
-    let reply = dispatch(shared, msg, trace);
+    let reply = dispatch(shared, msg, trace, deadline);
     shared
         .metrics
         .histogram("dasd_request_duration_us", &[("op", op)])
@@ -631,7 +710,12 @@ fn log_request_failure(shared: &Shared, op: &str, reply: &Message) {
     }
 }
 
-fn dispatch(shared: &Shared, msg: Message, trace: Option<u64>) -> Message {
+fn dispatch(
+    shared: &Shared,
+    msg: Message,
+    trace: Option<u64>,
+    deadline: Option<Instant>,
+) -> Message {
     match msg {
         Message::Hello { .. } => err(ErrorCode::BadRequest, "duplicate Hello"),
         Message::Ping => Message::Pong,
@@ -657,6 +741,12 @@ fn dispatch(shared: &Shared, msg: Message, trace: Option<u64>) -> Message {
                     .set(v as i64);
             }
             shared.metrics.gauge("dasd_server_id", &[]).set(i64::from(shared.id.0));
+            // Live handler occupancy — the thread engine's equivalent
+            // of the event loop's fair-queue depth gauge.
+            shared
+                .metrics
+                .gauge("dasd_active_requests", &[])
+                .set(shared.active.load(Ordering::SeqCst) as i64);
             for (peer, open) in shared.peers.breaker_states() {
                 shared
                     .metrics
@@ -757,13 +847,16 @@ fn dispatch(shared: &Shared, msg: Message, trace: Option<u64>) -> Message {
             Ok(data) => Message::StripData { payload: data.to_vec() },
             Err(e) => e,
         },
-        Message::RedistPrepare { file, policy } => redist_prepare(shared, file, policy, trace),
+        Message::RedistPrepare { file, policy } => {
+            redist_prepare(shared, file, policy, trace, deadline)
+        }
         Message::RedistCommit { file, policy } => redist_commit(shared, file, policy),
         Message::Execute { file, out_file, kernel, img_width, element_size, successive, force } => {
             execute(
                 shared,
                 ExecuteArgs { file, out_file, kernel: &kernel, img_width, element_size, successive, force },
                 trace,
+                deadline,
             )
         }
         // Response opcodes arriving as requests.
@@ -810,6 +903,7 @@ fn redist_prepare(
     file: u32,
     policy: das_pfs::LayoutPolicy,
     trace: Option<u64>,
+    deadline: Option<Instant>,
 ) -> Message {
     let (id, old_layout, spec, len, strip_count) = {
         let inner = lock(&shared.inner);
@@ -838,7 +932,8 @@ fn redist_prepare(
         // the redistribution and degrade.
         let holders: Vec<u32> =
             old_layout.placement(sid).holders().iter().map(|h| h.0).collect();
-        let payload = match shared.peers.get_strip_failover_traced(&holders, file, sid.0, trace) {
+        let payload = match shared.peers.get_strip_failover_opts(&holders, file, sid.0, trace, deadline)
+        {
             Ok((p, _)) => p,
             Err(e) => {
                 return err(
@@ -911,7 +1006,12 @@ struct ExecuteArgs<'a> {
 }
 
 /// The active-storage execution path (paper Fig. 3 right branch).
-fn execute(shared: &Shared, args: ExecuteArgs<'_>, trace: Option<u64>) -> Message {
+fn execute(
+    shared: &Shared,
+    args: ExecuteArgs<'_>,
+    trace: Option<u64>,
+    deadline: Option<Instant>,
+) -> Message {
     let ExecuteArgs { file, out_file, kernel: kernel_name, img_width, element_size, successive, force } =
         args;
     if element_size != 4 {
@@ -1055,9 +1155,13 @@ fn execute(shared: &Shared, args: ExecuteArgs<'_>, trace: Option<u64>) -> Messag
             // holder is unreachable does the execution fail — typed
             // and transient, so the client retries or degrades the
             // scheme instead of hanging.
+            // Dependence fetches carry the request's remaining budget
+            // downstream, so a peer that is itself overloaded can shed
+            // work this execution no longer has time to use.
             let holders: Vec<u32> =
                 layout.placement(StripId(u)).holders().iter().map(|h| h.0).collect();
-            let payload = match shared.peers.get_strip_failover_traced(&holders, file, u, trace) {
+            let payload = match shared.peers.get_strip_failover_opts(&holders, file, u, trace, deadline)
+            {
                 Ok((p, _)) => p,
                 Err(e) => {
                     return err(

@@ -18,13 +18,13 @@
 //!   the retry policy's bounded time — never a hang, never a panic.
 
 use std::net::TcpListener;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use das_kernels::{kernel_by_name, workload};
 use das_net::{
-    run_net_scheme, run_net_scheme_opts, spawn, DasCluster, DasdConfig, DasdHandle, FaultPlan,
-    Message, NetError, NetScheme, RetryPolicy,
+    run_net_scheme, run_net_scheme_opts, spawn, DasCluster, DasdConfig, DasdHandle, Engine,
+    ErrorCode, FaultPlan, Message, NetError, NetScheme, RetryPolicy,
 };
 use das_pfs::LayoutPolicy;
 use das_runtime::{run_scheme, ClusterConfig, DegradeEvent, SchemeKind};
@@ -38,12 +38,33 @@ struct Harness {
     handles: Vec<DasdHandle>,
     cluster: DasCluster,
     plans: Vec<Arc<FaultPlan>>,
+    addrs: Vec<String>,
+}
+
+/// The connection core under test. The suite honours the same
+/// `DASD_ENGINE` variable as the `dasd` binary (`evloop` / `threads`)
+/// so CI can run every chaos scenario against both engines.
+fn engine_under_test() -> Engine {
+    std::env::var("DASD_ENGINE")
+        .ok()
+        .and_then(|v| Engine::parse(&v))
+        .unwrap_or_default()
 }
 
 /// Boot `servers` daemons on ephemeral loopback ports, installing the
 /// given `(server, fault spec)` plans, everything on the fast test
 /// retry policy so a worst-case chaos run stays in the low seconds.
 fn boot_with(servers: usize, faults: &[(usize, &str)]) -> Harness {
+    boot_with_cfg(servers, faults, |c| c)
+}
+
+/// [`boot_with`] plus a per-daemon config tweak (pool size, backlog
+/// bound, …) applied after the defaults.
+fn boot_with_cfg(
+    servers: usize,
+    faults: &[(usize, &str)],
+    tweak: impl Fn(DasdConfig) -> DasdConfig,
+) -> Harness {
     let listeners: Vec<TcpListener> = (0..servers)
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
         .collect();
@@ -61,12 +82,13 @@ fn boot_with(servers: usize, faults: &[(usize, &str)]) -> Harness {
         .map(|(i, l)| {
             let cfg = DasdConfig::new(i as u32, addrs.clone())
                 .with_fault(Arc::clone(&plans[i]))
-                .with_retry(RetryPolicy::fast());
-            spawn(cfg, l).expect("spawn dasd")
+                .with_retry(RetryPolicy::fast())
+                .with_engine(engine_under_test());
+            spawn(tweak(cfg), l).expect("spawn dasd")
         })
         .collect();
     let cluster = DasCluster::connect_with(&addrs, RetryPolicy::fast()).expect("connect cluster");
-    Harness { handles, cluster, plans }
+    Harness { handles, cluster, plans, addrs }
 }
 
 impl Harness {
@@ -530,6 +552,196 @@ fn client_degrade_counters_match_recorded_events() {
         assert_eq!(counter, events, "counter vs reported events disagree for {tag:?}");
     }
 
+    h.teardown();
+}
+
+/// The tail-tolerance acceptance scenario: one daemon of three serves
+/// every `GetStrip` 300ms late — slow, not dead (think a page-cache
+/// miss storm or a neighbour's `Execute` hogging the disk). Hedged
+/// reads must bound the whole-file read *under a single fault delay*:
+/// every slow strip is raced against its replica after the EWMA-derived
+/// hedge delay and the replica's bit-identical reply wins. A slow
+/// server is never marked down, and once the losing racers' 300ms
+/// replies have fed the latency tracker, the next read demotes the
+/// straggler in every replica walk and completes fast with no hedges.
+#[test]
+fn slow_server_is_hedged_around_and_then_demoted() {
+    const DELAY_MS: u64 = 300;
+    let input = workload::fbm_dem(WIDTH, HEIGHT, 42);
+    let data = input.to_bytes();
+
+    // `get`-class fault only: ingest (PutStrip) stays fast, so the put
+    // warms every server's EWMA with healthy samples — exactly the
+    // state in which a sudden straggler must be caught by the hedge,
+    // because the ordering hysteresis still (rightly) trusts server 1.
+    let mut h = boot_with(3, &[(1, "get:delay=300:x500")]);
+    let file = h
+        .cluster
+        .create_file(
+            "dem.rep",
+            data.len() as u64,
+            STRIP as u32,
+            LayoutPolicy::GroupedReplicated { group: 2 },
+        )
+        .unwrap();
+    h.cluster.put_file(file, &data).unwrap();
+
+    let start = Instant::now();
+    assert_eq!(h.cluster.read_file(file).unwrap(), data, "hedged read corrupted");
+    let elapsed = start.elapsed();
+    // 8 of the 24 strips are primaried on the slow server; un-hedged
+    // the read would take ≥ 8 × 300ms. Bounded under ONE delay proves
+    // every slow strip was raced to its replica instead of waited out.
+    assert!(elapsed < Duration::from_millis(DELAY_MS), "hedging did not bound the read: {elapsed:?}");
+
+    // Each hedge win is a proactive replica failover, visible both as
+    // a degrade event and in the client registry…
+    let read_tags = tags(&h.cluster.take_events());
+    assert!(read_tags.contains(&"replica-failover"), "no failover in {read_tags:?}");
+    let cs = das_obs::parse(&h.cluster.metrics().encode());
+    let hedges = das_obs::sample_value(&cs, "das_client_hedges_total", &[]).unwrap_or(0.0);
+    let wins = das_obs::sample_value(&cs, "das_client_hedge_wins_total", &[]).unwrap_or(0.0);
+    assert!(hedges >= 8.0, "expected ≥ 8 hedged strips, saw {hedges}");
+    assert!(wins >= 8.0, "expected ≥ 8 hedge wins, saw {wins}");
+    // …and a slow server is never a *down* server.
+    assert!(h.cluster.down_servers().is_empty(), "a slow server must not be marked down");
+
+    // Let the losing racers land their 300ms replies: each feeds the
+    // slow server's EWMA, so the next read starts from an honest
+    // straggler estimate and orders the replica first.
+    std::thread::sleep(Duration::from_millis(DELAY_MS + 100));
+    let start = Instant::now();
+    assert_eq!(h.cluster.read_file(file).unwrap(), data, "demoted read corrupted");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(150),
+        "straggler demotion did not keep the read off the slow server: {elapsed:?}"
+    );
+
+    // The slow strips really were raced on the wire: one delay fired
+    // per hedged primary GetStrip.
+    assert!(h.plans[1].total_fired() >= 8, "server 1 fired {:?}", h.plans[1].fired());
+    h.teardown();
+}
+
+/// Admission control under a ~2× open-loop burst: one daemon with a
+/// two-request gate and a 60ms `GetStrip` service time is hammered by
+/// six concurrent single-attempt clients. Every response must be
+/// either the strip or a typed, transient `Overloaded` — no hangs, no
+/// protocol violations — every client-visible shed must be counted in
+/// the daemon's own registry, and once the burst drains a normal
+/// retrying client completes cleanly: sheds are recoverable by design.
+#[test]
+fn overloaded_daemon_sheds_typed_and_recovers() {
+    const BURST_CLIENTS: usize = 6;
+    const CALLS_PER_CLIENT: usize = 4;
+    let engine = engine_under_test();
+    let input = workload::fbm_dem(64, 64, 5); // 16 KiB → 4 strips
+    let data = input.to_bytes();
+
+    let mut h = boot_with_cfg(1, &[(0, "get:delay=60:x1000")], |mut cfg| {
+        // EventLoop: two workers, so the bounded queue really fills;
+        // Threads: the pool must stay above the burst's connection
+        // count (its gate counts executing handlers instead).
+        cfg.pool = match engine {
+            Engine::EventLoop => 2,
+            Engine::Threads => 16,
+        };
+        cfg.with_max_backlog(2)
+    });
+    let file = h
+        .cluster
+        .create_file("dem.small", data.len() as u64, STRIP as u32, LayoutPolicy::RoundRobin)
+        .unwrap();
+    h.cluster.put_file(file, &data).unwrap();
+
+    // Single-attempt clients: a shed must surface as the typed error,
+    // not be papered over by the retry layer.
+    let one_shot = RetryPolicy {
+        max_attempts: 1,
+        read_timeout: Duration::from_secs(5),
+        ..RetryPolicy::fast()
+    };
+    let barrier = Arc::new(Barrier::new(BURST_CLIENTS));
+    let writers: Vec<_> = (0..BURST_CLIENTS)
+        .map(|_| {
+            let addrs = h.addrs.clone();
+            let pol = one_shot.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = DasCluster::connect_with(&addrs, pol).expect("burst connect");
+                barrier.wait();
+                let (mut ok, mut shed) = (0u64, 0u64);
+                for _ in 0..CALLS_PER_CLIENT {
+                    match c.call(0, &Message::GetStrip { file, strip: 0 }) {
+                        Ok(Message::StripData { .. }) => ok += 1,
+                        Err(NetError::Remote { code: ErrorCode::Overloaded, .. }) => shed += 1,
+                        other => panic!("overload burst: unexpected {other:?}"),
+                    }
+                }
+                (ok, shed)
+            })
+        })
+        .collect();
+    let (mut ok, mut shed) = (0u64, 0u64);
+    for w in writers {
+        let (o, s) = w.join().expect("burst client");
+        ok += o;
+        shed += s;
+    }
+    assert!(ok >= 1, "overload starved every request (ok={ok} shed={shed})");
+    assert!(shed >= 1, "2× load never tripped admission control (ok={ok} shed={shed})");
+
+    // Every client-visible shed is one server-side counted shed, and
+    // MetricsDump itself is shed-exempt — observable under overload.
+    let dump = h.cluster.metrics_dump(0).expect("MetricsDump is shed-exempt");
+    let s = das_obs::parse(&dump);
+    let backlog = das_obs::sample_value(&s, "dasd_requests_shed_total", &[("reason", "backlog")])
+        .unwrap_or(0.0);
+    assert!(backlog >= shed as f64, "registry saw {backlog} backlog sheds, clients saw {shed}");
+
+    // EventLoop only (the threads engine has no queue to wait in): a
+    // request whose deadline budget expires while it is queued behind
+    // slow work is shed as `deadline`, never executed late.
+    if engine == Engine::EventLoop {
+        let go = Arc::new(Barrier::new(3));
+        let primers: Vec<_> = (0..2)
+            .map(|_| {
+                let addrs = h.addrs.clone();
+                let pol = one_shot.clone();
+                let go = Arc::clone(&go);
+                std::thread::spawn(move || {
+                    let mut c = DasCluster::connect_with(&addrs, pol).expect("primer connect");
+                    go.wait();
+                    let _ = c.call(0, &Message::GetStrip { file, strip: 0 });
+                })
+            })
+            .collect();
+        go.wait();
+        // Both workers are now busy for 60ms; a 10ms budget cannot
+        // survive the queue wait behind them.
+        std::thread::sleep(Duration::from_millis(10));
+        let tiny = RetryPolicy {
+            max_attempts: 1,
+            read_timeout: Duration::from_millis(10),
+            ..RetryPolicy::fast()
+        };
+        let mut c = DasCluster::connect_with(&h.addrs, tiny).expect("budget client");
+        let _ = c.call(0, &Message::GetStrip { file, strip: 0 }); // times out client-side
+        for p in primers {
+            p.join().unwrap();
+        }
+        let s = das_obs::parse(&h.cluster.metrics_dump(0).expect("metrics dump"));
+        let expired =
+            das_obs::sample_value(&s, "dasd_requests_shed_total", &[("reason", "deadline")])
+                .unwrap_or(0.0);
+        assert!(expired >= 1.0, "queued past its budget but not deadline-shed");
+    }
+
+    // Recovery: the burst has drained; the harness cluster's retry
+    // policy backs off on `Overloaded` and reads back bit-identically.
+    assert_eq!(h.cluster.read_file(file).unwrap(), data, "post-overload read corrupted");
+    assert!(h.cluster.down_servers().is_empty(), "overload must never mark a server down");
     h.teardown();
 }
 

@@ -55,7 +55,10 @@ fn usage() -> ! {
          \x20        [--cluster ...]       drive an external fleet instead\n\
          \x20        [--rate OPS] [--duration-ms MS] [--clients N] [--conns N]\n\
          \x20        [--strip-size S] [--strips N] [--mix G:P:E] [--seed K]\n\
-         \x20        [--kernel K] [--pool N] [--out PATH]\n\
+         \x20        [--kernel K] [--pool N] [--max-backlog N] [--out PATH]\n\
+         \x20                              (--max-backlog caps daemon admission:\n\
+         \x20                              small cap + past-capacity --rate = a\n\
+         \x20                              reproducible overload/shedding scenario)\n\
          \n\
          global options:\n\
          \x20 --attempts N     retry budget per call (default 4)\n\
@@ -144,6 +147,24 @@ fn print_registry_summary(dumps: &[(u32, String)]) {
             + 0.0,
     );
 
+    // Backpressure: live engine backlog and admission sheds, per
+    // daemon — the gauges are instantaneous, so they stay unsummed.
+    for ((id, _), s) in dumps.iter().zip(&parsed) {
+        let v = |name: &str, labels: &[(&str, &str)]| {
+            das_obs::sample_value(s, name, labels).unwrap_or(0.0)
+        };
+        let inflight: f64 =
+            s.iter().filter(|x| x.name == "dasd_shard_inflight").map(|x| x.value).sum();
+        println!(
+            "  backlog server {id}: active={} shard in-flight={inflight} \
+             queue depth={} shed backlog={} deadline={}",
+            v("dasd_active_requests", &[]),
+            v("dasd_worker_queue_depth", &[]),
+            v("dasd_requests_shed_total", &[("reason", "backlog")]),
+            v("dasd_requests_shed_total", &[("reason", "deadline")]),
+        );
+    }
+
     // Request counts and mean latency per op, summed over the fleet.
     use std::collections::BTreeMap;
     let mut requests: BTreeMap<String, f64> = BTreeMap::new();
@@ -212,6 +233,9 @@ fn bench_command(opts: &HashMap<String, String>) {
     if let Some(n) = num("pool") {
         cfg.pool = n as usize;
     }
+    if let Some(n) = num("max-backlog") {
+        cfg.max_backlog = Some(n as usize);
+    }
     if let Some(m) = opts.get("mix") {
         cfg.mix = Mix::parse(m).unwrap_or_else(|| fail(format!("bad --mix {m:?} (want G:P:E)")));
     }
@@ -242,6 +266,15 @@ fn bench_command(opts: &HashMap<String, String>) {
                 c.class, c.throughput_ops_s, c.p50_us, c.p99_us, c.p999_us, c.completed, c.errors
             );
         }
+        if !r.errors_by_code.is_empty() {
+            let parts: Vec<String> =
+                r.errors_by_code.iter().map(|(c, n)| format!("{c}={n}")).collect();
+            println!("  errors by code: {}", parts.join(" "));
+        }
+        println!(
+            "  backpressure: peak queue depth {} / sheds {}",
+            r.queue_depth_peak, r.requests_shed
+        );
     }
     if cmp.runs.len() > 1 {
         println!("winner: {} ({:.2}x throughput)", cmp.winner, cmp.speedup);
@@ -399,6 +432,9 @@ fn main() {
             let data = cluster.read_file(file).unwrap_or_else(|e| fail(e));
             std::fs::write(req("output"), &data).unwrap_or_else(|e| fail(format!("writing --output: {e}")));
             println!("wrote {} bytes", data.len());
+            // Tail-tolerance visibility: hedged fetches, replica
+            // failovers and retries this read performed, if any.
+            print_client_summary(&cluster);
         }
         "exec" => {
             let (file, _) = cluster.lookup(req("name")).unwrap_or_else(|e| fail(e));
