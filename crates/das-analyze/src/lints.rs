@@ -60,10 +60,13 @@ pub const REQUEST_PATH: [&str; 9] = [
 /// fair scheduler (the shed path pushes an `Overloaded` reply to
 /// `done` while holding `sched`, hence the order); `pending` and `wr`
 /// belong to the pipelined client (reply-routing table, then write
-/// half); `ewma` is the load tracker's leaf — nothing may be acquired
-/// while it is held.
-pub const LOCK_HIERARCHY: [&str; 10] =
-    ["rx", "conns", "inner", "downs", "inbox", "sched", "done", "pending", "wr", "ewma"];
+/// half); `ewma` is the hedging load tracker; `spans` is the span
+/// flight recorder's ring/reservoir state, the hierarchy's leaf —
+/// nothing may be acquired while it is held, so every request-path
+/// stage can record a span under any combination of the other ranks.
+pub const LOCK_HIERARCHY: [&str; 11] = [
+    "rx", "conns", "inner", "downs", "inbox", "sched", "done", "pending", "wr", "ewma", "spans",
+];
 
 /// Crates whose library code may print to stdout: das-obs is the
 /// diagnostics layer itself; das-bench's report renderer exists to

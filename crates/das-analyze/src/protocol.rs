@@ -217,7 +217,10 @@ fn check_caps_cover_flags(out: &mut Vec<Finding>) {
             ));
         }
     }
-    if KNOWN_FLAGS.count_ones() != LOCAL_CAPS.count_ones() {
+    // Extra caps beyond the frame flags are legal — `CAP_SPANS` gates
+    // opcodes, not a frame field — but a frame flag *without* a
+    // negotiating cap can never be downgraded for legacy peers.
+    if KNOWN_FLAGS.count_ones() > LOCAL_CAPS.count_ones() {
         out.push(Finding::new(
             "DA204",
             Severity::Error,

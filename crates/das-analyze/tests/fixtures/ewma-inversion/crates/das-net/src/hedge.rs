@@ -1,5 +1,5 @@
-//! Seeded defect: `observe` holds `ewma` (rank 9, the declared leaf —
-//! nothing may be acquired under it) while calling `reorder`, which
+//! Seeded defect: `observe` holds `ewma` (rank 9; only the span
+//! recorder ranks below it) while calling `reorder`, which
 //! acquires `sched` (rank 5) — an inversion of the hierarchy's
 //! tail-tolerance ranks that only the inter-procedural lockgraph pass
 //! can see. Must fail `--deny --pass lockgraph` with DA407.

@@ -127,6 +127,20 @@ fn ewma_leaf_inversion_fails_with_da407() {
 }
 
 #[test]
+fn span_store_leaf_inversion_fails_with_da407() {
+    // `spans` is the hierarchy's declared leaf (the per-daemon span
+    // flight recorder): record sites run under arbitrary request-path
+    // ranks, so acquiring *anything* ranked through a call made while
+    // `spans` is held inverts the order the observability work
+    // declared.
+    let (ok, stdout) = analyze(&fixture("span-inversion"), &["lockgraph"]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA407\""), "{stdout}");
+    assert!(stdout.contains("record"), "{stdout}");
+    assert!(stdout.contains("mirror_gauges"), "{stdout}");
+}
+
+#[test]
 fn ab_ba_lock_cycle_across_calls_fails_with_da408() {
     let (ok, stdout) = analyze(&fixture("lock-cycle"), &["lockgraph"]);
     assert!(!ok, "{stdout}");

@@ -456,7 +456,10 @@ pub fn run_bench(
                 .iter()
                 .map(|(id, v)| v.saturating_sub(base.get(id).copied().unwrap_or(0)))
                 .sum();
-            (depth_peak, shed)
+            // One final settled dump per daemon feeds the report's
+            // server-side stage attribution.
+            let final_dumps = cluster.metrics_dump_all().unwrap_or_default();
+            (depth_peak, shed, final_dumps)
         })
     };
 
@@ -478,14 +481,16 @@ pub fn run_bench(
     }
     let wall = t0.elapsed();
     stop.store(true, Ordering::Relaxed);
-    let (queue_depth_peak, requests_shed) = monitor.join().unwrap_or((0, 0));
+    let (queue_depth_peak, requests_shed, final_dumps) =
+        monitor.join().unwrap_or((0, 0, Vec::new()));
+    let stages = stage_attribution(&final_dumps);
 
     // Leave the target fleet exactly as capable as we found it: the
     // bench files stay (ids are monotone, names are tagged), and the
     // pipelined connections close on drop.
     drop(conns);
 
-    Ok(build_report(engine_label, cfg, &accs, &errs, queue_depth_peak, requests_shed, wall))
+    Ok(build_report(engine_label, cfg, &accs, &errs, queue_depth_peak, requests_shed, wall, stages))
 }
 
 /// The retry policy of every bench connection: short timeouts so an
@@ -583,6 +588,55 @@ fn worker_loop(
     }
 }
 
+/// Fleet-aggregate the daemons' `dasd_stage_duration_us{stage,op}`
+/// histograms into per-cell attribution: counts and sums add across
+/// daemons, p99 interpolates on the merged cumulative buckets. This is
+/// where `das bench` learns *where the time went* server-side — queue
+/// wait vs. decode vs. kernel vs. reply write, per op class — instead
+/// of one opaque end-to-end number.
+fn stage_attribution(dumps: &[(u32, String)]) -> Vec<report::StageStats> {
+    use report::StageStats;
+    /// One cell's accumulator: duration sum, observation count, and
+    /// merged cumulative bucket counts keyed by the `le` label.
+    type Cell = (f64, f64, BTreeMap<String, f64>);
+    let parsed: Vec<Vec<das_obs::Sample>> =
+        dumps.iter().map(|(_, text)| das_obs::parse(text)).collect();
+    let mut cells: BTreeMap<(String, String), Cell> = BTreeMap::new();
+    for s in parsed.iter().flatten() {
+        let stage = s.labels.iter().find(|(k, _)| k == "stage").map(|(_, v)| v.clone());
+        let op = s.labels.iter().find(|(k, _)| k == "op").map(|(_, v)| v.clone());
+        let (Some(stage), Some(op)) = (stage, op) else { continue };
+        let cell = cells.entry((stage, op)).or_default();
+        match s.name.as_str() {
+            "dasd_stage_duration_us_sum" => cell.0 += s.value,
+            "dasd_stage_duration_us_count" => cell.1 += s.value,
+            "dasd_stage_duration_us_bucket" => {
+                if let Some((_, le)) = s.labels.iter().find(|(k, _)| k == "le") {
+                    *cell.2.entry(le.clone()).or_default() += s.value;
+                }
+            }
+            _ => {}
+        }
+    }
+    cells
+        .into_iter()
+        .filter(|(_, (_, count, _))| *count > 0.0)
+        .map(|((stage, op), (sum_us, count, by_le))| {
+            let merged: Vec<das_obs::Sample> = by_le
+                .into_iter()
+                .map(|(le, value)| das_obs::Sample {
+                    name: "cell_us_bucket".to_string(),
+                    labels: vec![("le".to_string(), le)],
+                    value,
+                })
+                .collect();
+            let p99 =
+                das_obs::histogram_quantile(&merged, "cell_us", &[], 0.99).unwrap_or(0.0);
+            StageStats { stage, op, count: count as u64, mean_us: sum_us / count, p99_us: p99 }
+        })
+        .collect()
+}
+
 #[allow(clippy::too_many_arguments)]
 fn build_report(
     engine: &str,
@@ -592,6 +646,7 @@ fn build_report(
     queue_depth_peak: u64,
     requests_shed: u64,
     wall: Duration,
+    stages: Vec<report::StageStats>,
 ) -> BenchReport {
     let errors_by_code: Vec<(String, u64)> = match errs.lock() {
         Ok(g) => g.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
@@ -636,6 +691,7 @@ fn build_report(
         requests_shed,
         achieved_ops_s: total_completed as f64 / wall_s,
         classes,
+        stages,
     }
 }
 
@@ -716,6 +772,27 @@ mod tests {
         // ~rate * duration arrivals, within loose Poisson slack.
         let expect = (cfg.rate * cfg.duration.as_secs_f64()) as usize;
         assert!(a.len() > expect / 2 && a.len() < expect * 2, "{} vs {}", a.len(), expect);
+    }
+
+    #[test]
+    fn stage_attribution_merges_daemon_histograms() {
+        // Two daemons each observed the same (stage, op) cell; the
+        // fleet view must sum counts/sums and merge the buckets.
+        let reg = das_obs::Registry::new();
+        let h = reg.histogram("dasd_stage_duration_us", &[("stage", "queue_wait"), ("op", "get")]);
+        h.observe(10);
+        h.observe(100);
+        let text = reg.encode();
+        let dumps = vec![(0u32, text.clone()), (1u32, text)];
+        let stages = stage_attribution(&dumps);
+        assert_eq!(stages.len(), 1);
+        let s = &stages[0];
+        assert_eq!((s.stage.as_str(), s.op.as_str()), ("queue_wait", "get"));
+        assert_eq!(s.count, 4);
+        assert!((s.mean_us - 55.0).abs() < 1e-9, "mean {}", s.mean_us);
+        assert!(s.p99_us > 0.0);
+        // A daemon with no stage histograms contributes nothing.
+        assert!(stage_attribution(&[(0, das_obs::Registry::new().encode())]).is_empty());
     }
 
     #[test]

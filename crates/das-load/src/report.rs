@@ -39,6 +39,38 @@ pub struct ClassStats {
     pub max_us: u64,
 }
 
+/// Server-side latency attribution for one `(stage, op)` cell,
+/// aggregated across the fleet from each daemon's
+/// `dasd_stage_duration_us` histograms after the run drained.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    /// Request-path stage label (`queue_wait`, `decode`, `local_read`,
+    /// `peer_fetch`, `kernel`, `assemble`, `reply_write`, …).
+    pub stage: String,
+    /// Op class label (`get`, `put`, `exec`, …).
+    pub op: String,
+    /// Observations across all daemons.
+    pub count: u64,
+    /// Mean stage duration, µs.
+    pub mean_us: f64,
+    /// 99th-percentile stage duration, µs (bucket-interpolated).
+    pub p99_us: f64,
+}
+
+impl StageStats {
+    /// Serialize one stage cell as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"stage\": {}, \"op\": {}, \"count\": {}, \"mean_us\": {}, \"p99_us\": {}}}",
+            json_str(&self.stage),
+            json_str(&self.op),
+            self.count,
+            json_num(self.mean_us),
+            json_num(self.p99_us),
+        )
+    }
+}
+
 /// One full open-loop run against one fleet.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -80,6 +112,10 @@ pub struct BenchReport {
     pub achieved_ops_s: f64,
     /// Per-class breakdown, in `get`/`put`/`exec` order.
     pub classes: Vec<ClassStats>,
+    /// Fleet-aggregated server-side stage attribution, sorted by
+    /// `(stage, op)`. Empty when the fleet predates `CAP_SPANS`
+    /// instrumentation or no request was served.
+    pub stages: Vec<StageStats>,
 }
 
 /// Two engine runs over the identical seeded workload, plus the
@@ -181,6 +217,12 @@ impl BenchReport {
             out.push_str(&indent(&c.to_json(), 4));
             out.push_str(if i + 1 < self.classes.len() { ",\n" } else { "\n" });
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(&indent(&s.to_json(), 4));
+            out.push_str(if i + 1 < self.stages.len() { ",\n" } else { "\n" });
+        }
         out.push_str("  ]\n}");
         out
     }
@@ -272,6 +314,13 @@ mod tests {
                 p999_us: p99 * 2,
                 max_us: p99 * 3,
             }],
+            stages: vec![StageStats {
+                stage: "queue_wait".to_string(),
+                op: "get".to_string(),
+                count: 9,
+                mean_us: 12.5,
+                p99_us: 40.0,
+            }],
         }
     }
 
@@ -302,6 +351,8 @@ mod tests {
         assert!(doc.contains("\"winner\": \"evloop\""));
         assert!(doc.contains("\"p999_us\": 10"));
         assert!(doc.contains("\"errors_by_code\": {\"Overloaded\": 1}"));
+        assert!(doc.contains("\"stages\": ["));
+        assert!(doc.contains("{\"stage\": \"queue_wait\", \"op\": \"get\", \"count\": 9, \"mean_us\": 12.500, \"p99_us\": 40.000}"));
         // Crude structural sanity: brackets balance.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());

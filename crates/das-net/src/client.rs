@@ -34,7 +34,9 @@ use das_runtime::DegradeEvent;
 
 use crate::codec::{read_message, write_message, write_message_opts, CountingStream, NetError};
 use crate::hedge::LoadTracker;
-use crate::proto::{ErrorCode, Message, Role, WireStats, CAP_DEADLINE, CAP_TRACE, LOCAL_CAPS};
+use crate::proto::{
+    ErrorCode, Message, Role, WireStats, CAP_DEADLINE, CAP_SPANS, CAP_TRACE, LOCAL_CAPS,
+};
 use crate::retry::RetryPolicy;
 
 struct ClientConn {
@@ -47,6 +49,10 @@ struct ClientConn {
     /// only put on the wire for servers that did, so a legacy server
     /// keeps seeing bit-identical frames.
     deadline_ok: bool,
+    /// Whether it advertised [`CAP_SPANS`] — the `TraceDump`/`SlowLog`
+    /// opcodes are never sent to a server that did not, so a legacy
+    /// daemon is never shown an opcode it cannot parse.
+    spans_ok: bool,
 }
 
 impl ClientConn {
@@ -59,6 +65,7 @@ impl ClientConn {
             stream: self.stream.take(),
             traced: self.traced,
             deadline_ok: self.deadline_ok,
+            spans_ok: self.spans_ok,
         }
     }
 }
@@ -132,6 +139,7 @@ fn conn_dial(conn: &mut ClientConn, policy: &RetryPolicy) -> Result<(), NetError
         Some(Message::HelloOk { caps, .. }) => {
             conn.traced = caps & CAP_TRACE != 0;
             conn.deadline_ok = caps & CAP_DEADLINE != 0;
+            conn.spans_ok = caps & CAP_SPANS != 0;
         }
         Some(other) => return Err(NetError::Unexpected { opcode: other.opcode() }),
         None => {
@@ -224,6 +232,7 @@ impl DasCluster {
                     stream: None,
                     traced: false,
                     deadline_ok: false,
+                    spans_ok: false,
                 })
                 .collect(),
             down: vec![false; addrs.len()],
@@ -578,6 +587,17 @@ impl DasCluster {
                     // a failover when an earlier attempt actually
                     // failed.
                     if pos > 0 && h != primary {
+                        das_obs::event_limited(
+                            das_obs::Level::Debug,
+                            "das.client",
+                            "replica walk",
+                            &[
+                                ("strip", strip.to_string()),
+                                ("primary", primary.to_string()),
+                                ("served_by", h.to_string()),
+                                ("hops", pos.to_string()),
+                            ],
+                        );
                         self.record_event(DegradeEvent::ReplicaFailover {
                             file,
                             strip,
@@ -627,12 +647,35 @@ impl DasCluster {
     /// immediately on transport errors: a dead server should fail the
     /// race fast and deterministically fall through to the sequential
     /// walk, whose full retry-and-mark-down machinery owns that case.
-    fn spawn_racer(&mut self, race: u64, server: usize, msg: &Message) {
+    ///
+    /// Each racer carries a **distinct hedge sub-trace id** derived
+    /// from the run's trace id and the racer's lane (0 = first choice,
+    /// 1 = hedge). Racing both lanes under the parent id would alias
+    /// winner and loser in every server-side flight recorder — same
+    /// trace, same stages, double-counted; with per-lane sub-ids a
+    /// hedge loser's server-side spans stay attributable on their own.
+    /// `das trace <parent>` does not auto-join the sub-ids; the
+    /// rate-limited `hedge lane` event records the parent↔child link.
+    fn spawn_racer(&mut self, race: u64, server: usize, lane: u32, msg: &Message) {
         let mut conn = self.conns[server].take();
         let policy = self.policy.clone();
         let load = Arc::clone(&self.load);
         let metrics = Arc::clone(&self.metrics);
-        let trace = self.trace;
+        let trace = self.trace.map(|parent| {
+            let child = das_obs::hedge_sub_id(parent, lane);
+            das_obs::event_limited(
+                das_obs::Level::Debug,
+                "das.client",
+                "hedge lane",
+                &[
+                    ("parent", format!("{parent:016x}")),
+                    ("child", format!("{child:016x}")),
+                    ("lane", lane.to_string()),
+                    ("server", server.to_string()),
+                ],
+            );
+            child
+        });
         let msg = msg.clone();
         let tx = self.racer_tx.clone();
         std::thread::spawn(move || {
@@ -684,7 +727,7 @@ impl DasCluster {
         let msg = Message::GetStrip { file, strip };
         let race = self.next_race;
         self.next_race += 1;
-        self.spawn_racer(race, a, &msg);
+        self.spawn_racer(race, a, 0, &msg);
         let mut outstanding = 1u32;
         let mut hedged = false;
         // Once hedged, wait well past the per-frame read timeout: the
@@ -701,7 +744,7 @@ impl DasCluster {
                         break;
                     }
                     self.metrics.counter("das_client_hedges_total", &[]).inc();
-                    self.spawn_racer(race, b, &msg);
+                    self.spawn_racer(race, b, 1, &msg);
                     outstanding += 1;
                     hedged = true;
                     continue;
@@ -728,6 +771,16 @@ impl DasCluster {
                     }
                     if hedged && server == b {
                         self.metrics.counter("das_client_hedge_wins_total", &[]).inc();
+                        das_obs::event_limited(
+                            das_obs::Level::Debug,
+                            "das.client",
+                            "hedge win",
+                            &[
+                                ("strip", strip.to_string()),
+                                ("winner", server.to_string()),
+                                ("loser", a.to_string()),
+                            ],
+                        );
                         // The first choice did not answer inside its
                         // latency envelope and the hedge served the
                         // strip from a replica: that is a replica
@@ -847,6 +900,77 @@ impl DasCluster {
         self.up_servers()
             .into_iter()
             .map(|s| self.metrics_dump(s).map(|text| (s as u32, text)))
+            .collect()
+    }
+
+    /// Dump the spans server `s` retains for `trace` from its flight
+    /// recorder (see [`Message::TraceDump`]). Fails with a typed
+    /// [`ErrorCode::BadRequest`]-shaped error client-side when the
+    /// server did not advertise [`CAP_SPANS`] — the opcode is never
+    /// put on a legacy server's wire.
+    pub fn trace_dump(&mut self, s: usize, trace: u64) -> Result<Vec<das_obs::SpanRecord>, NetError> {
+        if !self.conns[s].spans_ok {
+            return Err(NetError::Remote {
+                code: ErrorCode::BadRequest,
+                message: format!("server {s} did not negotiate CAP_SPANS"),
+            });
+        }
+        match self.call(s, &Message::TraceDump { trace })? {
+            Message::TraceDumpResp { spans } => das_obs::decode_spans(&spans)
+                .ok_or_else(|| NetError::Protocol(format!("server {s}: malformed span blob"))),
+            other => Err(NetError::Unexpected { opcode: other.opcode() }),
+        }
+    }
+
+    /// [`DasCluster::trace_dump`] from every reachable server that
+    /// negotiated [`CAP_SPANS`], paired with its server id. Legacy
+    /// servers are skipped, not errored: a mixed fleet still renders a
+    /// (partial) waterfall.
+    pub fn trace_dump_all(
+        &mut self,
+        trace: u64,
+    ) -> Result<Vec<(u32, Vec<das_obs::SpanRecord>)>, NetError> {
+        let capable: Vec<usize> =
+            self.up_servers().into_iter().filter(|&s| self.conns[s].spans_ok).collect();
+        capable
+            .into_iter()
+            .map(|s| self.trace_dump(s, trace).map(|spans| (s as u32, spans)))
+            .collect()
+    }
+
+    /// Server `s`'s slowest-roots reservoir: up to `per_class` slowest
+    /// requests per op class with their retained sub-spans (see
+    /// [`Message::SlowLog`]). Same [`CAP_SPANS`] gating as
+    /// [`DasCluster::trace_dump`].
+    pub fn slow_log(
+        &mut self,
+        s: usize,
+        per_class: u32,
+    ) -> Result<Vec<das_obs::SpanRecord>, NetError> {
+        if !self.conns[s].spans_ok {
+            return Err(NetError::Remote {
+                code: ErrorCode::BadRequest,
+                message: format!("server {s} did not negotiate CAP_SPANS"),
+            });
+        }
+        match self.call(s, &Message::SlowLog { per_class })? {
+            Message::SlowLogResp { spans } => das_obs::decode_spans(&spans)
+                .ok_or_else(|| NetError::Protocol(format!("server {s}: malformed span blob"))),
+            other => Err(NetError::Unexpected { opcode: other.opcode() }),
+        }
+    }
+
+    /// [`DasCluster::slow_log`] from every reachable [`CAP_SPANS`]
+    /// server, paired with its server id (legacy servers skipped).
+    pub fn slow_log_all(
+        &mut self,
+        per_class: u32,
+    ) -> Result<Vec<(u32, Vec<das_obs::SpanRecord>)>, NetError> {
+        let capable: Vec<usize> =
+            self.up_servers().into_iter().filter(|&s| self.conns[s].spans_ok).collect();
+        capable
+            .into_iter()
+            .map(|s| self.slow_log(s, per_class).map(|spans| (s as u32, spans)))
             .collect()
     }
 

@@ -43,6 +43,7 @@
 use std::io::{self, IoSlice, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::proto::{DecodeError, ErrorCode, Message, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
 
@@ -447,6 +448,11 @@ pub struct Frame {
     /// Deadline budget in milliseconds (`FLAG_DEADLINE`), when the
     /// sender attached one.
     pub budget_ms: Option<u32>,
+    /// Microseconds of CPU spent validating and decoding the frame
+    /// (checksum verification + payload parse), excluding any time
+    /// blocked on the transport — the honest "decode" stage for span
+    /// attribution on both engines.
+    pub decode_us: u64,
 }
 
 /// Like [`read_frame`], also surfacing the frame's deadline budget
@@ -509,12 +515,17 @@ pub fn read_frame_ex<R: Read>(r: &mut R) -> Result<Option<Frame>, NetError> {
     if read_full(r, &mut payload, "payload")? != len {
         return Err(NetError::Protocol("connection closed mid-payload".into()));
     }
-    if flags & FLAG_CRC != 0 {
+    let crc_wanted = if flags & FLAG_CRC != 0 {
         let mut trailer = [0u8; 4];
         if read_full(r, &mut trailer, "checksum")? != 4 {
             return Err(NetError::Protocol("connection closed mid-checksum".into()));
         }
-        let wanted = u32::from_le_bytes(trailer);
+        Some(u32::from_le_bytes(trailer))
+    } else {
+        None
+    };
+    let parse_started = Instant::now();
+    if let Some(wanted) = crc_wanted {
         let trace_bytes: &[u8] = if trace.is_some() { &trace_field } else { &[] };
         let budget_bytes: &[u8] = if budget_ms.is_some() { &budget_field } else { &[] };
         let actual = crc32(&[&header, trace_bytes, budget_bytes, &payload]);
@@ -524,7 +535,13 @@ pub fn read_frame_ex<R: Read>(r: &mut R) -> Result<Option<Frame>, NetError> {
             )));
         }
     }
-    Ok(Some(Frame { msg: Message::decode(opcode, &payload)?, trace, budget_ms }))
+    let msg = Message::decode(opcode, &payload)?;
+    Ok(Some(Frame {
+        msg,
+        trace,
+        budget_ms,
+        decode_us: parse_started.elapsed().as_micros() as u64,
+    }))
 }
 
 /// Owned scatter/gather write state for one frame on a nonblocking
@@ -639,6 +656,7 @@ impl FrameBuffer {
     /// Like [`FrameBuffer::next_frame`], also surfacing the frame's
     /// deadline budget when the sender attached one (`FLAG_DEADLINE`).
     pub fn next_frame_ex(&mut self) -> Result<Option<Frame>, NetError> {
+        let parse_started = Instant::now();
         let avail = &self.buf[self.pos..];
         if avail.len() < HEADER_LEN {
             return Ok(None);
@@ -698,7 +716,12 @@ impl FrameBuffer {
         }
         let msg = Message::decode(opcode, payload)?;
         self.pos += total;
-        Ok(Some(Frame { msg, trace, budget_ms }))
+        Ok(Some(Frame {
+            msg,
+            trace,
+            budget_ms,
+            decode_us: parse_started.elapsed().as_micros() as u64,
+        }))
     }
 }
 

@@ -64,11 +64,12 @@ use bytes::Bytes;
 use crate::codec::{
     encode_frame_traced, raw_frame_parts, CountingStream, FrameBuffer, IoVecCursor,
 };
-use crate::proto::{ErrorCode, Message, Role, CAP_TRACE, LOCAL_CAPS};
+use crate::proto::{ErrorCode, Message, Role, CAP_SPANS, CAP_TRACE, LOCAL_CAPS};
 use crate::server::{
-    accept_loop, lock, process_request, shed_exempt, ConnClass, ReplyAction, Shared,
-    STRIP_DATA_OPCODE,
+    accept_loop, finish_root, lock, op_class, process_request, record_stage, shed_exempt,
+    ConnClass, ReplyAction, RequestCtx, Shared, STRIP_DATA_OPCODE,
 };
+use das_obs::{OpClass, Stage, NOTE_NONE, NOTE_SHED_BACKLOG};
 
 /// Maximum requests in flight (submitted to workers, reply not yet
 /// written) on one connection. When a pipelined client exceeds it the
@@ -97,6 +98,19 @@ const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
 /// Read chunk size per socket per pass.
 const READ_CHUNK: usize = 64 * 1024;
 
+/// Attribution context one reply carries from the worker back to the
+/// owning shard: the reply-write span closes only when the socket has
+/// accepted the frame's last byte, which happens on the shard thread.
+struct ReplyTag {
+    trace: Option<u64>,
+    /// Root span id of the request this reply answers.
+    root: u32,
+    op: OpClass,
+    /// When the finished reply entered the outbound queue — the span
+    /// covers queued-for-write plus the write itself.
+    queued: Instant,
+}
+
 /// One fully-formed reply, queued from a worker back to the owning
 /// shard. Kept as segments so a strip reply's body stays a refcounted
 /// [`Bytes`] handle until the socket write itself.
@@ -107,11 +121,14 @@ struct Outbound {
     /// Close the connection once (whatever exists of) this reply is
     /// flushed — mid-frame fault cuts and post-`Shutdown` closes.
     close_after: bool,
+    /// Reply-write attribution (`None` for handshake/shed replies
+    /// minted on the shard thread itself).
+    tag: Option<ReplyTag>,
 }
 
 impl Outbound {
     fn frame(frame: Vec<u8>, close_after: bool) -> Outbound {
-        Outbound { head: frame, body: Bytes::new(), tail: Vec::new(), close_after }
+        Outbound { head: frame, body: Bytes::new(), tail: Vec::new(), close_after, tag: None }
     }
 }
 
@@ -127,6 +144,12 @@ struct Job {
     /// Absolute deadline derived from the frame's budget field at
     /// decode time, so time spent queued counts against the budget.
     deadline: Option<Instant>,
+    /// When the decoded request entered the fair queue — the
+    /// queue-wait span measures from here to worker pickup.
+    enqueued: Instant,
+    /// Span/caps context reserved at decode time, so queue-wait and
+    /// decode spans link to the same root the dispatch span closes.
+    ctx: RequestCtx,
 }
 
 /// How many round-robin turns dispatching this request costs its
@@ -199,6 +222,7 @@ impl FairQueue {
     /// Enqueue one decoded request, or hand it back when the backlog
     /// is full (the caller sheds it with a typed reply). Control-plane
     /// requests are always admitted.
+    #[allow(clippy::result_large_err)] // Err hands the whole Job back by move on the shed path
     fn enqueue(&self, job: Job) -> Result<(), Job> {
         let mut s = lock(&self.sched);
         if s.len >= self.max_backlog && !shed_exempt(&job.msg) {
@@ -345,7 +369,11 @@ pub(crate) fn spawn_event_loop(
 /// owning shard.
 fn run_job(shared: &Shared, queues: &ShardQueues, job: Job) {
     let echo = job.trace;
-    let out = match process_request(shared, job.class, job.msg, job.trace, job.deadline) {
+    let opc = op_class(&job.msg);
+    // Queue-wait closes here: the gap between the shard enqueuing the
+    // decoded request and this worker picking it up.
+    record_stage(shared, job.trace, job.ctx.root, Stage::QueueWait, opc, NOTE_NONE, job.enqueued.elapsed());
+    let mut out = match process_request(shared, job.class, job.msg, job.trace, job.deadline, job.ctx) {
         ReplyAction::Reply(reply) => Outbound::frame(encode_frame_traced(&reply, echo), false),
         ReplyAction::ReplyStrip(bytes) => {
             // Zero-copy: head and CRC are computed over the store's
@@ -353,7 +381,7 @@ fn run_job(shared: &Shared, queues: &ShardQueues, job: Job) {
             let prefix = (bytes.len() as u32).to_le_bytes();
             let parts = raw_frame_parts(STRIP_DATA_OPCODE, &prefix, &bytes, echo);
             let (head, tail) = (parts.head, parts.tail.to_vec());
-            Outbound { head, body: bytes, tail, close_after: false }
+            Outbound { head, body: bytes, tail, close_after: false, tag: None }
         }
         ReplyAction::ReplyCorrupt(reply) => {
             let mut frame = encode_frame_traced(&reply, echo);
@@ -372,6 +400,7 @@ fn run_job(shared: &Shared, queues: &ShardQueues, job: Job) {
             Outbound::frame(encode_frame_traced(&reply, echo), true)
         }
     };
+    out.tag = Some(ReplyTag { trace: job.trace, root: job.ctx.root, op: opc, queued: Instant::now() });
     lock(&queues.done[job.shard]).push((job.conn, out));
 }
 
@@ -383,10 +412,12 @@ struct Conn {
     /// `None` until the peer's `Hello` arrives and fixes the class.
     class: Option<ConnClass>,
     peer_traced: bool,
+    /// Peer negotiated `CAP_SPANS`: span-dump RPCs are admissible.
+    peer_spans: bool,
     /// Requests submitted to workers whose replies have not finished
     /// writing.
     inflight: usize,
-    out: VecDeque<(IoVecCursor, bool)>,
+    out: VecDeque<(IoVecCursor, bool, Option<ReplyTag>)>,
     /// Peer closed its write side; serve what's in flight, then drop.
     read_closed: bool,
     /// Close once the outbound queue drains.
@@ -405,6 +436,7 @@ impl Conn {
             fb: FrameBuffer::new(),
             class: None,
             peer_traced: false,
+            peer_spans: false,
             inflight: 0,
             out: VecDeque::new(),
             read_closed: false,
@@ -417,7 +449,11 @@ impl Conn {
         if out.close_after {
             self.close_after_flush = true;
         }
-        self.out.push_back((IoVecCursor::new(out.head, out.body, out.tail), out.close_after));
+        self.out.push_back((
+            IoVecCursor::new(out.head, out.body, out.tail),
+            out.close_after,
+            out.tag,
+        ));
     }
 
     /// True when nothing remains to serve and the socket can go.
@@ -477,7 +513,7 @@ fn shard_loop(
         }
 
         for c in conns.iter_mut() {
-            progressed |= pump_write(c);
+            progressed |= pump_write(shared, c);
             if !draining && !c.dead && !c.close_after_flush {
                 progressed |= pump_read(shared, c, shard_id, fair);
             }
@@ -513,19 +549,32 @@ fn shard_loop(
 }
 
 /// Flush as much outbound data as the socket accepts. Returns whether
-/// any bytes moved.
-fn pump_write(c: &mut Conn) -> bool {
+/// any bytes moved. A reply's `reply_write` span closes when its last
+/// byte is accepted — covering queued-for-write time plus the write
+/// itself, which is exactly the tail a saturated socket adds.
+fn pump_write(shared: &Shared, c: &mut Conn) -> bool {
     let mut progressed = false;
-    while let Some((cursor, _)) = c.out.front_mut() {
+    while let Some((cursor, _, _)) = c.out.front_mut() {
         match cursor.write_some(&mut c.stream) {
             Ok(0) => break, // would block
             Ok(_) => {
                 progressed = true;
                 if cursor.is_done() {
-                    let (_, close_after) = match c.out.pop_front() {
+                    let (_, close_after, tag) = match c.out.pop_front() {
                         Some(f) => f,
                         None => break,
                     };
+                    if let Some(tag) = tag {
+                        record_stage(
+                            shared,
+                            tag.trace,
+                            tag.root,
+                            Stage::ReplyWrite,
+                            tag.op,
+                            NOTE_NONE,
+                            tag.queued.elapsed(),
+                        );
+                    }
                     if close_after {
                         c.dead = true;
                         return true;
@@ -594,14 +643,35 @@ fn pump_read(
                 let deadline = frame
                     .budget_ms
                     .map(|ms| Instant::now() + Duration::from_millis(u64::from(ms)));
-                let job =
-                    Job { shard: shard_id, conn: c.id, class, msg: frame.msg, trace, deadline };
+                let opc = op_class(&frame.msg);
+                let ctx = RequestCtx::new(shared, c.peer_spans, trace);
+                record_stage(
+                    shared,
+                    trace,
+                    ctx.root,
+                    Stage::Decode,
+                    opc,
+                    NOTE_NONE,
+                    Duration::from_micros(frame.decode_us),
+                );
+                let job = Job {
+                    shard: shard_id,
+                    conn: c.id,
+                    class,
+                    msg: frame.msg,
+                    trace,
+                    deadline,
+                    enqueued: Instant::now(),
+                    ctx,
+                };
                 match fair.enqueue(job) {
                     Ok(()) => c.inflight += 1,
-                    Err(_) => {
+                    Err(job) => {
                         // Backlog full: shed from the shard thread with
                         // the typed transient error — the one reply
-                        // that must not wait on the worker pool.
+                        // that must not wait on the worker pool. The
+                        // root span dies here, annotated with why.
+                        finish_root(shared, trace, ctx, Stage::Shed, opc, NOTE_SHED_BACKLOG, job.enqueued);
                         let reply = Message::Error {
                             code: ErrorCode::Overloaded,
                             message: "request shed: worker backlog full".into(),
@@ -632,6 +702,7 @@ fn handle_hello(shared: &Shared, c: &mut Conn, msg: Message) {
     };
     c.class = Some(class);
     c.peer_traced = caps & CAP_TRACE != 0;
+    c.peer_spans = caps & CAP_SPANS != 0;
     shared.stats.register(class, c.stream.bytes_in(), c.stream.bytes_out());
     let reply = Message::HelloOk { server_id: shared.id.0, caps: LOCAL_CAPS };
     c.queue(Outbound::frame(encode_frame_traced(&reply, None), false));

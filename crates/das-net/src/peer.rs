@@ -71,6 +71,10 @@ pub struct PeerTable {
     /// walks are reordered lightest-first so a straggling peer drifts
     /// to the back of every dependence fetch.
     load: LoadTracker,
+    /// The owning daemon's flight recorder, when attached: outbound
+    /// fetches on behalf of traced requests record caller-side
+    /// `peer_fetch` child spans into it.
+    spans: Option<Arc<das_obs::SpanStore>>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -129,7 +133,17 @@ impl PeerTable {
             policy,
             metrics,
             load,
+            spans: None,
         }
+    }
+
+    /// Attach the owning daemon's span store: dependence and
+    /// redistribution fetches issued on behalf of traced requests
+    /// then record `peer_fetch` child spans (see
+    /// [`PeerTable::get_strip_failover_spanned`]).
+    pub fn with_span_store(mut self, spans: Arc<das_obs::SpanStore>) -> Self {
+        self.spans = Some(spans);
+        self
     }
 
     /// Number of servers in the cluster.
@@ -434,6 +448,45 @@ impl PeerTable {
         Err(last.unwrap_or_else(|| {
             NetError::Protocol(format!("strip {strip}: no remote holder to fetch from"))
         }))
+    }
+
+    /// [`PeerTable::get_strip_failover_opts`] recording one
+    /// `peer_fetch` child span (under `parent`, classed `op`) into the
+    /// attached span store — covering the whole failover walk, success
+    /// or failure, so a fetch that burned the retry budget across
+    /// three dead holders is attributed at its true cost. Without an
+    /// attached store or a trace id this is exactly the unspanned
+    /// call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_strip_failover_spanned(
+        &self,
+        holders: &[u32],
+        file: u32,
+        strip: u64,
+        trace: Option<u64>,
+        deadline: Option<Instant>,
+        parent: u32,
+        op: das_obs::OpClass,
+    ) -> Result<(Vec<u8>, usize), NetError> {
+        let started = Instant::now();
+        let result = self.get_strip_failover_opts(holders, file, strip, trace, deadline);
+        let dur_us = started.elapsed().as_micros() as u64;
+        self.metrics
+            .histogram("dasd_stage_duration_us", &[("stage", "peer_fetch"), ("op", op.name())])
+            .observe(dur_us);
+        if let (Some(store), Some(t)) = (&self.spans, trace) {
+            let start_us = store.now_us().saturating_sub(dur_us);
+            store.record(
+                t,
+                parent,
+                das_obs::Stage::PeerFetch,
+                op,
+                das_obs::NOTE_NONE,
+                start_us,
+                dur_us,
+            );
+        }
+        result
     }
 
     /// Store one strip of `file` on `target` (replica forwarding).

@@ -44,8 +44,18 @@ pub const CAP_TRACE: u32 = 1 << 1;
 /// the same negotiation pattern as [`CAP_TRACE`].
 pub const CAP_DEADLINE: u32 = 1 << 2;
 
+/// Capability bit advertised in [`Message::Hello`]/[`Message::HelloOk`]:
+/// the sender implements the span flight recorder and serves the
+/// [`Message::TraceDump`]/[`Message::SlowLog`] RPCs. Unlike the other
+/// caps this one gates **opcodes, not a frame field**: a daemon
+/// refuses the two span RPCs from a peer that did not advertise the
+/// bit (typed `BadRequest`), and a client never sends them to a
+/// daemon that did not — so a legacy peer's frames stay bit-identical
+/// and it is never asked to decode an opcode it does not know.
+pub const CAP_SPANS: u32 = 1 << 3;
+
 /// The capabilities this build advertises.
-pub const LOCAL_CAPS: u32 = CAP_CRC | CAP_TRACE | CAP_DEADLINE;
+pub const LOCAL_CAPS: u32 = CAP_CRC | CAP_TRACE | CAP_DEADLINE | CAP_SPANS;
 
 /// Who is on the other end of a connection — drives the byte-class a
 /// connection's traffic is accounted under (client↔server vs
@@ -349,6 +359,34 @@ pub enum Message {
         /// Prometheus text exposition body (UTF-8).
         text: String,
     },
+    /// Fetch every span the daemon's flight recorder retains for one
+    /// trace id (caps-gated behind [`CAP_SPANS`]). `das trace` sends
+    /// this to every daemon and merges the replies into a
+    /// cross-daemon waterfall.
+    TraceDump {
+        /// The trace id to look up.
+        trace: u64,
+    },
+    /// The retained spans of the requested trace, as the opaque span
+    /// blob of `das_obs::encode_spans` (`u32` count + fixed 40-byte
+    /// records). Opaque to the codec so the wire layer carries no
+    /// span vocabulary.
+    TraceDumpResp {
+        /// Encoded span records.
+        spans: Vec<u8>,
+    },
+    /// Fetch the daemon's slowest-N root spans per op class, with
+    /// their retained sub-spans (caps-gated behind [`CAP_SPANS`]).
+    SlowLog {
+        /// Upper bound on roots returned per op class (clamped
+        /// server-side to the reservoir depth).
+        per_class: u32,
+    },
+    /// The slow-log spans, encoded like [`Message::TraceDumpResp`].
+    SlowLogResp {
+        /// Encoded span records, slowest roots first.
+        spans: Vec<u8>,
+    },
 
     /// Liveness probe.
     Ping,
@@ -372,9 +410,10 @@ pub enum Message {
 /// the enumerable ground truth the protocol-conformance pass sweeps
 /// against [`Message::samples`] and `docs/PROTOCOL.md`. Any opcode
 /// **not** in this list must be rejected by [`Message::decode`].
-pub const KNOWN_OPCODES: [u8; 29] = [
+pub const KNOWN_OPCODES: [u8; 33] = [
     0x01, 0x02, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x20, 0x21, 0x22,
-    0x23, 0x30, 0x31, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x50, 0x51, 0x52, 0x53, 0x7F,
+    0x23, 0x30, 0x31, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x50, 0x51,
+    0x52, 0x53, 0x7F,
 ];
 
 impl Message {
@@ -436,6 +475,10 @@ impl Message {
             Message::ResetStatsOk,
             Message::MetricsDump,
             Message::MetricsText { text: "# TYPE dasd_requests_total counter\n".into() },
+            Message::TraceDump { trace: 0xDA5_0B5 },
+            Message::TraceDumpResp { spans: vec![0, 0, 0, 0] },
+            Message::SlowLog { per_class: 4 },
+            Message::SlowLogResp { spans: vec![0, 0, 0, 0] },
             Message::Ping,
             Message::Pong,
             Message::Shutdown,
@@ -471,6 +514,10 @@ impl Message {
             Message::ResetStatsOk => 0x43,
             Message::MetricsDump => 0x44,
             Message::MetricsText { .. } => 0x45,
+            Message::TraceDump { .. } => 0x46,
+            Message::TraceDumpResp { .. } => 0x47,
+            Message::SlowLog { .. } => 0x48,
+            Message::SlowLogResp { .. } => 0x49,
             Message::Ping => 0x50,
             Message::Pong => 0x51,
             Message::Shutdown => 0x52,
@@ -507,6 +554,10 @@ impl Message {
             Message::ResetStatsOk => "reset_stats_ok",
             Message::MetricsDump => "metrics_dump",
             Message::MetricsText { .. } => "metrics_text",
+            Message::TraceDump { .. } => "trace_dump",
+            Message::TraceDumpResp { .. } => "trace_dump_resp",
+            Message::SlowLog { .. } => "slow_log",
+            Message::SlowLogResp { .. } => "slow_log_resp",
             Message::Ping => "ping",
             Message::Pong => "pong",
             Message::Shutdown => "shutdown",
@@ -581,6 +632,11 @@ impl Message {
                 put_u64(&mut b, *dep_fetch_bytes);
             }
             Message::MetricsText { text } => put_blob(&mut b, text.as_bytes()),
+            Message::TraceDump { trace } => put_u64(&mut b, *trace),
+            Message::TraceDumpResp { spans } | Message::SlowLogResp { spans } => {
+                put_blob(&mut b, spans)
+            }
+            Message::SlowLog { per_class } => put_u32(&mut b, *per_class),
             Message::Stats
             | Message::ResetStats
             | Message::ResetStatsOk
@@ -608,7 +664,8 @@ impl Message {
     /// bytes themselves), such that `prefix ⧺ body` is bit-identical
     /// to [`Message::encode_payload`]. The blob-carrying messages —
     /// [`Message::PutStrip`], [`Message::StripData`],
-    /// [`Message::MetricsText`] — put their bulk bytes in `body`;
+    /// [`Message::MetricsText`], [`Message::TraceDumpResp`],
+    /// [`Message::SlowLogResp`] — put their bulk bytes in `body`;
     /// every other message returns its full encoding as `prefix` with
     /// an empty `body`. This is what lets the vectored frame writer
     /// ([`crate::codec::write_frame_vectored`]) send a strip
@@ -632,6 +689,11 @@ impl Message {
                 assert!(text.len() <= u32::MAX as usize, "blob field too long");
                 put_u32(&mut b, text.len() as u32);
                 (b, text.as_bytes())
+            }
+            Message::TraceDumpResp { spans } | Message::SlowLogResp { spans } => {
+                assert!(spans.len() <= u32::MAX as usize, "blob field too long");
+                put_u32(&mut b, spans.len() as u32);
+                (b, spans)
             }
             _ => (self.encode_payload(), &[]),
         }
@@ -706,6 +768,10 @@ impl Message {
                 text: String::from_utf8(d.take_blob()?)
                     .map_err(|_| DecodeError::new("metrics text not UTF-8"))?,
             },
+            0x46 => Message::TraceDump { trace: d.take_u64()? },
+            0x47 => Message::TraceDumpResp { spans: d.take_blob()? },
+            0x48 => Message::SlowLog { per_class: d.take_u32()? },
+            0x49 => Message::SlowLogResp { spans: d.take_blob()? },
             0x50 => Message::Ping,
             0x51 => Message::Pong,
             0x52 => Message::Shutdown,

@@ -47,9 +47,10 @@ use crate::codec::{
 };
 use crate::fault::{FaultAction, FaultPlan, FaultPoint};
 use crate::peer::PeerTable;
-use crate::proto::{ErrorCode, Message, Role, WireStats, CAP_TRACE, LOCAL_CAPS};
+use crate::proto::{ErrorCode, Message, Role, WireStats, CAP_SPANS, CAP_TRACE, LOCAL_CAPS};
 use crate::retry::RetryPolicy;
 use das_obs::log::{event, Level};
+use das_obs::{OpClass, SpanStore, Stage, NOTE_NONE, NOTE_SHED_BACKLOG, NOTE_SHED_DEADLINE};
 
 /// Lock a mutex, recovering from poison: a worker that panicked while
 /// holding a daemon lock must not wedge every other connection.
@@ -76,8 +77,9 @@ pub const DEFAULT_MAX_BACKLOG: usize = 256;
 /// Control-plane requests that are never shed by admission control or
 /// an expired deadline budget: `Shutdown` must always work (a chaos
 /// harness tears its cluster down *under* overload), and the
-/// stats/metrics reads are what an operator or bench uses to watch an
-/// overloaded daemon.
+/// stats/metrics/span reads are what an operator or bench uses to
+/// watch an overloaded daemon — `das trace` of a shed request must be
+/// answerable *during* the overload that shed it.
 pub(crate) fn shed_exempt(msg: &Message) -> bool {
     matches!(
         msg,
@@ -86,7 +88,31 @@ pub(crate) fn shed_exempt(msg: &Message) -> bool {
             | Message::Stats
             | Message::ResetStats
             | Message::MetricsDump
+            | Message::TraceDump { .. }
+            | Message::SlowLog { .. }
     )
+}
+
+/// Coarse span/attribution class of a request (`OpClass` wire
+/// discriminants are stable; see `das-obs`).
+pub(crate) fn op_class(msg: &Message) -> OpClass {
+    match msg {
+        Message::GetStrip { .. } => OpClass::Get,
+        Message::PutStrip { .. } => OpClass::Put,
+        Message::Execute { .. } => OpClass::Exec,
+        Message::RedistPrepare { .. } | Message::RedistCommit { .. } => OpClass::Redist,
+        Message::CreateFile { .. } | Message::Lookup { .. } | Message::GetDistribution { .. } => {
+            OpClass::Meta
+        }
+        Message::Ping
+        | Message::Stats
+        | Message::ResetStats
+        | Message::MetricsDump
+        | Message::TraceDump { .. }
+        | Message::SlowLog { .. }
+        | Message::Shutdown => OpClass::Control,
+        _ => OpClass::Other,
+    }
 }
 
 /// Traffic class of a connection, fixed by the peer's `Hello`.
@@ -268,6 +294,57 @@ impl Inner {
     }
 }
 
+/// Lazily-registered grid of `dasd_stage_duration_us{stage,op}`
+/// histogram handles: after the first observation of a cell, every
+/// further one is a couple of atomics — no registry (lock + label
+/// formatting) lookup on the per-request path. Cells never observed
+/// never appear in a metrics dump.
+pub(crate) struct StageHists {
+    metrics: Arc<das_obs::Registry>,
+    grid: Vec<std::sync::OnceLock<Arc<das_obs::Histogram>>>,
+}
+
+impl StageHists {
+    fn new(metrics: Arc<das_obs::Registry>) -> StageHists {
+        let cells = Stage::ALL.len() * OpClass::ALL.len();
+        StageHists { metrics, grid: (0..cells).map(|_| std::sync::OnceLock::new()).collect() }
+    }
+
+    /// Feed one stage duration into the attribution histogram.
+    pub(crate) fn observe(&self, stage: Stage, op: OpClass, dur_us: u64) {
+        let cell = stage as usize * OpClass::ALL.len() + op as usize;
+        self.grid[cell]
+            .get_or_init(|| {
+                self.metrics.histogram(
+                    "dasd_stage_duration_us",
+                    &[("stage", stage.name()), ("op", op.name())],
+                )
+            })
+            .observe(dur_us);
+    }
+}
+
+/// Per-request context threaded from the connection layer into
+/// [`process_request`]: what the peer's negotiated capabilities allow,
+/// and the pre-reserved root span id sub-spans hang off.
+#[derive(Clone, Copy)]
+pub(crate) struct RequestCtx {
+    /// Peer negotiated [`CAP_SPANS`]: the span-dump RPCs
+    /// (`TraceDump`/`SlowLog`) are admissible on this connection.
+    pub(crate) spans_ok: bool,
+    /// Root span id reserved for this traced request (0 when the
+    /// request is untraced — nothing is recorded for it).
+    pub(crate) root: u32,
+}
+
+impl RequestCtx {
+    /// Build the context for one decoded request: reserve a root span
+    /// id iff the request carries a trace id.
+    pub(crate) fn new(shared: &Shared, spans_ok: bool, trace: Option<u64>) -> RequestCtx {
+        RequestCtx { spans_ok, root: if trace.is_some() { shared.spans.reserve() } else { 0 } }
+    }
+}
+
 /// State shared by every thread of one daemon.
 pub struct Shared {
     pub(crate) id: ServerId,
@@ -276,6 +353,10 @@ pub struct Shared {
     peers: PeerTable,
     pub(crate) stats: Arc<StatsRegistry>,
     pub(crate) metrics: Arc<das_obs::Registry>,
+    /// The daemon's flight recorder behind `TraceDump`/`SlowLog`.
+    pub(crate) spans: Arc<SpanStore>,
+    /// Cached stage-attribution histogram handles.
+    pub(crate) stage_hists: StageHists,
     pub(crate) shutdown: AtomicBool,
     pub(crate) fault: Arc<FaultPlan>,
     /// Admission bound shared by both engines.
@@ -283,6 +364,52 @@ pub struct Shared {
     /// Requests currently inside a handler — the thread engine's
     /// admission gauge (the event loop bounds its fair queue instead).
     pub(crate) active: AtomicUsize,
+}
+
+/// Time-and-record one finished stage: always feeds the
+/// stage-attribution histogram; records a span only for traced
+/// requests (the flight recorder holds nothing `das trace` could not
+/// look up). Returns the span id (0 when untraced). Aggregate stages
+/// (an execute's total kernel time) appear as one contiguous block
+/// ending at record time.
+pub(crate) fn record_stage(
+    shared: &Shared,
+    trace: Option<u64>,
+    parent: u32,
+    stage: Stage,
+    op: OpClass,
+    note: u8,
+    dur: Duration,
+) -> u32 {
+    let dur_us = dur.as_micros() as u64;
+    shared.stage_hists.observe(stage, op, dur_us);
+    match trace {
+        Some(t) => {
+            let start_us = shared.spans.now_us().saturating_sub(dur_us);
+            shared.spans.record(t, parent, stage, op, note, start_us, dur_us)
+        }
+        None => 0,
+    }
+}
+
+/// Close a request's root span under its pre-reserved id — as
+/// `Dispatch` when it ran, as `Shed` (annotated with the reason) when
+/// admission control or an expired budget killed it.
+pub(crate) fn finish_root(
+    shared: &Shared,
+    trace: Option<u64>,
+    ctx: RequestCtx,
+    stage: Stage,
+    op: OpClass,
+    note: u8,
+    started: Instant,
+) {
+    let dur_us = started.elapsed().as_micros() as u64;
+    shared.stage_hists.observe(stage, op, dur_us);
+    if let Some(t) = trace {
+        let start_us = shared.spans.now_us().saturating_sub(dur_us);
+        shared.spans.record_reserved(ctx.root, t, 0, stage, op, note, start_us, dur_us);
+    }
 }
 
 /// A running daemon (listener + worker threads).
@@ -327,6 +454,7 @@ pub fn spawn(cfg: DasdConfig, listener: TcpListener) -> std::io::Result<DasdHand
     let addr = listener.local_addr()?;
     let stats = Arc::new(StatsRegistry::default());
     let metrics = Arc::new(das_obs::Registry::new());
+    let spans = Arc::new(SpanStore::new(cfg.id));
     let shared = Arc::new(Shared {
         id: ServerId(cfg.id),
         inner: Mutex::new(Inner {
@@ -343,9 +471,12 @@ pub fn spawn(cfg: DasdConfig, listener: TcpListener) -> std::io::Result<DasdHand
             Arc::clone(&stats),
             cfg.retry,
             Arc::clone(&metrics),
-        ),
+        )
+        .with_span_store(Arc::clone(&spans)),
         stats,
+        stage_hists: StageHists::new(Arc::clone(&metrics)),
         metrics,
+        spans,
         shutdown: AtomicBool::new(false),
         fault: cfg.fault,
         max_backlog: cfg.max_backlog.max(1),
@@ -473,6 +604,8 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
     // that negotiated the capability; a legacy peer keeps seeing
     // bit-identical version-1 frames.
     let peer_traced = peer_caps & CAP_TRACE != 0;
+    // Span-dump RPCs are likewise capability-gated per connection.
+    let peer_spans = peer_caps & CAP_SPANS != 0;
     shared.stats.register(class, stream.bytes_in(), stream.bytes_out());
     if write_message(&mut stream, &Message::HelloOk { server_id: shared.id.0, caps: LOCAL_CAPS })
         .is_err()
@@ -494,23 +627,33 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             }
             Err(_) => return,
         };
+        let arrived = Instant::now();
         let trace = if peer_traced { frame.trace } else { None };
         let echo = trace;
         let deadline =
             frame.budget_ms.map(|ms| Instant::now() + Duration::from_millis(u64::from(ms)));
+        let decode_us = frame.decode_us;
         let msg = frame.msg;
+        let opc = op_class(&msg);
+        let ctx = RequestCtx::new(shared, peer_spans, trace);
+        record_stage(shared, trace, ctx.root, Stage::Decode, opc, NOTE_NONE, Duration::from_micros(decode_us));
         // Admission control for the blocking engine: this handler is
         // about to be busy for the whole request, so the number of
         // concurrently executing handlers *is* the backlog.
         let admitted = shared.active.fetch_add(1, Ordering::SeqCst) < shared.max_backlog
             || shed_exempt(&msg);
         let action = if admitted {
-            process_request(shared, class, msg, trace, deadline)
+            // Strictly serial per connection: queue-wait is just the
+            // decode-to-dispatch gap, recorded for engine parity.
+            record_stage(shared, trace, ctx.root, Stage::QueueWait, opc, NOTE_NONE, arrived.elapsed());
+            process_request(shared, class, msg, trace, deadline, ctx)
         } else {
             shared.metrics.counter("dasd_requests_shed_total", &[("reason", "backlog")]).inc();
+            finish_root(shared, trace, ctx, Stage::Shed, opc, NOTE_SHED_BACKLOG, arrived);
             ReplyAction::Reply(err(ErrorCode::Overloaded, "request shed: handler pool saturated"))
         };
         shared.active.fetch_sub(1, Ordering::SeqCst);
+        let write_started = Instant::now();
         match action {
             ReplyAction::Reply(reply) => {
                 if write_message_traced(&mut stream, &reply, echo).is_err() {
@@ -552,6 +695,7 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
                 return;
             }
         }
+        record_stage(shared, trace, ctx.root, Stage::ReplyWrite, opc, NOTE_NONE, write_started.elapsed());
     }
 }
 
@@ -591,6 +735,7 @@ pub(crate) fn process_request(
     msg: Message,
     trace: Option<u64>,
     deadline: Option<Instant>,
+    ctx: RequestCtx,
 ) -> ReplyAction {
     let class_label = match class {
         ConnClass::Client => "client",
@@ -599,6 +744,7 @@ pub(crate) fn process_request(
     let started = Instant::now();
     let op = msg.op_name();
     let opcode = msg.opcode();
+    let opc = op_class(&msg);
     shared.metrics.counter("dasd_requests_total", &[("op", op), ("class", class_label)]).inc();
     if das_obs::enabled(Level::Trace) {
         event(
@@ -621,6 +767,10 @@ pub(crate) fn process_request(
     if let Some(d) = deadline {
         if Instant::now() >= d && !shed_exempt(&msg) {
             shared.metrics.counter("dasd_requests_shed_total", &[("reason", "deadline")]).inc();
+            // The root span that would have been a Dispatch becomes a
+            // Shed annotated with why the request died — `das trace`
+            // of a timed-out request shows where it was killed.
+            finish_root(shared, trace, ctx, Stage::Shed, opc, NOTE_SHED_DEADLINE, started);
             return ReplyAction::Reply(err(
                 ErrorCode::Overloaded,
                 "request shed: deadline budget expired before execution",
@@ -655,10 +805,14 @@ pub(crate) fn process_request(
             std::thread::sleep(Duration::from_millis(millis));
         }
         Some(FaultAction::DropMidFrame) => {
-            return ReplyAction::ReplyTruncated(dispatch(shared, msg, trace, deadline));
+            let reply = dispatch(shared, msg, trace, deadline, ctx);
+            finish_root(shared, trace, ctx, Stage::Dispatch, opc, NOTE_NONE, started);
+            return ReplyAction::ReplyTruncated(reply);
         }
         Some(FaultAction::CorruptCrc) => {
-            return ReplyAction::ReplyCorrupt(dispatch(shared, msg, trace, deadline));
+            let reply = dispatch(shared, msg, trace, deadline, ctx);
+            finish_root(shared, trace, ctx, Stage::Dispatch, opc, NOTE_NONE, started);
+            return ReplyAction::ReplyCorrupt(reply);
         }
         Some(FaultAction::RefuseAccept) | None => {}
     }
@@ -666,6 +820,7 @@ pub(crate) fn process_request(
     // store as a refcounted handle and become the reply frame's body
     // segment without an intermediate payload `Vec`.
     if let Message::GetStrip { file, strip } = msg {
+        let read_started = Instant::now();
         let action = match get_strip_bytes(shared, file, strip) {
             Ok(bytes) => ReplyAction::ReplyStrip(bytes),
             Err(e) => {
@@ -673,17 +828,20 @@ pub(crate) fn process_request(
                 ReplyAction::Reply(e)
             }
         };
+        record_stage(shared, trace, ctx.root, Stage::LocalRead, opc, NOTE_NONE, read_started.elapsed());
         shared
             .metrics
             .histogram("dasd_request_duration_us", &[("op", op)])
             .observe(started.elapsed().as_micros() as u64);
+        finish_root(shared, trace, ctx, Stage::Dispatch, opc, NOTE_NONE, started);
         return action;
     }
-    let reply = dispatch(shared, msg, trace, deadline);
+    let reply = dispatch(shared, msg, trace, deadline, ctx);
     shared
         .metrics
         .histogram("dasd_request_duration_us", &[("op", op)])
         .observe(started.elapsed().as_micros() as u64);
+    finish_root(shared, trace, ctx, Stage::Dispatch, opc, NOTE_NONE, started);
     log_request_failure(shared, op, &reply);
     if is_shutdown {
         shared.shutdown.store(true, Ordering::SeqCst);
@@ -715,6 +873,7 @@ fn dispatch(
     msg: Message,
     trace: Option<u64>,
     deadline: Option<Instant>,
+    ctx: RequestCtx,
 ) -> Message {
     match msg {
         Message::Hello { .. } => err(ErrorCode::BadRequest, "duplicate Hello"),
@@ -753,7 +912,38 @@ fn dispatch(
                     .gauge("dasd_peer_breaker_open", &[("peer", &peer.to_string())])
                     .set(i64::from(open));
             }
+            // Flight-recorder occupancy and the event throttle's
+            // suppression count, mirrored the same way: one dump
+            // carries the whole picture.
+            shared.metrics.gauge("dasd_spans_retained", &[]).set(shared.spans.len() as i64);
+            shared
+                .metrics
+                .gauge("dasd_spans_evicted_total", &[])
+                .set(shared.spans.evicted() as i64);
+            shared
+                .metrics
+                .gauge("das_obs_events_suppressed_total", &[])
+                .set(das_obs::suppressed_total() as i64);
             Message::MetricsText { text: shared.metrics.encode() }
+        }
+        Message::TraceDump { trace: wanted } => {
+            // Caps-gated: a peer that did not negotiate CAP_SPANS
+            // asked for an RPC it was never offered — typed refusal,
+            // not silence, so a misconfigured client fails loudly.
+            if !ctx.spans_ok {
+                return err(ErrorCode::BadRequest, "TraceDump requires CAP_SPANS");
+            }
+            Message::TraceDumpResp {
+                spans: das_obs::encode_spans(&shared.spans.dump_trace(wanted)),
+            }
+        }
+        Message::SlowLog { per_class } => {
+            if !ctx.spans_ok {
+                return err(ErrorCode::BadRequest, "SlowLog requires CAP_SPANS");
+            }
+            Message::SlowLogResp {
+                spans: das_obs::encode_spans(&shared.spans.slowest(per_class as usize)),
+            }
         }
         Message::CreateFile { name, file_len, strip_size, policy, servers } => {
             if servers != shared.peers.cluster_size() {
@@ -848,7 +1038,7 @@ fn dispatch(
             Err(e) => e,
         },
         Message::RedistPrepare { file, policy } => {
-            redist_prepare(shared, file, policy, trace, deadline)
+            redist_prepare(shared, file, policy, trace, deadline, ctx)
         }
         Message::RedistCommit { file, policy } => redist_commit(shared, file, policy),
         Message::Execute { file, out_file, kernel, img_width, element_size, successive, force } => {
@@ -857,6 +1047,7 @@ fn dispatch(
                 ExecuteArgs { file, out_file, kernel: &kernel, img_width, element_size, successive, force },
                 trace,
                 deadline,
+                ctx,
             )
         }
         // Response opcodes arriving as requests.
@@ -904,6 +1095,7 @@ fn redist_prepare(
     policy: das_pfs::LayoutPolicy,
     trace: Option<u64>,
     deadline: Option<Instant>,
+    ctx: RequestCtx,
 ) -> Message {
     let (id, old_layout, spec, len, strip_count) = {
         let inner = lock(&shared.inner);
@@ -932,8 +1124,15 @@ fn redist_prepare(
         // the redistribution and degrade.
         let holders: Vec<u32> =
             old_layout.placement(sid).holders().iter().map(|h| h.0).collect();
-        let payload = match shared.peers.get_strip_failover_opts(&holders, file, sid.0, trace, deadline)
-        {
+        let payload = match shared.peers.get_strip_failover_spanned(
+            &holders,
+            file,
+            sid.0,
+            trace,
+            deadline,
+            ctx.root,
+            OpClass::Redist,
+        ) {
             Ok((p, _)) => p,
             Err(e) => {
                 return err(
@@ -1011,6 +1210,7 @@ fn execute(
     args: ExecuteArgs<'_>,
     trace: Option<u64>,
     deadline: Option<Instant>,
+    ctx: RequestCtx,
 ) -> Message {
     let ExecuteArgs { file, out_file, kernel: kernel_name, img_width, element_size, successive, force } =
         args;
@@ -1019,6 +1219,7 @@ fn execute(
     }
     // Snapshot metadata and local strips under the lock; everything
     // network-bound below runs without it.
+    let read_started = Instant::now();
     let (out_id, layout, spec, len, strip_count, local) = {
         let inner = lock(&shared.inner);
         let meta = match inner.meta(file) {
@@ -1049,6 +1250,7 @@ fn execute(
         }
         (out.id, meta.layout, meta.spec, meta.len, meta.strip_count(), local)
     };
+    record_stage(shared, trace, ctx.root, Stage::LocalRead, OpClass::Exec, NOTE_NONE, read_started.elapsed());
 
     let kernel = match kernel_by_name(kernel_name) {
         Some(k) => k,
@@ -1138,6 +1340,11 @@ fn execute(
 
     let mut dep_fetches = 0u64;
     let mut dep_fetch_bytes = 0u64;
+    // Kernel and assemble time accumulate across tasks and record as
+    // one aggregate span each; dependence fetches record one
+    // `peer_fetch` span per fetch (the walk, not each holder try).
+    let mut kernel_time = Duration::ZERO;
+    let mut assemble_time = Duration::ZERO;
     for &t in &tasks {
         // Fresh assembly per task: remote dependence strips are
         // re-fetched for every task that needs them, with no cache —
@@ -1160,8 +1367,15 @@ fn execute(
             // work this execution no longer has time to use.
             let holders: Vec<u32> =
                 layout.placement(StripId(u)).holders().iter().map(|h| h.0).collect();
-            let payload = match shared.peers.get_strip_failover_opts(&holders, file, u, trace, deadline)
-            {
+            let payload = match shared.peers.get_strip_failover_spanned(
+                &holders,
+                file,
+                u,
+                trace,
+                deadline,
+                ctx.root,
+                OpClass::Exec,
+            ) {
                 Ok((p, _)) => p,
                 Err(e) => {
                     return err(
@@ -1191,7 +1405,10 @@ fn execute(
         let start = t.0 * elems_per_strip;
         let end = (start + elems_per_strip).min(total_elements);
         let mut out = vec![0f32; (end - start) as usize];
+        let kernel_started = Instant::now();
         kernel.process_range(&asm, start, &mut out);
+        kernel_time += kernel_started.elapsed();
+        let assemble_started = Instant::now();
         let mut out_bytes = Vec::with_capacity(out.len() * 4);
         for v in &out {
             out_bytes.extend_from_slice(&v.to_le_bytes());
@@ -1214,6 +1431,11 @@ fn execute(
                 shared.metrics.counter("dasd_replica_forward_failures_total", &[]).inc();
             }
         }
+        assemble_time += assemble_started.elapsed();
+    }
+    if !tasks.is_empty() {
+        record_stage(shared, trace, ctx.root, Stage::Kernel, OpClass::Exec, NOTE_NONE, kernel_time);
+        record_stage(shared, trace, ctx.root, Stage::Assemble, OpClass::Exec, NOTE_NONE, assemble_time);
     }
 
     shared.metrics.counter("dasd_strips_computed_total", &[]).add(tasks.len() as u64);

@@ -349,3 +349,141 @@ fn crc_only_client_interops_bit_identically() {
     drop(sock);
     handle.join();
 }
+
+/// A client that did not negotiate `CAP_SPANS` must be refused the
+/// span RPCs with a typed `BadRequest`, not served or disconnected.
+#[test]
+fn span_rpcs_without_negotiated_cap_are_refused() {
+    use std::io::Write as _;
+
+    use das_net::{encode_frame, ErrorCode, Message, Role, CAP_CRC};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = spawn(DasdConfig::new(0, vec![addr.clone()]), listener).expect("spawn dasd");
+
+    let mut sock = std::net::TcpStream::connect(&addr).expect("connect");
+    sock.write_all(&encode_frame(&Message::Hello {
+        role: Role::Client,
+        peer_id: 0,
+        caps: CAP_CRC,
+    }))
+    .expect("hello");
+    let _ = read_raw_frame(&mut sock);
+
+    for msg in [Message::TraceDump { trace: 42 }, Message::SlowLog { per_class: 4 }] {
+        sock.write_all(&encode_frame(&msg)).expect("span rpc");
+        let reply = read_raw_frame(&mut sock);
+        match das_net::read_frame(&mut std::io::Cursor::new(&reply)).expect("parse").unwrap() {
+            (Message::Error { code, .. }, None) => assert_eq!(
+                code,
+                ErrorCode::BadRequest,
+                "unnegotiated span RPC must be refused as BadRequest"
+            ),
+            other => panic!("expected typed refusal, got {other:?}"),
+        }
+    }
+
+    sock.write_all(&encode_frame(&Message::Shutdown)).expect("shutdown");
+    let _ = read_raw_frame(&mut sock);
+    drop(sock);
+    handle.join();
+}
+
+/// The tentpole end-to-end: one traced `Execute` across the fleet,
+/// then `TraceDump` from every daemon reconstructs the cross-daemon
+/// waterfall — compute-side roots with local-read/kernel/assemble and
+/// peer-fetch sub-spans, and *child* request roots on the daemons
+/// that served the propagated dependence fetches, all under the one
+/// wire-propagated trace id.
+#[test]
+fn execute_trace_reconstructs_cross_daemon_waterfall() {
+    use das_obs::{OpClass, Stage};
+
+    let input = workload::fbm_dem(WIDTH, HEIGHT, 42);
+    let data = input.to_bytes();
+    let mut h = boot(SERVERS);
+    let file = h
+        .cluster
+        .create_file("wf.dem", data.len() as u64, STRIP as u32, LayoutPolicy::RoundRobin)
+        .expect("create input");
+    h.cluster.put_file(file, &data).expect("ingest");
+    let out = h
+        .cluster
+        .create_file("wf.out", data.len() as u64, STRIP as u32, LayoutPolicy::RoundRobin)
+        .expect("create output");
+
+    let trace = h.cluster.begin_trace();
+    let summaries = h
+        .cluster
+        .execute(file, out, "gaussian-filter", WIDTH, true, true)
+        .expect("execute")
+        .expect("forced offload must run");
+    let fetches: u64 = summaries.iter().map(|s| s.dep_fetches).sum();
+    assert!(fetches > 0, "round-robin gaussian must fetch neighbor rows from peers");
+
+    // Move the client off the execute's trace id first — otherwise
+    // the TraceDump request itself is traced under the id being
+    // dumped, and its own not-yet-finished root pollutes the view.
+    let _ = h.cluster.begin_trace();
+    let dumps = h.cluster.trace_dump_all(trace).expect("trace dump");
+    assert_eq!(dumps.len(), SERVERS, "every daemon answers TraceDump");
+
+    let mut kernel_spans = 0usize;
+    let mut peer_fetch_spans = 0usize;
+    let mut get_roots = 0usize;
+    for (id, spans) in &dumps {
+        assert!(!spans.is_empty(), "daemon {id} retained no spans for the trace");
+        let exec_roots: Vec<u32> = spans
+            .iter()
+            .filter(|s| s.parent == 0 && s.stage == Stage::Dispatch && s.op == OpClass::Exec)
+            .map(|s| s.span)
+            .collect();
+        assert!(!exec_roots.is_empty(), "daemon {id} has no exec dispatch root");
+        // Every sub-span links to a root retained in the same dump.
+        let roots: Vec<u32> = spans.iter().filter(|s| s.parent == 0).map(|s| s.span).collect();
+        for s in spans.iter().filter(|s| s.parent != 0) {
+            assert!(
+                roots.contains(&s.parent),
+                "daemon {id}: span {} orphaned from parent {}",
+                s.span,
+                s.parent
+            );
+        }
+        // Compute-side stage sub-spans hang off the exec root.
+        for s in spans {
+            match s.stage {
+                Stage::Kernel => {
+                    kernel_spans += 1;
+                    assert!(exec_roots.contains(&s.parent), "kernel span outside exec root");
+                }
+                Stage::PeerFetch => peer_fetch_spans += 1,
+                Stage::Dispatch if s.op == OpClass::Get && s.parent == 0 => get_roots += 1,
+                _ => {}
+            }
+            assert_eq!(s.trace, trace);
+            assert_eq!(s.daemon, *id);
+        }
+    }
+    assert_eq!(kernel_spans, SERVERS, "each daemon times its kernel stage once");
+    assert!(peer_fetch_spans > 0, "dependence fetches must record peer_fetch spans");
+    assert!(
+        get_roots > 0,
+        "daemons serving propagated fetches must open child request roots on the same trace"
+    );
+
+    // The slow log carries the same roots with their stage breakdown.
+    let slow = h.cluster.slow_log_all(4).expect("slow log");
+    assert_eq!(slow.len(), SERVERS);
+    for (id, spans) in &slow {
+        let root = spans
+            .iter()
+            .find(|s| s.parent == 0 && s.op == OpClass::Exec && s.trace == trace)
+            .unwrap_or_else(|| panic!("daemon {id}: exec root missing from slow log"));
+        assert!(
+            spans.iter().any(|s| s.parent == root.span && s.stage == Stage::Kernel),
+            "daemon {id}: slow log root lacks its kernel breakdown"
+        );
+    }
+    h.teardown();
+}

@@ -129,6 +129,10 @@ fn arb_message() -> BoxedStrategy<Message> {
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(|bytes| Message::MetricsText {
             text: String::from_utf8_lossy(&bytes).into_owned(),
         }),
+        any::<u64>().prop_map(|trace| Message::TraceDump { trace }),
+        arb_payload().prop_map(|spans| Message::TraceDumpResp { spans }),
+        any::<u32>().prop_map(|per_class| Message::SlowLog { per_class }),
+        arb_payload().prop_map(|spans| Message::SlowLogResp { spans }),
         Just(Message::Ping),
         Just(Message::Pong),
         Just(Message::Shutdown),

@@ -1,6 +1,6 @@
 //! Dependency-free observability for the DAS stack.
 //!
-//! Three small pieces, shared by every crate in the workspace:
+//! Five small pieces, shared by every crate in the workspace:
 //!
 //! * [`metrics`] — a registry of atomic counters, gauges and
 //!   log₂-bucketed histograms, encoded in Prometheus text exposition
@@ -8,22 +8,34 @@
 //! * [`log`] — leveled, targeted structured events with a compact
 //!   human format on stderr and an optional JSON-lines sink,
 //!   configured via `DASD_LOG` / `DASD_LOG_FORMAT`;
+//! * [`ratelimit`] — deterministic per-event-name token buckets over
+//!   the event sink, so per-request diagnostics at bench rates
+//!   cannot flood stderr (suppression is counted, never silent);
 //! * [`trace`] — per-request trace-id minting, carried over the wire
 //!   behind the `CAP_TRACE` capability so one offload's cross-server
-//!   fan-out is correlatable end to end.
+//!   fan-out is correlatable end to end;
+//! * [`span`] — stage-typed span records keyed by those trace ids,
+//!   and the bounded per-daemon [`SpanStore`] flight recorder behind
+//!   the `TraceDump`/`SlowLog` RPCs.
 //!
 //! The crate has **no dependencies** (std only) so every layer — the
 //! codec, the daemon, the client, the in-process runtime — can afford
 //! to link it.
 
-
 pub mod log;
 pub mod metrics;
+pub mod ratelimit;
+pub mod span;
 pub mod trace;
 
 pub use log::{enabled, event, set_json, set_level, Level};
 pub use metrics::{
     histogram_quantile, parse, quantile_from_buckets, sample_value, Counter, Gauge, Histogram,
     Registry, Sample,
+};
+pub use ratelimit::{event_limited, suppressed_total};
+pub use span::{
+    decode_spans, encode_spans, hedge_sub_id, note_name, OpClass, SpanRecord, SpanStore, Stage,
+    NOTE_HEDGE, NOTE_NONE, NOTE_SHED_BACKLOG, NOTE_SHED_DEADLINE,
 };
 pub use trace::next_trace_id;

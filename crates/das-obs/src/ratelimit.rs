@@ -1,0 +1,168 @@
+//! Rate-limited structured-event emission.
+//!
+//! The span/trace layer makes per-request events cheap to want and
+//! ruinous to have: at `das bench` rates an unthrottled Debug event
+//! per hedge or per traced request would melt stderr and distort the
+//! very latencies being measured. [`event_limited`] wraps
+//! [`crate::log::event`] with a **deterministic token bucket keyed by
+//! event name**: each name may burst [`BURST`] events, then refills
+//! at one token per [`REFILL_MS`] milliseconds of monotonic time.
+//! No randomness, no sampling — the same event sequence on the same
+//! timeline always suppresses the same events.
+//!
+//! Suppression is never silent: a global counter records every
+//! dropped event ([`suppressed_total`]), and daemons mirror it into
+//! their metrics registry so `das stats` can show when the throttle
+//! engaged.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::log::{self, Level};
+
+/// Events one name may emit back-to-back before the throttle engages.
+pub const BURST: u32 = 8;
+
+/// Milliseconds of monotonic time that refill one token — the
+/// sustained rate is 1000 / `REFILL_MS` events per second per name.
+pub const REFILL_MS: u64 = 100;
+
+/// One event name's deterministic token bucket. Public so tests (and
+/// other deterministic consumers) can drive it with an explicit
+/// clock; the global [`event_limited`] keyed registry wraps it with
+/// process-monotonic time.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    tokens: u32,
+    /// Monotonic timestamp the bucket last refilled at, rounded down
+    /// to whole refill periods — so refill arithmetic is exact.
+    refilled_at: Duration,
+}
+
+impl TokenBucket {
+    /// A full bucket whose clock starts at `now`.
+    pub fn new(now: Duration) -> TokenBucket {
+        TokenBucket { tokens: BURST, refilled_at: now }
+    }
+
+    /// Admit or suppress one event at monotonic time `now`. Exact
+    /// integer arithmetic: `now` before `refilled_at` (never happens
+    /// with a monotonic clock) refills nothing.
+    pub fn admit(&mut self, now: Duration) -> bool {
+        let elapsed_ms = now.saturating_sub(self.refilled_at).as_millis() as u64;
+        let refill = elapsed_ms / REFILL_MS;
+        if refill > 0 {
+            self.tokens = self.tokens.saturating_add(refill.min(u64::from(BURST)) as u32).min(BURST);
+            self.refilled_at += Duration::from_millis(refill * REFILL_MS);
+        }
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+static SUPPRESSED: AtomicU64 = AtomicU64::new(0);
+
+struct Limiter {
+    epoch: Instant,
+    buckets: Mutex<HashMap<&'static str, TokenBucket>>,
+}
+
+fn limiter() -> &'static Limiter {
+    static LIMITER: OnceLock<Limiter> = OnceLock::new();
+    LIMITER.get_or_init(|| Limiter { epoch: Instant::now(), buckets: Mutex::new(HashMap::new()) })
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Emit one structured event through the per-name token bucket.
+///
+/// `name` keys the bucket and must be a static string (event names
+/// are a closed set; the bucket table must not grow with traffic).
+/// A suppressed event only bumps the global suppressed counter.
+/// Events the level gate would drop anyway consume no token.
+pub fn event_limited(level: Level, target: &str, name: &'static str, fields: &[(&str, String)]) {
+    if !log::enabled(level) {
+        return;
+    }
+    let lim = limiter();
+    let now = lim.epoch.elapsed();
+    let admitted = {
+        let mut buckets = lock(&lim.buckets);
+        buckets.entry(name).or_insert_with(|| TokenBucket::new(now)).admit(now)
+    };
+    if admitted {
+        log::event(level, target, name, fields);
+    } else {
+        SUPPRESSED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Events suppressed by the throttle since process start, across all
+/// names. Daemons mirror this into `das_obs_events_suppressed_total`.
+pub fn suppressed_total() -> u64 {
+    SUPPRESSED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn bucket_bursts_then_throttles_then_refills() {
+        let mut b = TokenBucket::new(ms(0));
+        for _ in 0..BURST {
+            assert!(b.admit(ms(0)), "burst must be admitted");
+        }
+        assert!(!b.admit(ms(0)), "burst exhausted");
+        assert!(!b.admit(ms(REFILL_MS - 1)), "one ms short of a token");
+        assert!(b.admit(ms(REFILL_MS)), "one refill period → one token");
+        assert!(!b.admit(ms(REFILL_MS)), "that token is spent");
+        // A long quiet period refills to the cap, not beyond.
+        assert!(b.admit(ms(100 * REFILL_MS)));
+        for _ in 1..BURST {
+            assert!(b.admit(ms(100 * REFILL_MS)));
+        }
+        assert!(!b.admit(ms(100 * REFILL_MS)));
+    }
+
+    #[test]
+    fn bucket_is_deterministic() {
+        let drive = |times: &[u64]| -> Vec<bool> {
+            let mut b = TokenBucket::new(ms(0));
+            times.iter().map(|&t| b.admit(ms(t))).collect()
+        };
+        let times: Vec<u64> = (0..64).map(|i| i * 37).collect();
+        assert_eq!(drive(&times), drive(&times), "same timeline → same decisions");
+    }
+
+    #[test]
+    fn suppressed_events_are_counted() {
+        crate::log::disable();
+        // Disabled-level events must consume no token and no counter.
+        let before = suppressed_total();
+        event_limited(Level::Error, "test", "rl-gated-event", &[]);
+        assert_eq!(suppressed_total(), before);
+        crate::log::set_level(Level::Error);
+        let before = suppressed_total();
+        for _ in 0..BURST + 3 {
+            event_limited(Level::Error, "test", "rl-counted-event", &[]);
+        }
+        assert_eq!(suppressed_total(), before + 3);
+        crate::log::disable();
+    }
+}

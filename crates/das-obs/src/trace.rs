@@ -9,6 +9,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};
 
+/// The SplitMix64 finalizer — shared with hedge sub-id derivation.
+pub(crate) fn mix(x: u64) -> u64 {
+    splitmix64(x)
+}
+
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

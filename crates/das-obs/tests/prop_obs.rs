@@ -1,11 +1,55 @@
-//! Property tests for the metrics layer: histogram bucketing is
+//! Property tests for the metrics layer (histogram bucketing is
 //! monotone and total-preserving under arbitrary `u64` observations,
-//! and the Prometheus text encoding round-trips name/label escaping.
+//! the Prometheus text encoding round-trips name/label escaping) and
+//! for the span flight recorder (ring eviction is deterministic
+//! against a reference model, the slowest-N reservoir keeps exactly
+//! the N largest roots, span nesting survives any finish order, and
+//! the wire codec round-trips).
 
 use das_obs::metrics::{
     bucket_index, bucket_upper_bound, parse, sample_value, sanitize_name, Registry, HIST_BUCKETS,
 };
+use das_obs::{decode_spans, encode_spans, OpClass, SpanRecord, SpanStore, Stage};
 use proptest::prelude::*;
+
+/// One recorded span as raw generator output.
+#[derive(Debug, Clone)]
+struct GenSpan {
+    trace: u64,
+    stage: usize,
+    op: usize,
+    note: u8,
+    start_us: u64,
+    dur_us: u64,
+}
+
+fn gen_span() -> impl Strategy<Value = GenSpan> {
+    (1u64..=50, 0usize..Stage::ALL.len(), 0usize..OpClass::ALL.len(), 0u8..4, 0u64..10_000, 0u64..10_000)
+        .prop_map(|(trace, stage, op, note, start_us, dur_us)| GenSpan {
+            trace,
+            stage,
+            op,
+            note,
+            start_us,
+            dur_us,
+        })
+}
+
+fn replay(store: &SpanStore, ops: &[GenSpan]) -> Vec<u32> {
+    ops.iter()
+        .map(|g| {
+            store.record(
+                g.trace,
+                0,
+                Stage::ALL[g.stage],
+                OpClass::ALL[g.op],
+                g.note,
+                g.start_us,
+                g.dur_us,
+            )
+        })
+        .collect()
+}
 
 proptest! {
     // Bucket upper bounds are strictly increasing and every value
@@ -81,5 +125,140 @@ proptest! {
         prop_assert_eq!(&samples[0].name, &sanitize_name(&name));
         prop_assert_eq!(&samples[0].labels, &vec![(sanitize_name(&key), value)]);
         prop_assert_eq!(samples[0].value, n as f64);
+    }
+
+    // Ring eviction is strict FIFO and deterministic: replaying the
+    // identical record sequence into two stores yields identical span
+    // ids, identical eviction counts, and identical dumps for every
+    // trace; the eviction count and retained length match the
+    // reference model exactly.
+    #[test]
+    fn span_ring_eviction_matches_reference_model(
+        ops in prop::collection::vec(gen_span(), 0..120),
+        capacity in 1usize..16,
+    ) {
+        let a = SpanStore::with_bounds(0, capacity, 4);
+        let b = SpanStore::with_bounds(0, capacity, 4);
+        let ids_a = replay(&a, &ops);
+        let ids_b = replay(&b, &ops);
+        prop_assert_eq!(&ids_a, &ids_b, "span id assignment must be deterministic");
+        // Ids are assigned 1, 2, 3, … in record order.
+        for (i, &id) in ids_a.iter().enumerate() {
+            prop_assert_eq!(id as usize, i + 1);
+        }
+        let n = ops.len();
+        prop_assert_eq!(a.evicted(), n.saturating_sub(capacity) as u64);
+        prop_assert_eq!(a.len(), n.min(capacity));
+        for trace in 1..=50u64 {
+            prop_assert_eq!(a.dump_trace(trace), b.dump_trace(trace));
+        }
+        // The last `capacity` records survive in their trace's dump;
+        // evicted non-roots (which cannot hide in the reservoir) do
+        // not.
+        for (i, g) in ops.iter().enumerate() {
+            let id = (i + 1) as u32;
+            let retained = a.dump_trace(g.trace).iter().any(|r| r.span == id);
+            if i >= n.saturating_sub(capacity) {
+                prop_assert!(retained, "ring record {id} vanished");
+            } else {
+                let root = matches!(Stage::ALL[g.stage], Stage::Dispatch | Stage::Shed);
+                if !root {
+                    prop_assert!(!retained, "evicted sub-span {id} still dumped");
+                }
+            }
+        }
+    }
+
+    // The reservoir holds exactly the N slowest roots of each class:
+    // ties break toward the newer record, so the kept set is a pure
+    // function of the input sequence.
+    #[test]
+    fn span_reservoir_keeps_the_n_slowest_roots(
+        durs in prop::collection::vec(0u64..50, 1..40),
+        slow_n in 1usize..6,
+    ) {
+        let store = SpanStore::with_bounds(0, 1, slow_n);
+        for (i, &d) in durs.iter().enumerate() {
+            store.record(1 + i as u64, 0, Stage::Dispatch, OpClass::Get, 0, i as u64, d);
+        }
+        // Reference: keep the slow_n largest by (dur, seq), seq = index.
+        let mut ranked: Vec<(usize, u64)> = durs.iter().copied().enumerate().collect();
+        ranked.sort_by_key(|&(i, d)| (std::cmp::Reverse(d), std::cmp::Reverse(i)));
+        let mut want: Vec<u32> = ranked.iter().take(slow_n).map(|&(i, _)| (i + 1) as u32).collect();
+        want.sort_unstable();
+        let mut got: Vec<u32> =
+            store.slowest(slow_n).iter().filter(|r| r.parent == 0).map(|r| r.span).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Asking for more than the reservoir depth clamps.
+        prop_assert!(
+            store.slowest(slow_n + 100).iter().filter(|r| r.parent == 0).count()
+                <= slow_n.min(durs.len())
+        );
+    }
+
+    // Nesting lifecycle: a reserved root can finish *after* its
+    // children in any interleaving; the dump still links every child
+    // to the root and comes back sorted by (start_us, span).
+    #[test]
+    fn span_nesting_survives_any_finish_order(
+        children in prop::collection::vec((0u64..1000, 0u64..1000), 0..12),
+        root_last in any::<bool>(),
+    ) {
+        let store = SpanStore::new(7);
+        let trace = 0xABCD;
+        let root = store.reserve();
+        let finish_root = |s: &SpanStore| {
+            s.record_reserved(root, trace, 0, Stage::Dispatch, OpClass::Exec, 0, 0, 5000);
+        };
+        if !root_last {
+            finish_root(&store);
+        }
+        for &(start, dur) in &children {
+            store.record(trace, root, Stage::Kernel, OpClass::Exec, 0, start, dur);
+        }
+        if root_last {
+            finish_root(&store);
+        }
+        let dump = store.dump_trace(trace);
+        prop_assert_eq!(dump.len(), children.len() + 1);
+        prop_assert_eq!(dump.iter().filter(|r| r.span == root && r.parent == 0).count(), 1);
+        for r in dump.iter().filter(|r| r.span != root) {
+            prop_assert_eq!(r.parent, root, "child not linked to its reserved root");
+        }
+        for w in dump.windows(2) {
+            prop_assert!((w[0].start_us, w[0].span) <= (w[1].start_us, w[1].span));
+        }
+    }
+
+    // The span wire codec round-trips arbitrary records, and any
+    // truncation is rejected rather than partially decoded.
+    #[test]
+    fn span_codec_roundtrips_and_rejects_truncation(
+        ops in prop::collection::vec(gen_span(), 0..20),
+        cut in 1usize..40,
+    ) {
+        let records: Vec<SpanRecord> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, g)| SpanRecord {
+                trace: g.trace,
+                span: (i + 1) as u32,
+                parent: 0,
+                daemon: 3,
+                stage: Stage::ALL[g.stage],
+                op: OpClass::ALL[g.op],
+                note: g.note,
+                start_us: g.start_us,
+                dur_us: g.dur_us,
+            })
+            .collect();
+        let blob = encode_spans(&records);
+        let decoded = decode_spans(&blob);
+        prop_assert_eq!(decoded.as_deref(), Some(&records[..]));
+        if !records.is_empty() {
+            let cut = cut.min(blob.len() - 1);
+            prop_assert_eq!(decode_spans(&blob[..blob.len() - cut]), None);
+        }
     }
 }

@@ -47,6 +47,11 @@ fn usage() -> ! {
          \x20 stats                        wire-byte counters + each daemon's live\n\
          \x20                              metrics registry (decision outcomes,\n\
          \x20                              predicted-vs-measured dependence traffic)\n\
+         \x20        [--slow [--per-class N]]  each daemon's slowest requests per op\n\
+         \x20                              class with their stage breakdown\n\
+         \x20 trace  <id>                  cross-daemon waterfall for one trace id\n\
+         \x20                              (the hex id `das exec` logs / `begin_trace`\n\
+         \x20                              returns), from each daemon's flight recorder\n\
          \x20 reset-stats                  zero the counters\n\
          \x20 shutdown                     stop every daemon\n\
          \x20 bench                        open-loop load generator -> BENCH_net.json\n\
@@ -275,6 +280,15 @@ fn bench_command(opts: &HashMap<String, String>) {
             "  backpressure: peak queue depth {} / sheds {}",
             r.queue_depth_peak, r.requests_shed
         );
+        if !r.stages.is_empty() {
+            println!("  server-side stage attribution (mean/p99 us):");
+            for s in &r.stages {
+                println!(
+                    "    {:<11} {:<7} n={:<7} {:>8.0} / {:>8.0}",
+                    s.stage, s.op, s.count, s.mean_us, s.p99_us
+                );
+            }
+        }
     }
     if cmp.runs.len() > 1 {
         println!("winner: {} ({:.2}x throughput)", cmp.winner, cmp.speedup);
@@ -324,6 +338,95 @@ fn print_client_summary(cluster: &DasCluster) {
     }
 }
 
+/// Columns of the ASCII waterfall bar.
+const WATERFALL_COLS: usize = 32;
+
+/// One waterfall line: `[bar] +offset dur stage op (note)`, indented
+/// one level for sub-spans.
+fn print_span_line(s: &das_obs::SpanRecord, t0: u64, window_us: u64, depth: usize) {
+    let off = s.start_us.saturating_sub(t0);
+    let window = window_us.max(1) as usize;
+    let lead = ((off as usize * WATERFALL_COLS) / window).min(WATERFALL_COLS - 1);
+    let fill = ((s.dur_us as usize * WATERFALL_COLS) / window).clamp(1, WATERFALL_COLS - lead);
+    let bar: String = " ".repeat(lead) + &"#".repeat(fill) + &" ".repeat(WATERFALL_COLS - lead - fill);
+    let indent = if depth == 0 { "" } else { "  " };
+    let note = das_obs::note_name(s.note);
+    let note = if note.is_empty() { String::new() } else { format!(" ({note})") };
+    println!(
+        "  [{bar}] {indent}+{:>8} us {:>8} us  {:<11} {}{note}",
+        off,
+        s.dur_us,
+        s.stage.name(),
+        s.op.name()
+    );
+}
+
+/// Render each daemon's spans for one trace as an indented waterfall.
+/// Offsets are relative to the daemon's own earliest span: daemon
+/// clocks are monotonic and local, so bars align *within* a daemon;
+/// across daemons only the shared trace id correlates the work.
+fn print_trace_waterfall(dumps: &[(u32, Vec<das_obs::SpanRecord>)]) {
+    if dumps.iter().all(|(_, s)| s.is_empty()) {
+        println!("no spans retained for this trace (evicted from the ring, or never traced)");
+        return;
+    }
+    for (id, spans) in dumps {
+        if spans.is_empty() {
+            continue;
+        }
+        let t0 = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+        let window =
+            spans.iter().map(|s| s.start_us + s.dur_us).max().unwrap_or(t0).saturating_sub(t0);
+        println!("server {id} ({} spans, {window} us window):", spans.len());
+        // Two levels deep by construction: roots carry parent 0, every
+        // sub-span points at its root.
+        for root in spans.iter().filter(|s| s.parent == 0) {
+            print_span_line(root, t0, window, 0);
+            for child in spans.iter().filter(|s| s.parent == root.span) {
+                print_span_line(child, t0, window, 1);
+            }
+        }
+        // Sub-spans whose root was evicted from the ring still print,
+        // unparented, rather than vanishing.
+        for s in spans.iter().filter(|s| s.parent != 0) {
+            if !spans.iter().any(|r| r.span == s.parent) {
+                print_span_line(s, t0, window, 1);
+            }
+        }
+    }
+}
+
+/// `das stats --slow`: each daemon's slowest-roots reservoir, grouped
+/// by op class, each root with its retained stage breakdown.
+fn print_slow_log(dumps: &[(u32, Vec<das_obs::SpanRecord>)]) {
+    if dumps.iter().all(|(_, s)| s.is_empty()) {
+        println!("no slow-log spans retained yet");
+        return;
+    }
+    for (id, spans) in dumps {
+        println!("--- server {id} slowest requests ---");
+        let mut roots: Vec<&das_obs::SpanRecord> = spans.iter().filter(|s| s.parent == 0).collect();
+        // Group by op class, slowest first within each.
+        roots.sort_by_key(|r| (r.op as u8, std::cmp::Reverse(r.dur_us)));
+        for root in roots {
+            let note = das_obs::note_name(root.note);
+            let note = if note.is_empty() { String::new() } else { format!(" ({note})") };
+            println!(
+                "  {:<7} {:>8} us  trace {:016x}{note}",
+                root.op.name(),
+                root.dur_us,
+                root.trace
+            );
+            let mut subs: Vec<&das_obs::SpanRecord> =
+                spans.iter().filter(|s| s.parent == root.span).collect();
+            subs.sort_by_key(|s| s.start_us);
+            for sub in subs {
+                println!("    {:<11} {:>8} us", sub.stage.name(), sub.dur_us);
+            }
+        }
+    }
+}
+
 fn main() {
     das_obs::log::init_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -333,13 +436,17 @@ fn main() {
     let command = args.remove(0);
 
     let mut opts: HashMap<String, String> = HashMap::new();
+    // `das trace <id>` takes its trace id as a bare positional.
+    if command == "trace" && args.first().is_some_and(|a| !a.starts_with("--")) {
+        opts.insert("id".to_string(), args.remove(0));
+    }
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let Some(key) = flag.strip_prefix("--") else {
             println!("expected --flag, got {flag:?}");
             usage();
         };
-        if key == "raw" || key == "one-shot" {
+        if key == "raw" || key == "one-shot" || key == "slow" {
             opts.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -491,7 +598,26 @@ fn main() {
             } else {
                 print_registry_summary(&dumps);
             }
+            if opts.contains_key("slow") {
+                let per_class: u32 = opts
+                    .get("per-class")
+                    .map_or(4, |v| v.parse().unwrap_or_else(|_| fail("bad --per-class")));
+                let slow = cluster.slow_log_all(per_class).unwrap_or_else(|e| fail(e));
+                print_slow_log(&slow);
+            }
             print_client_summary(&cluster);
+        }
+        "trace" => {
+            let raw = opts.get("id").unwrap_or_else(|| {
+                println!("`das trace` needs a trace id (hex)");
+                usage();
+            });
+            let hex = raw.trim_start_matches("0x");
+            let id = u64::from_str_radix(hex, 16)
+                .unwrap_or_else(|_| fail(format!("bad trace id {raw:?} (want hex)")));
+            let dumps = cluster.trace_dump_all(id).unwrap_or_else(|e| fail(e));
+            println!("trace {id:016x}");
+            print_trace_waterfall(&dumps);
         }
         "reset-stats" => {
             cluster.reset_stats().unwrap_or_else(|e| fail(e));
