@@ -7,7 +7,8 @@
 //! * `--root PATH` — repository root to analyze (default `.`).
 //! * `--pass NAME` — run only the named pass (repeatable; default
 //!   all of `registry`, `descriptors`, `protocol`, `fetchgraph`,
-//!   `lints`, `taint`, `lockgraph`, `model`).
+//!   `lints`, `taint`, `lockgraph`, `model`, `lockset`, `atomics`,
+//!   `pipemodel`).
 //! * `--json` — one JSON object per finding on stdout instead of
 //!   aligned text.
 //! * `--deny` — exit 1 if any warning- or error-level finding was

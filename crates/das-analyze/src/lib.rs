@@ -1,6 +1,6 @@
 //! # das-analyze — static analysis for the DAS workspace
 //!
-//! Eight passes, each emitting machine-readable [`Finding`]s
+//! Eleven passes, each emitting machine-readable [`Finding`]s
 //! (`registry::REGISTRY` is the code registry; `das-analyze --list`
 //! prints it, `docs/ANALYSIS.md` documents it):
 //!
@@ -47,17 +47,35 @@
 //!   driving the real codec and retry policy, and report any stuck
 //!   state, idempotence breach, or discipline violation with a
 //!   minimal counterexample trace.
+//! * [`lockset`] — RacerD-style guard inference over das-net/das-obs:
+//!   which mutex dominates each shared struct field, every access
+//!   checked against its dominating guard, dead locks and guardless
+//!   `Arc` interior mutation flagged, with witness access sites.
+//! * [`atomics`] — atomics-ordering audit over
+//!   das-net/das-obs/das-load: every `Ordering::*` use classified;
+//!   Relaxed loads feeding control flow (the publication pattern),
+//!   mismatched store/load strength on one atomic, and discarded
+//!   `fetch_*` results flagged, with justification-checked waivers.
+//! * [`pipemodel`] — bounded model checker for the *pipelined*
+//!   session: 4-deep per-connection pipelining with completion-order
+//!   replies, DRR weights, `--max-backlog` admission with
+//!   shed-then-retry, per-hop deadline budgets, and hedge lanes —
+//!   asserting no lost/duplicated reply ids, shed-then-retry
+//!   liveness, deadline monotonicity, and hedge-winner uniqueness.
 //!
 //! The `das-analyze` binary runs the passes against a repository
 //! root; `--deny` turns any warning- or error-level finding into a
 //! nonzero exit for CI.
 
+pub mod atomics;
 pub mod descriptors;
 pub mod fetchgraph;
 pub mod finding;
 pub mod lints;
 pub mod lockgraph;
+pub mod lockset;
 pub mod model;
+pub mod pipemodel;
 pub mod protocol;
 pub mod registry;
 pub mod syntax;
@@ -68,7 +86,7 @@ use std::path::Path;
 pub use finding::{Finding, Report, Severity};
 
 /// Pass names in execution order, as accepted by `--pass`.
-pub const PASSES: [&str; 8] = [
+pub const PASSES: [&str; 11] = [
     "registry",
     "descriptors",
     "protocol",
@@ -77,6 +95,9 @@ pub const PASSES: [&str; 8] = [
     "taint",
     "lockgraph",
     "model",
+    "lockset",
+    "atomics",
+    "pipemodel",
 ];
 
 /// Run one pass by name against a repository root. `None` for an
@@ -91,6 +112,9 @@ pub fn run_pass(name: &str, root: &Path) -> Option<Vec<Finding>> {
         "taint" => Some(taint::run(root)),
         "lockgraph" => Some(lockgraph::run(root)),
         "model" => Some(model::run(root)),
+        "lockset" => Some(lockset::run(root)),
+        "atomics" => Some(atomics::run(root)),
+        "pipemodel" => Some(pipemodel::run(root)),
         _ => None,
     }
 }

@@ -21,6 +21,11 @@
 //!   non-test) code. Library crates must not write to a stdout they
 //!   do not own; das-bench's report harness is the sanctioned
 //!   exception.
+//! * `DA430` (warning) — a `// das-lint: allow(CODE)` waiver that
+//!   suppressed nothing. Stale waivers are worse than none: they
+//!   read as "this site is audited" while silently licensing the
+//!   next regression. Every waiver-honoring pass reports its own
+//!   stale waivers through [`stale_waivers`].
 //!
 //! The pass runs on the token stream from [`crate::syntax`], not on
 //! raw lines: a `.unwrap()` inside a string literal, an `eprintln!`
@@ -40,32 +45,41 @@ use crate::syntax::{self, TokKind, Token};
 
 const PASS: &str = "lints";
 
-/// das-net modules on the request path: every byte they touch comes
-/// off a socket, so panics are remote-triggerable.
-pub const REQUEST_PATH: [&str; 9] = [
-    "client.rs",
-    "server.rs",
-    "codec.rs",
-    "peer.rs",
-    "retry.rs",
-    "proto.rs",
-    "engine.rs",
-    "pipeline.rs",
-    "hedge.rs",
+/// Request-path modules (repo-relative suffixes): every byte the
+/// das-net entries touch comes off a socket, so panics are
+/// remote-triggerable; the das-load entries and the `das` CLI drive
+/// live fleets from CI and long soak runs, where an unwrap on a
+/// transient error kills the run instead of counting it.
+pub const REQUEST_PATH: [&str; 13] = [
+    "crates/das-net/src/client.rs",
+    "crates/das-net/src/server.rs",
+    "crates/das-net/src/codec.rs",
+    "crates/das-net/src/peer.rs",
+    "crates/das-net/src/retry.rs",
+    "crates/das-net/src/proto.rs",
+    "crates/das-net/src/engine.rs",
+    "crates/das-net/src/pipeline.rs",
+    "crates/das-net/src/hedge.rs",
+    "crates/das-load/src/lib.rs",
+    "crates/das-load/src/fleet.rs",
+    "crates/das-load/src/report.rs",
+    "src/bin/das.rs",
 ];
 
-/// The declared lock hierarchy for das-net (outermost first). A
-/// function's first acquisitions must follow this order. `inbox`,
-/// `sched` and `done` are the event-loop engine's shard queues and
-/// fair scheduler (the shed path pushes an `Overloaded` reply to
-/// `done` while holding `sched`, hence the order); `pending` and `wr`
-/// belong to the pipelined client (reply-routing table, then write
-/// half); `ewma` is the hedging load tracker; `spans` is the span
+/// The declared lock hierarchy (outermost first). A function's first
+/// acquisitions must follow this order. `inbox`, `sched` and `done`
+/// are the event-loop engine's shard queues and fair scheduler (the
+/// shed path pushes an `Overloaded` reply to `done` while holding
+/// `sched`, hence the order); `pending` and `wr` belong to the
+/// pipelined client (reply-routing table, then write half); `ewma`
+/// is the hedging load tracker; `errs` is das-load's monitor-state
+/// error breakdown, held only to bump a counter; `spans` is the span
 /// flight recorder's ring/reservoir state, the hierarchy's leaf —
 /// nothing may be acquired while it is held, so every request-path
 /// stage can record a span under any combination of the other ranks.
-pub const LOCK_HIERARCHY: [&str; 11] = [
-    "rx", "conns", "inner", "downs", "inbox", "sched", "done", "pending", "wr", "ewma", "spans",
+pub const LOCK_HIERARCHY: [&str; 12] = [
+    "rx", "conns", "inner", "downs", "inbox", "sched", "done", "pending", "wr", "ewma", "errs",
+    "spans",
 ];
 
 /// Crates whose library code may print to stdout: das-obs is the
@@ -91,12 +105,14 @@ pub fn run(root: &Path) -> Vec<Finding> {
     out
 }
 
-/// Every `crates/*/src/**/*.rs` file under `root`, as
-/// (repo-relative path, contents), sorted by path. Shared with the
-/// taint and lock-graph passes.
+/// Every `crates/*/src/**/*.rs` file under `root`, plus the root
+/// package's `src/**/*.rs` (the `das` CLI), as (repo-relative path,
+/// contents), sorted by path. Shared with the taint, lock-graph,
+/// lockset and atomics passes.
 pub fn workspace_sources(root: &Path) -> Vec<(String, String)> {
     let mut files = Vec::new();
     collect_rs_files(&root.join("crates"), &mut files);
+    collect_rs_files(&root.join("src"), &mut files);
     files.sort();
     let mut out = Vec::new();
     for path in files {
@@ -134,22 +150,25 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
     }
 }
 
-/// Which crate (directory under `crates/`) a repo-relative path is in.
+/// Which crate a repo-relative path is in: the directory under
+/// `crates/`, or `das` for the root package's `src/` tree.
 pub fn crate_of(rel: &str) -> &str {
+    if rel.starts_with("src/") {
+        return "das";
+    }
     rel.strip_prefix("crates/")
         .and_then(|r| r.split('/').next())
         .unwrap_or("")
 }
 
 fn is_bin(rel: &str) -> bool {
-    rel.contains("/src/bin/") || rel.ends_with("/main.rs")
+    rel.contains("/src/bin/") || rel.starts_with("src/bin/") || rel.ends_with("/main.rs")
 }
 
-/// Whether a repo-relative path is one of das-net's wire-facing
-/// request-path modules.
+/// Whether a repo-relative path is one of the request-path modules
+/// in [`REQUEST_PATH`].
 pub fn is_request_path(rel: &str) -> bool {
-    crate_of(rel) == "das-net"
-        && REQUEST_PATH.iter().any(|m| rel.ends_with(&format!("src/{m}")))
+    REQUEST_PATH.iter().any(|m| rel.ends_with(m))
 }
 
 /// A lock acquisition found in a token stream.
@@ -230,7 +249,12 @@ pub fn lint_file(rel: &str, src: &str, out: &mut Vec<Finding>) {
     let toks = &lx.tokens;
     let request_path = is_request_path(rel);
     let library = !is_bin(rel) && !STDOUT_EXEMPT.contains(&crate_of(rel));
-    let in_das_net = crate_of(rel) == "das-net";
+    // Hierarchy-ranked crates: das-net owns most of the hierarchy,
+    // das-load contributes the monitor-state `errs` rank.
+    let ranked = matches!(crate_of(rel), "das-net" | "das-load");
+    // (finding line, code) pairs where a waiver actually suppressed a
+    // finding — fuel for the stale-waiver sweep at the end.
+    let mut used: Vec<(u32, String)> = Vec::new();
 
     for i in 0..toks.len() {
         if mask.get(i).copied().unwrap_or(false) {
@@ -246,7 +270,7 @@ pub fn lint_file(rel: &str, src: &str, out: &mut Vec<Finding>) {
         let banged = toks.get(i + 1).is_some_and(|n| n.text == "!");
 
         if request_path {
-            if t.text == "unwrap" && dotted_call && !lx.waived(t.line, "DA401") {
+            if t.text == "unwrap" && dotted_call && !waive(&lx, t.line, "DA401", &mut used) {
                 out.push(site(
                     "DA401",
                     rel,
@@ -254,7 +278,7 @@ pub fn lint_file(rel: &str, src: &str, out: &mut Vec<Finding>) {
                     "`.unwrap()` on the request path — a malformed or unlucky input panics the daemon; return a typed NetError instead",
                 ));
             }
-            if t.text == "expect" && dotted_call && !lx.waived(t.line, "DA402") {
+            if t.text == "expect" && dotted_call && !waive(&lx, t.line, "DA402", &mut used) {
                 out.push(site(
                     "DA402",
                     rel,
@@ -262,7 +286,7 @@ pub fn lint_file(rel: &str, src: &str, out: &mut Vec<Finding>) {
                     "`.expect(` on the request path — same hazard as unwrap; return a typed NetError instead",
                 ));
             }
-            if t.text == "panic" && banged && !lx.waived(t.line, "DA403") {
+            if t.text == "panic" && banged && !waive(&lx, t.line, "DA403", &mut used) {
                 out.push(site(
                     "DA403",
                     rel,
@@ -276,7 +300,7 @@ pub fn lint_file(rel: &str, src: &str, out: &mut Vec<Finding>) {
             && banged
             && crate_of(rel) != "das-obs"
             && !is_bin(rel)
-            && !lx.waived(t.line, "DA404")
+            && !waive(&lx, t.line, "DA404", &mut used)
         {
             out.push(site(
                 "DA404",
@@ -286,7 +310,7 @@ pub fn lint_file(rel: &str, src: &str, out: &mut Vec<Finding>) {
             ));
         }
 
-        if t.text == "println" && banged && library && !lx.waived(t.line, "DA406") {
+        if t.text == "println" && banged && library && !waive(&lx, t.line, "DA406", &mut used) {
             out.push(Finding::new(
                 "DA406",
                 Severity::Warning,
@@ -301,7 +325,7 @@ pub fn lint_file(rel: &str, src: &str, out: &mut Vec<Finding>) {
     // the first time a function acquires it; a rank lower than one
     // already held is an inversion. Nested fn bodies are scanned as
     // their own windows and skipped in the enclosing one.
-    if in_das_net {
+    if ranked {
         let fns = syntax::extract_fns(&lx);
         for (fi, f) in fns.iter().enumerate() {
             if f.in_test || f.body.is_empty() {
@@ -327,7 +351,7 @@ pub fn lint_file(rel: &str, src: &str, out: &mut Vec<Finding>) {
                     continue;
                 }
                 if let Some(&held) = seen.iter().max() {
-                    if rank < held && !lx.waived(s.line, "DA405") {
+                    if rank < held && !waive(&lx, s.line, "DA405", &mut used) {
                         out.push(site(
                             "DA405",
                             rel,
@@ -341,6 +365,74 @@ pub fn lint_file(rel: &str, src: &str, out: &mut Vec<Finding>) {
                 }
                 seen.push(rank);
             }
+        }
+    }
+
+    stale_waivers(
+        PASS,
+        rel,
+        &lx,
+        &["DA401", "DA402", "DA403", "DA404", "DA405", "DA406"],
+        &used,
+        out,
+    );
+}
+
+/// Check a waiver and record the use when it fires, so the
+/// stale-waiver sweep can tell live waivers from dead ones.
+fn waive(lx: &syntax::Lexed, line: u32, code: &'static str, used: &mut Vec<(u32, String)>) -> bool {
+    if lx.waived(line, code) {
+        used.push((line, code.to_string()));
+        true
+    } else {
+        false
+    }
+}
+
+/// A lexed file carried between a pass's scan and its stale-waiver
+/// sweep: repo-relative path, token stream, and the (finding line,
+/// code) pairs where a waiver fired.
+pub type LexedFile = (String, syntax::Lexed, Vec<(u32, String)>);
+
+/// `DA430` — stale-waiver sweep, shared by every waiver-honoring
+/// pass. `owned` is the set of codes the calling pass can suppress;
+/// `used` holds the (finding line, code) pairs where a waiver
+/// actually fired this run. A waiver comment on line `L` covers
+/// findings on `L` and `L+1`; one that covers nothing is reported.
+/// Waivers annotating `#[cfg(test)]` code are the tests' business
+/// and are skipped.
+pub fn stale_waivers(
+    pass: &'static str,
+    rel: &str,
+    lx: &syntax::Lexed,
+    owned: &[&str],
+    used: &[(u32, String)],
+    out: &mut Vec<Finding>,
+) {
+    let mask = syntax::test_mask(lx);
+    for (line, code) in lx.waivers() {
+        if !owned.contains(&code.as_str()) {
+            continue;
+        }
+        let in_test = lx
+            .tokens
+            .iter()
+            .position(|t| t.line >= line)
+            .is_some_and(|i| mask.get(i).copied().unwrap_or(false));
+        if in_test {
+            continue;
+        }
+        let fired = used.iter().any(|(l, c)| c == &code && (*l == line || *l == line + 1));
+        if !fired {
+            out.push(Finding::new(
+                "DA430",
+                Severity::Warning,
+                pass,
+                format!("{rel}:{line}"),
+                format!(
+                    "stale waiver: `das-lint: allow({code})` suppresses nothing — remove it so it cannot mask a future regression"
+                ),
+            ));
         }
     }
 }
@@ -471,6 +563,69 @@ fn fresh(&self) {
             .map(|s| s.name)
             .collect();
         assert_eq!(names, ["conns", "inner", "rx"]);
+    }
+
+    #[test]
+    fn das_load_and_cli_are_on_the_request_path() {
+        let mut out = Vec::new();
+        lint_file("crates/das-load/src/lib.rs", "fn f() { x.unwrap(); }\n", &mut out);
+        assert!(out.iter().any(|f| f.code == "DA401"), "{out:?}");
+        out.clear();
+        lint_file("src/bin/das.rs", "fn f() { x.expect(\"y\"); }\n", &mut out);
+        assert!(out.iter().any(|f| f.code == "DA402"), "{out:?}");
+        // The CLI is a bin: its prints are its own business.
+        out.clear();
+        lint_file("src/bin/das.rs", "fn f() { println!(\"x\"); eprintln!(\"y\"); }\n", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn errs_rank_is_part_of_the_hierarchy() {
+        let bad = "fn f(&self) { let s = lock(&self.errs); let e = lock(&self.ewma); }\n";
+        let mut out = Vec::new();
+        lint_file("crates/das-load/src/lib.rs", bad, &mut out);
+        assert!(out.iter().any(|f| f.code == "DA405"), "{out:?}");
+        let good = "fn f(&self) { let e = lock(&self.ewma); let s = lock(&self.errs); }\n";
+        out.clear();
+        lint_file("crates/das-load/src/lib.rs", good, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn stale_waiver_is_da430_and_live_waiver_is_not() {
+        let stale = "\
+fn handle(&self) {
+    // das-lint: allow(DA401) nothing below actually unwraps
+    let v = compute();
+}
+";
+        let mut out = Vec::new();
+        lint_file("crates/das-net/src/server.rs", stale, &mut out);
+        assert!(out.iter().any(|f| f.code == "DA430"), "{out:?}");
+
+        let live = "\
+fn handle(&self) {
+    // das-lint: allow(DA401) length checked two lines up
+    let v = frame.len().checked_sub(4).unwrap();
+}
+";
+        out.clear();
+        lint_file("crates/das-net/src/server.rs", live, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn waivers_in_test_code_are_not_stale() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    // das-lint: allow(DA401) fixture text, not a live waiver
+    fn t() {}
+}
+";
+        let mut out = Vec::new();
+        lint_file("crates/das-net/src/server.rs", src, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

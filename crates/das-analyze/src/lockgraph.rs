@@ -72,6 +72,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
     // conservatively) and remember waiver info per file.
     let mut facts: BTreeMap<String, FnFacts> = BTreeMap::new();
     let mut waivers: HashMap<String, syntax::Lexed> = HashMap::new();
+    let mut used: Vec<(String, u32, String)> = Vec::new();
     let mut fn_count = 0usize;
     let mut site_count = 0usize;
     for (rel, src) in lints::workspace_sources(root) {
@@ -205,7 +206,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
         let (Some(rh), Some(ra)) = (rank(&e.held), rank(&e.acquired)) else {
             continue;
         };
-        if ra < rh && !is_waived(&waivers, &e.file, e.line, "DA407") {
+        if ra < rh && !is_waived(&waivers, &e.file, e.line, "DA407", &mut used) {
             out.push(Finding::new(
                 "DA407",
                 Severity::Error,
@@ -227,8 +228,8 @@ pub fn run(root: &Path) -> Vec<Finding> {
             if !cycles_seen.insert(key) {
                 continue;
             }
-            if is_waived(&waivers, &e_ab.file, e_ab.line, "DA408")
-                || is_waived(&waivers, &e_ba.file, e_ba.line, "DA408")
+            if is_waived(&waivers, &e_ab.file, e_ab.line, "DA408", &mut used)
+                || is_waived(&waivers, &e_ba.file, e_ba.line, "DA408", &mut used)
             {
                 continue;
             }
@@ -245,6 +246,20 @@ pub fn run(root: &Path) -> Vec<Finding> {
         }
     }
 
+    // DA430: stale DA407/DA408 waivers across the scanned files
+    // (sorted so finding order is stable run to run).
+    let mut waiver_files: Vec<&String> = waivers.keys().collect();
+    waiver_files.sort();
+    for rel in waiver_files {
+        let lx = &waivers[rel];
+        let file_used: Vec<(u32, String)> = used
+            .iter()
+            .filter(|(f, _, _)| f == rel)
+            .map(|(_, l, c)| (*l, c.clone()))
+            .collect();
+        lints::stale_waivers(PASS, rel, lx, &["DA407", "DA408"], &file_used, &mut out);
+    }
+
     out.push(Finding::new(
         "DA409",
         Severity::Info,
@@ -259,8 +274,19 @@ pub fn run(root: &Path) -> Vec<Finding> {
     out
 }
 
-fn is_waived(waivers: &HashMap<String, syntax::Lexed>, file: &str, line: u32, code: &str) -> bool {
-    waivers.get(file).is_some_and(|lx| lx.waived(line, code))
+/// Check a waiver and record its use for the stale-waiver sweep.
+fn is_waived(
+    waivers: &HashMap<String, syntax::Lexed>,
+    file: &str,
+    line: u32,
+    code: &str,
+    used: &mut Vec<(String, u32, String)>,
+) -> bool {
+    let hit = waivers.get(file).is_some_and(|lx| lx.waived(line, code));
+    if hit {
+        used.push((file.to_string(), line, code.to_string()));
+    }
+    hit
 }
 
 /// An active guard during the body walk.

@@ -1,0 +1,990 @@
+//! Pass — lockset race detection (`DA70x`).
+//!
+//! RacerD-style guard inference over das-net/das-obs, on the same
+//! dependency-free tokenizer as the other source passes. The
+//! `lockgraph` pass proves lock *ordering*; this pass proves shared
+//! state is consistently *guarded at all*:
+//!
+//! 1. **Infer protection.** A struct field `g: Mutex<T>` (or
+//!    `RwLock<T>`) whose direct type parameter `T` is a struct
+//!    declared in the same file makes `g` the *dominating guard* of
+//!    every field of `T` — the idiom every das-net/das-obs shared
+//!    structure uses (`FairQueue.sched: Mutex<SchedState>`,
+//!    `Shared.inner: Mutex<Inner>`, `SpanStore.spans: Mutex<Inner>`,
+//!    `Registry.inner: Mutex<Inner>`).
+//! 2. **Check every access.** Each `recv.field` access to a protected
+//!    field must happen while its dominating guard is held, tracked
+//!    with the same scope-aware guard lifetimes `lockgraph` uses
+//!    (`let g = lock(…)` lives to its block or `drop(g)`; a temporary
+//!    dies at the statement). Methods of the protected struct itself
+//!    (`impl Inner { fn meta(&self) … }`) run *under* the guard by
+//!    construction — the caller already holds it to have a `&self` —
+//!    and are exempt, as are functions taking the protected struct as
+//!    a parameter. Guard-returning helpers
+//!    (`fn lock(&self) -> MutexGuard<'_, Inner>`) are resolved so
+//!    `self.lock().counters` counts as guarded.
+//!
+//! Findings: `DA701` (error) — a protected field accessed without its
+//! guard; `DA702` (warning) — ambiguous protection (two guards wrap
+//! the same struct type, so no dominator exists); `DA703` (warning) —
+//! a dead lock: a `Mutex`/`RwLock` field never acquired anywhere in
+//! the scanned crates; `DA704` (error) — `Arc::get_mut` /
+//! `Arc::make_mut` mutation of shared state without a guard; `DA705`
+//! (info) — the inferred guard → protected-field proof record per
+//! file; `DA700` (info) — summary. `// das-lint: allow(DA70x)`
+//! waivers are honored, and a waiver that suppresses nothing is
+//! reported as `DA430` (stale waiver).
+//!
+//! Known imprecision, documented so the reader can calibrate trust:
+//! the analysis is per-file (a protected struct accessed from another
+//! file is not checked there), protection through a type alias
+//! (`type PeerConn = Arc<Mutex<Link>>`) is not inferred, and a field
+//! name declared by two structs in one file is skipped rather than
+//! guessed at.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::Path;
+
+use crate::finding::{Finding, Severity};
+use crate::lints;
+use crate::syntax::{self, TokKind, Token};
+
+const PASS: &str = "lockset";
+
+/// One struct declaration recovered from a file's token stream.
+struct StructDecl {
+    name: String,
+    /// (field name, type tokens rendered as text, line).
+    fields: Vec<(String, Vec<String>, u32)>,
+}
+
+/// A field that some guard protects.
+#[derive(Clone)]
+struct Protected {
+    owner: String,
+    guard: String,
+}
+
+/// Per-file inference + check results, merged into the run summary.
+#[derive(Default)]
+struct FileStats {
+    guards: usize,
+    protected_fields: usize,
+    accesses: usize,
+}
+
+/// Run the lockset pass over das-net and das-obs sources under
+/// `root`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut files = 0usize;
+    let mut totals = FileStats::default();
+    // (file, guard field, line) of every Mutex/RwLock field, and the
+    // set of names acquired anywhere — DA703 is checked across the
+    // whole scanned set so a lock acquired from a sibling module is
+    // not a false dead lock.
+    let mut guard_fields: Vec<(String, String, u32)> = Vec::new();
+    let mut acquired: HashSet<String> = HashSet::new();
+    let mut deferred: Vec<lints::LexedFile> = Vec::new();
+
+    for (rel, src) in lints::workspace_sources(root) {
+        let krate = lints::crate_of(&rel);
+        if krate != "das-net" && krate != "das-obs" {
+            continue;
+        }
+        files += 1;
+        let lx = syntax::lex(&src);
+        let used = check_file(&rel, &lx, &mut out, &mut totals, &mut guard_fields, &mut acquired);
+        deferred.push((rel, lx, used));
+    }
+
+    // DA703: a declared Mutex/RwLock field nobody ever acquires. The
+    // acquired set is lenient (any ident that appears at a lock site,
+    // inside a lock-helper's arguments, or as a lock()/read()/write()
+    // receiver) so index expressions like `lock(&q.inbox[shard])`
+    // still count as acquisitions of `inbox`.
+    for (file, name, line) in &guard_fields {
+        if !acquired.contains(name) {
+            let lx = deferred.iter().find(|(rel, _, _)| rel == file).map(|(_, lx, _)| lx);
+            if lx.is_some_and(|lx| lx.waived(*line, "DA703")) {
+                if let Some((_, _, used)) = deferred.iter_mut().find(|(rel, _, _)| rel == file) {
+                    used.push((*line, "DA703".to_string()));
+                }
+                continue;
+            }
+            out.push(Finding::new(
+                "DA703",
+                Severity::Warning,
+                PASS,
+                format!("{file}:{line}"),
+                format!(
+                    "dead lock: `{name}` is declared as a Mutex/RwLock field but never acquired — either the state it guards is unshared (drop the lock) or an access path is bypassing it"
+                ),
+            ));
+        }
+    }
+
+    // DA430: a DA70x waiver that suppressed nothing in this pass.
+    for (rel, lx, used) in &deferred {
+        lints::stale_waivers(PASS, rel, lx, &["DA701", "DA702", "DA703", "DA704"], used, &mut out);
+    }
+
+    out.push(Finding::new(
+        "DA700",
+        Severity::Info,
+        PASS,
+        "crates/{das-net,das-obs}/src",
+        format!(
+            "{files} files scanned: {} guard fields, {} protected fields, {} guarded-field accesses checked",
+            totals.guards, totals.protected_fields, totals.accesses
+        ),
+    ));
+    out
+}
+
+/// Analyze one file: infer protection, then check every access.
+/// Returns the (line, code) waiver uses for the stale-waiver sweep.
+fn check_file(
+    rel: &str,
+    lx: &syntax::Lexed,
+    out: &mut Vec<Finding>,
+    totals: &mut FileStats,
+    guard_fields: &mut Vec<(String, String, u32)>,
+    acquired: &mut HashSet<String>,
+) -> Vec<(u32, String)> {
+    let toks = &lx.tokens;
+    let mask = syntax::test_mask(lx);
+    let mut used: Vec<(u32, String)> = Vec::new();
+
+    let structs = parse_structs(toks, &mask);
+
+    // Guard fields and the structs they wrap.
+    // wraps: struct name -> guard field names wrapping it.
+    let mut wraps: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
+    for s in &structs {
+        for (fname, ftype, line) in &s.fields {
+            if let Some(inner) = guard_inner_type(ftype) {
+                guard_fields.push((rel.to_string(), fname.clone(), *line));
+                totals.guards += 1;
+                if structs.iter().any(|d| d.name == inner) {
+                    wraps.entry(inner).or_default().push((fname.clone(), *line));
+                }
+            }
+        }
+    }
+
+    // DA702: two guards wrap the same struct — no dominator exists,
+    // so the struct is reported and skipped rather than guessed at.
+    let mut protected_structs: BTreeMap<String, String> = BTreeMap::new();
+    for (inner, guards) in &wraps {
+        if guards.len() > 1 {
+            let (_, line) = guards[0];
+            if lx.waived(line, "DA702") {
+                used.push((line, "DA702".to_string()));
+            } else {
+                out.push(Finding::new(
+                    "DA702",
+                    Severity::Warning,
+                    PASS,
+                    format!("{rel}:{line}"),
+                    format!(
+                        "ambiguous protection: struct `{inner}` is wrapped by {} different guards ({}) — no dominating guard exists, accesses are unchecked",
+                        guards.len(),
+                        guards.iter().map(|(g, _)| g.as_str()).collect::<Vec<_>>().join(", ")
+                    ),
+                ));
+            }
+            continue;
+        }
+        protected_structs.insert(inner.clone(), guards[0].0.clone());
+    }
+
+    // field name -> (owner struct, guard). A name declared by more
+    // than one struct in the file is ambiguous and skipped.
+    let mut field_owner: HashMap<String, Protected> = HashMap::new();
+    let mut ambiguous: HashSet<String> = HashSet::new();
+    for s in &structs {
+        for (fname, _, _) in &s.fields {
+            let declared_elsewhere =
+                structs.iter().filter(|d| d.fields.iter().any(|(f, _, _)| f == fname)).count() > 1;
+            if declared_elsewhere {
+                ambiguous.insert(fname.clone());
+            }
+            if let Some(guard) = protected_structs.get(&s.name) {
+                field_owner.insert(
+                    fname.clone(),
+                    Protected { owner: s.name.clone(), guard: guard.clone() },
+                );
+            }
+        }
+    }
+    for name in &ambiguous {
+        field_owner.remove(name);
+    }
+    totals.protected_fields += field_owner.len();
+
+    // DA705 proof record, one per protected struct.
+    for (owner, guard) in &protected_structs {
+        let fields: Vec<&str> = structs
+            .iter()
+            .find(|s| &s.name == owner)
+            .map(|s| {
+                s.fields
+                    .iter()
+                    .map(|(f, _, _)| f.as_str())
+                    .filter(|f| !ambiguous.contains(*f))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.push(Finding::new(
+            "DA705",
+            Severity::Info,
+            PASS,
+            rel,
+            format!(
+                "guard `{guard}` protects `{owner}` {{ {} }} — every access must hold it",
+                fields.join(", ")
+            ),
+        ));
+    }
+
+    // Guard-returning helper methods: `fn lock(&self) ->
+    // MutexGuard<'_, Inner>` means `self.lock()` acquires Inner's
+    // dominating guard.
+    let fns = syntax::extract_fns(lx);
+    let mut helper_methods: HashMap<String, String> = HashMap::new();
+    for f in &fns {
+        if f.in_test {
+            continue;
+        }
+        let sig = fn_signature(toks, f);
+        if sig.iter().any(|t| t == "MutexGuard" || t == "RwLockReadGuard" || t == "RwLockWriteGuard")
+        {
+            for (owner, guard) in &protected_structs {
+                if sig.iter().any(|t| t == owner) {
+                    helper_methods.insert(f.name.clone(), guard.clone());
+                }
+            }
+        }
+    }
+
+    // Impl regions of protected structs: methods of the protected
+    // struct run under the guard by construction.
+    let impls = impl_regions(toks);
+
+    // Walk each fn body tracking guard scopes and check accesses.
+    if !field_owner.is_empty() || !structs.is_empty() {
+        // Guarded-access witnesses per field, for the DA701 message.
+        let mut witnesses: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut violations: Vec<(String, Protected, u32)> = Vec::new();
+        for f in &fns {
+            if f.in_test || f.body.is_empty() {
+                continue;
+            }
+            let sig = fn_signature(toks, f);
+            walk_fn(
+                toks,
+                f.body.clone(),
+                &field_owner,
+                &helper_methods,
+                &sig,
+                &impls,
+                lx,
+                acquired,
+                totals,
+                &mut witnesses,
+                &mut violations,
+                &mut used,
+            );
+        }
+        for (field, p, line) in violations {
+            let seen = witnesses.get(&field).cloned().unwrap_or_default();
+            let example = seen
+                .iter()
+                .find(|&&l| l != line)
+                .map(|l| format!("; {} guarded accesses elsewhere (e.g. {rel}:{l})", seen.len()))
+                .unwrap_or_default();
+            out.push(Finding::new(
+                "DA701",
+                Severity::Error,
+                PASS,
+                format!("{rel}:{line}"),
+                format!(
+                    "field `{field}` of `{}` read/written without its dominating guard `{}` held — a racing thread holding the guard sees torn state{example}",
+                    p.owner, p.guard
+                ),
+            ));
+        }
+    }
+
+    // DA704: Arc::get_mut / Arc::make_mut on shared state — interior
+    // mutation that bypasses every guard the file declares.
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        if !mask.get(i).copied().unwrap_or(false)
+            && toks[i].kind == TokKind::Ident
+            && (toks[i].text == "Arc" || toks[i].text == "Rc")
+            && toks[i + 1].text == ":"
+            && toks[i + 2].text == ":"
+            && (toks[i + 3].text == "get_mut" || toks[i + 3].text == "make_mut")
+        {
+            let line = toks[i].line;
+            if lx.waived(line, "DA704") {
+                used.push((line, "DA704".to_string()));
+            } else {
+                out.push(Finding::new(
+                    "DA704",
+                    Severity::Error,
+                    PASS,
+                    format!("{rel}:{line}"),
+                    format!(
+                        "`{}::{}` mutates shared state without a guard — uniqueness is a runtime accident here, not an invariant",
+                        toks[i].text,
+                        toks[i + 3].text
+                    ),
+                ));
+            }
+            i += 4;
+            continue;
+        }
+        i += 1;
+    }
+    used
+}
+
+/// Parse every named-field struct declaration (test regions
+/// excluded). Tuple structs and enums carry no named shared state and
+/// are skipped.
+fn parse_structs(toks: &[Token], mask: &[bool]) -> Vec<StructDecl> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let n = toks.len();
+    while i < n {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "struct")
+            || mask.get(i).copied().unwrap_or(false)
+        {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else { break };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Skip generics between the name and the body.
+        let mut j = i + 2;
+        if toks.get(j).is_some_and(|t| t.text == "<") {
+            let mut depth = 0i64;
+            while j < n {
+                match toks[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        match toks.get(j).map(|t| t.text.as_str()) {
+            Some("{") => {}
+            _ => {
+                // Tuple struct or unit struct: no named fields.
+                i = j.max(i + 1);
+                continue;
+            }
+        }
+        let body_end = matching_brace(toks, j);
+        let fields = parse_fields(toks, j + 1, body_end);
+        out.push(StructDecl { name: name_tok.text.clone(), fields });
+        i = body_end.max(i + 1);
+    }
+    out
+}
+
+/// Parse `name: Type` fields at depth 0 of a struct body
+/// (`toks[start..end]`), skipping attributes and visibility
+/// modifiers.
+fn parse_fields(toks: &[Token], start: usize, end: usize) -> Vec<(String, Vec<String>, u32)> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        // Skip attributes.
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            i = matching_delim(toks, i + 1, "[", "]").map_or(end, |e| e + 1);
+            continue;
+        }
+        // Skip visibility: pub, pub(crate), pub(in …).
+        if toks[i].text == "pub" {
+            i += 1;
+            if toks.get(i).is_some_and(|t| t.text == "(") {
+                i = matching_delim(toks, i, "(", ")").map_or(end, |e| e + 1);
+            }
+            continue;
+        }
+        if toks[i].kind == TokKind::Ident && toks.get(i + 1).is_some_and(|t| t.text == ":") {
+            let name = toks[i].text.clone();
+            let line = toks[i].line;
+            // The type runs to the `,` (or end) at bracket depth 0.
+            let mut j = i + 2;
+            let mut ty = Vec::new();
+            let mut angle = 0i64;
+            let mut paren = 0i64;
+            while j < end {
+                match toks[j].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "(" | "[" => paren += 1,
+                    ")" | "]" => paren -= 1,
+                    "," if angle <= 0 && paren <= 0 => break,
+                    _ => {}
+                }
+                ty.push(toks[j].text.clone());
+                j += 1;
+            }
+            out.push((name, ty, line));
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// If a field type is `Mutex<T>` / `RwLock<T>` (optionally path
+/// qualified), the head ident of `T` — e.g. `SchedState` out of
+/// `Mutex < SchedState < J > >`. `None` for non-guard types.
+fn guard_inner_type(ty: &[String]) -> Option<String> {
+    // Head of the type path: the last ident before the first `<`.
+    let lt = ty.iter().position(|t| t == "<")?;
+    let head = ty[..lt].iter().rev().find(|t| t.chars().next().is_some_and(char::is_alphabetic))?;
+    if head != "Mutex" && head != "RwLock" {
+        return None;
+    }
+    // First ident inside the angle brackets is the wrapped type's
+    // path head (skipping lifetimes and `dyn`).
+    ty[lt + 1..]
+        .iter()
+        .find(|t| {
+            t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+                && *t != "dyn"
+                && !t.starts_with('\'')
+        })
+        .cloned()
+}
+
+/// Index of the matching `}` for the `{` at `open` (token index of
+/// the closer; `toks.len()` when unbalanced).
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    matching_delim(toks, open, "{", "}").unwrap_or(toks.len())
+}
+
+fn matching_delim(toks: &[Token], open: usize, o: &str, c: &str) -> Option<usize> {
+    if toks.get(open).map(|t| t.text.as_str()) != Some(o) {
+        return None;
+    }
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The signature tokens of a fn (between the name and the body),
+/// rendered as text — used for the parameter-typed-as-owner
+/// exemption and guard-helper detection.
+fn fn_signature(toks: &[Token], f: &syntax::FnItem) -> Vec<String> {
+    if f.body.is_empty() {
+        return Vec::new();
+    }
+    // Walk back from the body to the `fn` keyword.
+    let mut start = f.body.start.saturating_sub(1);
+    while start > 0 && !(toks[start].kind == TokKind::Ident && toks[start].text == "fn") {
+        start -= 1;
+    }
+    toks[start..f.body.start.saturating_sub(1).max(start)]
+        .iter()
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// `impl` regions per type name: (type, token range of the impl
+/// body). Handles `impl T`, `impl<G> T<G>`, and `impl Trait for T`.
+fn impl_regions(toks: &[Token]) -> Vec<(String, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let n = toks.len();
+    while i < n {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "impl") {
+            i += 1;
+            continue;
+        }
+        // Header runs to the opening `{`.
+        let mut j = i + 1;
+        let mut header: Vec<&Token> = Vec::new();
+        let mut angle = 0i64;
+        while j < n && !(angle == 0 && toks[j].text == "{") {
+            match toks[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                _ => {}
+            }
+            header.push(&toks[j]);
+            j += 1;
+        }
+        if j >= n {
+            break;
+        }
+        // Target path: after `for` when present, else the whole
+        // header; its name is the first ident at angle depth 0.
+        let for_at = header.iter().position(|t| t.kind == TokKind::Ident && t.text == "for");
+        let target = &header[for_at.map_or(0, |k| k + 1)..];
+        let mut angle = 0i64;
+        let mut name = None;
+        for t in target {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                _ => {
+                    if angle == 0 && t.kind == TokKind::Ident {
+                        name = Some(t.text.clone());
+                        // Path-qualified targets: keep the last
+                        // segment by continuing through `::`.
+                    }
+                    if angle == 0 && t.kind == TokKind::Ident && name.is_some() {
+                        // First depth-0 ident after skipping impl
+                        // generics is the target head; generic args
+                        // come after and sit at depth > 0.
+                        break;
+                    }
+                }
+            }
+        }
+        let body_end = matching_brace(toks, j);
+        if let Some(name) = name {
+            out.push((name, j + 1..body_end));
+        }
+        i = body_end.max(i + 1);
+    }
+    out
+}
+
+/// An active guard during a body walk.
+struct Guard {
+    lock: String,
+    var: Option<String>,
+    depth: i64,
+    temp: bool,
+    /// Block depth at which a `drop(var)` suspended the guard. A drop
+    /// inside a nested block (typically a diverging early-return arm,
+    /// `if full { drop(s); return Err(..) }`) only holds within that
+    /// block: the fall-through path past the `}` still owns the lock,
+    /// so the guard resurrects when the block exits. A drop at the
+    /// binding's own depth is final.
+    dropped_at: Option<i64>,
+}
+
+/// A lock acquisition recognized during the walk.
+struct Acq {
+    /// Guard (lock field) name.
+    name: String,
+    /// Token index of the acquisition's first token (for `let`
+    /// binding detection).
+    at: usize,
+    /// Index to resume scanning from.
+    resume: usize,
+}
+
+#[allow(clippy::too_many_arguments)] // internal walker: the state is the pass
+fn walk_fn(
+    toks: &[Token],
+    body: std::ops::Range<usize>,
+    field_owner: &HashMap<String, Protected>,
+    helper_methods: &HashMap<String, String>,
+    sig: &[String],
+    impls: &[(String, std::ops::Range<usize>)],
+    lx: &syntax::Lexed,
+    acquired: &mut HashSet<String>,
+    totals: &mut FileStats,
+    witnesses: &mut HashMap<String, Vec<u32>>,
+    violations: &mut Vec<(String, Protected, u32)>,
+    used: &mut Vec<(u32, String)>,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i64;
+    let end = body.end.min(toks.len());
+    let mut i = body.start;
+    while i < end {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+                for g in guards.iter_mut() {
+                    if g.dropped_at.is_some_and(|d| d > depth) {
+                        g.dropped_at = None;
+                    }
+                }
+            }
+            ";" => guards.retain(|g| !g.temp),
+            _ => {}
+        }
+
+        if t.kind == TokKind::Ident
+            && t.text == "drop"
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            if let Some(arg) = toks.get(i + 2) {
+                if arg.kind == TokKind::Ident {
+                    for g in guards.iter_mut() {
+                        if g.var.as_deref() == Some(arg.text.as_str()) {
+                            g.dropped_at.get_or_insert(depth);
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(acq) = acquisition_at(toks, i, end, helper_methods, acquired) {
+            let bound = bound_var(toks, acq.at, body.start);
+            guards.push(Guard {
+                lock: acq.name,
+                var: bound.clone(),
+                depth,
+                temp: bound.is_none(),
+                dropped_at: None,
+            });
+            i = acq.resume;
+            continue;
+        }
+
+        // A protected-field access: `recv.field` not followed by `(`
+        // (method calls are not field accesses).
+        if t.kind == TokKind::Ident
+            && i > 0
+            && toks[i - 1].text == "."
+            && !toks.get(i + 1).is_some_and(|n| n.text == "(" || n.text == "!")
+        {
+            if let Some(p) = field_owner.get(&t.text) {
+                totals.accesses += 1;
+                let covered = guards
+                    .iter()
+                    .any(|g| g.lock == p.guard && g.dropped_at.is_none())
+                    || impls.iter().any(|(owner, r)| owner == &p.owner && r.contains(&i))
+                    || sig.iter().any(|s| s == &p.owner);
+                if covered {
+                    witnesses.entry(t.text.clone()).or_default().push(t.line);
+                } else if lx.waived(t.line, "DA701") {
+                    used.push((t.line, "DA701".to_string()));
+                } else {
+                    violations.push((t.text.clone(), p.clone(), t.line));
+                }
+            }
+        }
+
+        i += 1;
+    }
+}
+
+/// Recognize a lock acquisition at token `i`: the helper form
+/// `lock(&…)`, the method forms `recv.lock()` / `recv.read()` /
+/// `recv.write()`, and guard-returning helper methods
+/// (`self.lock()` where `lock` returns a `MutexGuard<…, Protected>`).
+/// Every candidate lock name is also fed to the `acquired` set for
+/// the dead-lock check.
+fn acquisition_at(
+    toks: &[Token],
+    i: usize,
+    end: usize,
+    helper_methods: &HashMap<String, String>,
+    acquired: &mut HashSet<String>,
+) -> Option<Acq> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let dotted = i > 0 && toks[i - 1].text == ".";
+    let called = toks.get(i + 1).is_some_and(|n| n.text == "(");
+
+    // Helper form: lock(&self.spans) — name is the last ident inside
+    // the parens outside any `[...]` index expression.
+    if t.text == "lock" && called && !dotted {
+        let mut j = i + 1;
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        let mut name = None;
+        while j < end {
+            match toks[j].text.as_str() {
+                "(" => paren += 1,
+                ")" => {
+                    paren -= 1;
+                    if paren == 0 {
+                        break;
+                    }
+                }
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                _ => {
+                    if toks[j].kind == TokKind::Ident {
+                        acquired.insert(toks[j].text.clone());
+                        if bracket == 0 {
+                            name = Some(toks[j].text.clone());
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        return name.map(|name| Acq { name, at: i, resume: j.max(i + 1) });
+    }
+
+    // Method forms: recv.lock(), recv.read(), recv.write() with empty
+    // args, and guard-returning helper methods on self.
+    if dotted && called && toks.get(i + 2).is_some_and(|n| n.text == ")") {
+        let recv = toks.get(i.wrapping_sub(2))?;
+        if recv.kind != TokKind::Ident {
+            return None;
+        }
+        if matches!(t.text.as_str(), "lock" | "read" | "write") {
+            acquired.insert(recv.text.clone());
+            // `self.lock()` through a guard-returning helper resolves
+            // to the helper's guard, not to "self".
+            if let Some(guard) = helper_methods.get(&t.text) {
+                if recv.text == "self" {
+                    acquired.insert(guard.clone());
+                    return Some(Acq { name: guard.clone(), at: i.wrapping_sub(2), resume: i + 3 });
+                }
+            }
+            if t.text == "lock" {
+                return Some(Acq {
+                    name: recv.text.clone(),
+                    at: i.wrapping_sub(2),
+                    resume: i + 3,
+                });
+            }
+            return None;
+        }
+        if let Some(guard) = helper_methods.get(&t.text) {
+            if recv.text == "self" {
+                acquired.insert(guard.clone());
+                return Some(Acq { name: guard.clone(), at: i.wrapping_sub(2), resume: i + 3 });
+            }
+        }
+    }
+    None
+}
+
+/// If the acquisition starting at token `at` is the RHS of
+/// `let [mut] NAME = …`, return NAME (the guard is block-scoped).
+fn bound_var(toks: &[Token], at: usize, floor: usize) -> Option<String> {
+    let eq = at.checked_sub(1)?;
+    if toks.get(eq)?.text != "=" {
+        return None;
+    }
+    let name = at.checked_sub(2)?;
+    let name_tok = toks.get(name)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let kw = at.checked_sub(3)?;
+    let kw_tok = toks.get(kw)?;
+    let is_let = kw_tok.text == "let"
+        || (kw_tok.text == "mut"
+            && at.checked_sub(4).and_then(|k| toks.get(k)).is_some_and(|t| t.text == "let"));
+    if is_let && name >= floor {
+        Some(name_tok.text.clone())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(files: &[(&str, &str)]) -> Vec<Finding> {
+        let dir = std::env::temp_dir().join(format!(
+            "das-lockset-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let src = dir.join("crates/das-net/src");
+        std::fs::create_dir_all(&src).unwrap();
+        for (name, body) in files {
+            std::fs::write(src.join(name), body).unwrap();
+        }
+        let out = run(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+        out
+    }
+
+    const GUARDED: &str = "\
+struct Inner { items: Vec<u32>, total: u64 }
+struct Store { inner: Mutex<Inner> }
+impl Store {
+    fn push(&self, v: u32) {
+        let mut inner = lock(&self.inner);
+        inner.items.push(v);
+        inner.total += 1;
+    }
+}
+";
+
+    #[test]
+    fn guarded_accesses_are_clean_with_a_proof_record() {
+        let out = run_on(&[("store.rs", GUARDED)]);
+        assert!(!out.iter().any(|f| f.severity != Severity::Info), "{out:?}");
+        let proof = out.iter().find(|f| f.code == "DA705").expect("proof record");
+        assert!(proof.message.contains("`inner` protects `Inner`"), "{}", proof.message);
+        assert!(proof.message.contains("items"), "{}", proof.message);
+    }
+
+    #[test]
+    fn unguarded_access_is_da701_with_witness() {
+        let src = "\
+struct Inner { items: Vec<u32> }
+struct Store { inner: Mutex<Inner>, raw: Inner }
+impl Store {
+    fn good(&self) {
+        let inner = lock(&self.inner);
+        inner.items.len();
+    }
+    fn bad(&self) {
+        self.raw.items.push(1);
+    }
+}
+";
+        let out = run_on(&[("store.rs", src)]);
+        let f = out.iter().find(|f| f.code == "DA701").expect("DA701");
+        assert!(f.message.contains("items"), "{}", f.message);
+        assert!(f.message.contains("guarded accesses elsewhere"), "{}", f.message);
+    }
+
+    #[test]
+    fn impl_of_protected_struct_is_exempt() {
+        let src = "\
+struct Inner { items: Vec<u32> }
+struct Store { inner: Mutex<Inner> }
+impl Inner {
+    fn count(&self) -> usize { self.items.len() }
+}
+";
+        let out = run_on(&[("store.rs", src)]);
+        assert!(!out.iter().any(|f| f.code == "DA701"), "{out:?}");
+    }
+
+    #[test]
+    fn guard_returning_helper_resolves() {
+        let src = "\
+struct Inner { counters: Vec<u32> }
+struct Registry { inner: Mutex<Inner> }
+impl Registry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> { self.inner.lock().unwrap() }
+    fn bump(&self) { self.lock().counters.push(1); }
+    fn encode(&self) { let inner = self.lock(); inner.counters.len(); }
+}
+";
+        let out = run_on(&[("metrics.rs", src)]);
+        assert!(!out.iter().any(|f| f.code == "DA701"), "{out:?}");
+    }
+
+    #[test]
+    fn dead_lock_is_da703_and_waivable() {
+        let src = "\
+struct A { used: Mutex<Vec<u32>>, idle: Mutex<Vec<u32>> }
+fn f(a: &A) { let g = lock(&a.used); g.len(); }
+";
+        let out = run_on(&[("a.rs", src)]);
+        let f = out.iter().find(|f| f.code == "DA703").expect("DA703 {out:?}");
+        assert!(f.message.contains("idle"), "{}", f.message);
+        let waived = "\
+struct A { used: Mutex<Vec<u32>>,
+    // das-lint: allow(DA703) poison-only fallback lock, acquired via ffi shim
+    idle: Mutex<Vec<u32>> }
+fn f(a: &A) { let g = lock(&a.used); g.len(); }
+";
+        let out = run_on(&[("a.rs", waived)]);
+        assert!(!out.iter().any(|f| f.code == "DA703"), "{out:?}");
+    }
+
+    #[test]
+    fn ambiguous_double_guard_is_da702() {
+        let src = "\
+struct Inner { items: Vec<u32> }
+struct Store { a: Mutex<Inner>, b: Mutex<Inner> }
+fn f(s: &Store) { let g = lock(&s.a); let h = lock(&s.b); }
+";
+        let out = run_on(&[("s.rs", src)]);
+        assert!(out.iter().any(|f| f.code == "DA702"), "{out:?}");
+        assert!(!out.iter().any(|f| f.code == "DA701"), "ambiguous structs are skipped: {out:?}");
+    }
+
+    #[test]
+    fn arc_get_mut_is_da704() {
+        let src = "\
+struct Inner { items: Vec<u32> }
+struct Store { inner: Mutex<Inner> }
+fn f(s: &mut std::sync::Arc<Vec<u32>>) {
+    let v = Arc::get_mut(s).unwrap();
+    let g = lock(&self.inner);
+}
+";
+        let out = run_on(&[("s.rs", src)]);
+        assert!(out.iter().any(|f| f.code == "DA704"), "{out:?}");
+    }
+
+    #[test]
+    fn stale_waiver_is_da430() {
+        let src = "\
+struct Inner { items: Vec<u32> }
+struct Store { inner: Mutex<Inner> }
+fn f(s: &Store) {
+    // das-lint: allow(DA701) nothing here actually needs this
+    let g = lock(&s.inner);
+    g.items.len();
+}
+";
+        let out = run_on(&[("s.rs", src)]);
+        assert!(out.iter().any(|f| f.code == "DA430"), "{out:?}");
+    }
+
+    #[test]
+    fn temp_guard_and_scope_rules_hold() {
+        let src = "\
+struct Inner { staged: Vec<u32> }
+struct Store { inner: Mutex<Inner> }
+impl Store {
+    fn temp(&self) { lock(&self.inner).staged.push(1); }
+    fn scoped(&self) {
+        { let g = lock(&self.inner); g.staged.len(); }
+        self.after();
+    }
+    fn escaped(&self) {
+        let g = lock(&self.inner);
+        drop(g);
+        self.probe.staged.len();
+    }
+}
+";
+        let out = run_on(&[("s.rs", src)]);
+        // temp + scoped are guarded; the post-drop access is not.
+        let v: Vec<&Finding> = out.iter().filter(|f| f.code == "DA701").collect();
+        assert_eq!(v.len(), 1, "{out:?}");
+        assert!(v[0].entity.contains("s.rs:12"), "{v:?}");
+    }
+}

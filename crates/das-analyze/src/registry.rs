@@ -64,6 +64,7 @@ pub const REGISTRY: &[(&str, &str, &str)] = &[
     ("DA407", "error", "cross-function lock acquisition inverts the declared hierarchy"),
     ("DA408", "error", "AB/BA lock-order cycle across call chains"),
     ("DA409", "info", "lock-graph summary: functions, sites, held-edges"),
+    ("DA430", "warning", "das-lint: allow(...) waiver that suppresses nothing"),
     ("DA500", "info", "taint summary: wire ints and blobs tracked"),
     ("DA501", "error", "wire-decoded length reaches an allocation/index sink unchecked"),
     ("DA502", "warning", "value derived from a wire length reaches a sink unchecked"),
@@ -76,6 +77,25 @@ pub const REGISTRY: &[(&str, &str, &str)] = &[
     ("DA605", "error", "protocol model: degradation skipped a ladder rung"),
     ("DA606", "error", "protocol model: retry loop exceeds its attempt budget"),
     ("DA607", "warning", "protocol model: defect list drifted from the model"),
+    ("DA620", "info", "pipelined model summary: explored states, transitions, configs"),
+    ("DA621", "error", "pipelined model: an admitted request's reply was lost"),
+    ("DA622", "error", "pipelined model: a reply id was delivered more than once"),
+    ("DA623", "error", "pipelined model: shed request never retried (liveness)"),
+    ("DA624", "error", "pipelined model: deadline budget grew across a hop"),
+    ("DA625", "error", "pipelined model: both hedge lanes delivered for one fetch"),
+    ("DA626", "error", "pipelined model: queue admitted past --max-backlog"),
+    ("DA627", "warning", "pipelined model: defect list drifted from the model"),
+    ("DA700", "info", "lockset summary: guards inferred, fields bound, accesses checked"),
+    ("DA701", "error", "field of a guard-protected struct accessed without its guard held"),
+    ("DA702", "warning", "struct protected by more than one guard; lockset is ambiguous"),
+    ("DA703", "warning", "dead lock: a declared guard field is never acquired"),
+    ("DA704", "error", "Arc/Rc interior mutation (get_mut/make_mut) without a guard"),
+    ("DA705", "info", "lockset proof record: every access dominated by its guard"),
+    ("DA710", "info", "atomics census: Ordering uses classified per crate"),
+    ("DA711", "warning", "Relaxed load feeds control flow (publication pattern)"),
+    ("DA712", "warning", "store/load ordering strength mismatch on one atomic"),
+    ("DA713", "warning", "fetch_* result discarded where siblings consume it"),
+    ("DA714", "warning", "DA71x waiver lacks a justifying comment"),
 ];
 
 /// Render the registry as the aligned table `das-analyze --list`

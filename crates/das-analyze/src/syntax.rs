@@ -88,6 +88,29 @@ impl Lexed {
             .iter()
             .any(|c| (c.line == line || c.line + 1 == line) && c.text.contains(&token))
     }
+
+    /// Every waiver in the comment trivia as `(comment line, code)`
+    /// pairs — one per `das-lint: allow(CODE)` occurrence. Fuel for
+    /// the stale-waiver lint (`DA430`): a pass that knows which of
+    /// its waivers actually fired can flag the ones that suppressed
+    /// nothing.
+    pub fn waivers(&self) -> Vec<(u32, String)> {
+        const NEEDLE: &str = "das-lint: allow(";
+        let mut out = Vec::new();
+        for c in &self.comments {
+            let mut rest = c.text.as_str();
+            while let Some(p) = rest.find(NEEDLE) {
+                let tail = &rest[p + NEEDLE.len()..];
+                let Some(end) = tail.find(')') else { break };
+                let code = &tail[..end];
+                if code.starts_with("DA") && code.len() > 2 {
+                    out.push((c.line, code.to_string()));
+                }
+                rest = &tail[end..];
+            }
+        }
+        out
+    }
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -482,9 +505,9 @@ fn is_cfg_test_attr(toks: &[Token], i: usize) -> bool {
     toks[i + 2..end].iter().any(|t| t.kind == TokKind::Ident && t.text == "test")
 }
 
-/// Index of the token *after* the matching closer for the opener at
-/// `open_idx` (whose text must be `open`). `None` when unbalanced.
-fn matching(toks: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+/// Index of the matching closer for the opener at `open_idx` (whose
+/// text must be `open`). `None` when unbalanced.
+pub(crate) fn matching(toks: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
     if toks.get(open_idx).map(|t| t.text.as_str()) != Some(open) {
         return None;
     }
@@ -639,6 +662,14 @@ mod tests {
         assert!(lx.waived(2, "DA401"));
         assert!(!lx.waived(3, "DA401"));
         assert!(!lx.waived(2, "DA402"));
+    }
+
+    #[test]
+    fn waiver_enumeration_lists_every_allow() {
+        let lx = lex(
+            "// das-lint: allow(DA401) reason\nx();\n/* das-lint: allow(DA502) */ y();\n// a plain comment\n",
+        );
+        assert_eq!(lx.waivers(), vec![(1, "DA401".to_string()), (3, "DA502".to_string())]);
     }
 
     #[test]

@@ -75,12 +75,20 @@ pub fn run(root: &Path) -> Vec<Finding> {
     let mut out = Vec::new();
     let mut stats = Stats::default();
     for (rel, src) in lints::workspace_sources(root) {
-        if is_decode_module(&rel) {
-            int_taint_file(&rel, &src, &mut out, &mut stats);
+        let decode = is_decode_module(&rel);
+        let blob = is_blob_module(&rel);
+        if !decode && !blob {
+            continue;
         }
-        if is_blob_module(&rel) {
-            blob_taint_file(&rel, &src, &mut out, &mut stats);
+        let mut used: Vec<(u32, String)> = Vec::new();
+        if decode {
+            int_taint_file(&rel, &src, &mut out, &mut stats, &mut used);
         }
+        if blob {
+            blob_taint_file(&rel, &src, &mut out, &mut stats, &mut used);
+        }
+        let lx = syntax::lex(&src);
+        lints::stale_waivers(PASS, &rel, &lx, &["DA501", "DA502", "DA503"], &used, &mut out);
     }
     out.push(Finding::new(
         "DA500",
@@ -187,7 +195,13 @@ fn stmt_end(toks: &[Token], from: usize, end: usize) -> usize {
 }
 
 /// Integer-taint analysis over one decode module.
-fn int_taint_file(rel: &str, src: &str, out: &mut Vec<Finding>, stats: &mut Stats) {
+fn int_taint_file(
+    rel: &str,
+    src: &str,
+    out: &mut Vec<Finding>,
+    stats: &mut Stats,
+    used: &mut Vec<(u32, String)>,
+) {
     let lx = syntax::lex(src);
     let mask = syntax::test_mask(&lx);
     for f in syntax::extract_fns(&lx) {
@@ -197,7 +211,7 @@ fn int_taint_file(rel: &str, src: &str, out: &mut Vec<Finding>, stats: &mut Stat
         if mask.get(f.body.start).copied().unwrap_or(false) {
             continue;
         }
-        int_taint_fn(rel, &lx, f.body, out, stats);
+        int_taint_fn(rel, &lx, f.body, out, stats, used);
     }
 }
 
@@ -207,6 +221,7 @@ fn int_taint_fn(
     body: std::ops::Range<usize>,
     out: &mut Vec<Finding>,
     stats: &mut Stats,
+    used: &mut Vec<(u32, String)>,
 ) {
     let toks = &lx.tokens;
     let mut taint: std::collections::HashMap<String, Taint> = std::collections::HashMap::new();
@@ -247,7 +262,7 @@ fn int_taint_fn(
         {
             stats.sinks += 1;
             let close = matching_close(toks, i + 1, "(", ")");
-            report_hot(rel, lx, &taint, i + 2..close, &t.text, out);
+            report_hot(rel, lx, &taint, i + 2..close, &t.text, out, used);
         }
         if t.kind == TokKind::Ident
             && t.text == "vec"
@@ -259,7 +274,7 @@ fn int_taint_fn(
             let semi = stmt_end(toks, i + 3, close);
             if semi < close {
                 stats.sinks += 1;
-                report_hot(rel, lx, &taint, semi + 1..close, "vec![_; n]", out);
+                report_hot(rel, lx, &taint, semi + 1..close, "vec![_; n]", out, used);
             }
         }
         if t.text == "["
@@ -270,7 +285,7 @@ fn int_taint_fn(
         {
             stats.sinks += 1;
             let close = matching_close(toks, i, "[", "]");
-            report_hot(rel, lx, &taint, i + 1..close, "slice index", out);
+            report_hot(rel, lx, &taint, i + 1..close, "slice index", out, used);
         }
 
         // Sanitizers: a compared/clamped occurrence clears the taint;
@@ -341,6 +356,7 @@ fn report_hot(
     span: std::ops::Range<usize>,
     what: &str,
     out: &mut Vec<Finding>,
+    used: &mut Vec<(u32, String)>,
 ) {
     let toks = &lx.tokens;
     for j in span.start..span.end.min(toks.len()) {
@@ -357,6 +373,7 @@ fn report_hot(
             Taint::Derived => ("DA502", Severity::Warning, "derived from a wire value"),
         };
         if lx.waived(t.line, code) {
+            used.push((t.line, code.to_string()));
             continue;
         }
         out.push(Finding::new(
@@ -373,7 +390,13 @@ fn report_hot(
 }
 
 /// Blob-taint analysis over one consumer module.
-fn blob_taint_file(rel: &str, src: &str, out: &mut Vec<Finding>, stats: &mut Stats) {
+fn blob_taint_file(
+    rel: &str,
+    src: &str,
+    out: &mut Vec<Finding>,
+    stats: &mut Stats,
+    used: &mut Vec<(u32, String)>,
+) {
     let lx = syntax::lex(src);
     let mask = syntax::test_mask(&lx);
     for f in syntax::extract_fns(&lx) {
@@ -383,7 +406,7 @@ fn blob_taint_file(rel: &str, src: &str, out: &mut Vec<Finding>, stats: &mut Sta
         if mask.get(f.body.start).copied().unwrap_or(false) {
             continue;
         }
-        blob_taint_fn(rel, &lx, f.body, out, stats);
+        blob_taint_fn(rel, &lx, f.body, out, stats, used);
     }
 }
 
@@ -393,6 +416,7 @@ fn blob_taint_fn(
     body: std::ops::Range<usize>,
     out: &mut Vec<Finding>,
     stats: &mut Stats,
+    used: &mut Vec<(u32, String)>,
 ) {
     let toks = &lx.tokens;
     let mut blobs: std::collections::HashSet<String> = std::collections::HashSet::new();
@@ -506,8 +530,11 @@ fn blob_taint_fn(
                 if a.kind == TokKind::Ident
                     && blobs.contains(&a.text)
                     && !reported.contains(&(a.text.clone(), a.line))
-                    && !lx.waived(a.line, "DA503")
                 {
+                    if lx.waived(a.line, "DA503") {
+                        used.push((a.line, "DA503".to_string()));
+                        continue;
+                    }
                     reported.insert((a.text.clone(), a.line));
                     out.push(Finding::new(
                         "DA503",
@@ -529,15 +556,19 @@ fn blob_taint_fn(
         {
             let a = &toks[i - 1];
             stats.sinks += 1;
-            if !reported.contains(&(a.text.clone(), a.line)) && !lx.waived(a.line, "DA503") {
-                reported.insert((a.text.clone(), a.line));
-                out.push(Finding::new(
-                    "DA503",
-                    Severity::Error,
-                    PASS,
-                    format!("{rel}:{}", a.line),
-                    format!("wire blob `{}` indexed without a length check", a.text),
-                ));
+            if !reported.contains(&(a.text.clone(), a.line)) {
+                if lx.waived(a.line, "DA503") {
+                    used.push((a.line, "DA503".to_string()));
+                } else {
+                    reported.insert((a.text.clone(), a.line));
+                    out.push(Finding::new(
+                        "DA503",
+                        Severity::Error,
+                        PASS,
+                        format!("{rel}:{}", a.line),
+                        format!("wire blob `{}` indexed without a length check", a.text),
+                    ));
+                }
             }
         }
 
@@ -552,12 +583,15 @@ mod tests {
     fn run_on(rel: &str, src: &str) -> Vec<Finding> {
         let mut out = Vec::new();
         let mut stats = Stats::default();
+        let mut used = Vec::new();
         if is_decode_module(rel) {
-            int_taint_file(rel, src, &mut out, &mut stats);
+            int_taint_file(rel, src, &mut out, &mut stats, &mut used);
         }
         if is_blob_module(rel) {
-            blob_taint_file(rel, src, &mut out, &mut stats);
+            blob_taint_file(rel, src, &mut out, &mut stats, &mut used);
         }
+        let lx = syntax::lex(src);
+        lints::stale_waivers(PASS, rel, &lx, &["DA501", "DA502", "DA503"], &used, &mut out);
         out
     }
 

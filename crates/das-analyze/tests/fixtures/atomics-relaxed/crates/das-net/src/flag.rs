@@ -1,0 +1,12 @@
+// Fixture: the publication anti-pattern — a Relaxed flag load gates
+// a branch that consumes data the flag's writer published.
+fn writer(data: &mut Payload) {
+    data.fill();
+    READY.store(true, Ordering::Release);
+}
+
+fn reader() {
+    if READY.load(Ordering::Relaxed) {
+        consume(&DATA);
+    }
+}

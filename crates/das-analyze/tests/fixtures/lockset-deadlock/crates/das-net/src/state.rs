@@ -1,0 +1,11 @@
+// Fixture: two declared lock fields, one of which is never acquired
+// anywhere in the file set — a dead lock the pass must flag.
+struct Pools {
+    used: Mutex<Vec<u32>>,
+    idle: Mutex<Vec<u32>>,
+}
+
+fn recycle(p: &Pools) {
+    let mut g = lock(&p.used);
+    g.clear();
+}

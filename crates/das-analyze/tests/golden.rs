@@ -179,6 +179,65 @@ fn every_seeded_model_defect_yields_its_counterexample() {
 }
 
 #[test]
+fn unguarded_field_access_fails_with_da701() {
+    let (ok, stdout) = analyze(&fixture("lockset-unguarded"), &["lockset"]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA701\""), "{stdout}");
+    // The witness names the field, the dominating guard, and a
+    // guarded access elsewhere for contrast.
+    assert!(stdout.contains("store.rs:21"), "{stdout}");
+    assert!(stdout.contains("guarded accesses elsewhere"), "{stdout}");
+    assert!(stdout.contains("store.rs:16"), "{stdout}");
+}
+
+#[test]
+fn dead_lock_fails_with_da703() {
+    let (ok, stdout) = analyze(&fixture("lockset-deadlock"), &["lockset"]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA703\""), "{stdout}");
+    assert!(stdout.contains("idle"), "{stdout}");
+    // The acquired lock is not a dead lock.
+    assert!(!stdout.contains("`used` is declared"), "{stdout}");
+}
+
+#[test]
+fn relaxed_publication_load_fails_with_da711() {
+    let (ok, stdout) = analyze(&fixture("atomics-relaxed"), &["atomics"]);
+    assert!(!ok, "{stdout}");
+    // The Relaxed branch load is the publication pattern…
+    assert!(stdout.contains("\"code\":\"DA711\""), "{stdout}");
+    assert!(stdout.contains("READY"), "{stdout}");
+    // …and the Release store it pairs with makes the strength
+    // mismatch explicit too.
+    assert!(stdout.contains("\"code\":\"DA712\""), "{stdout}");
+}
+
+#[test]
+fn every_seeded_pipelined_defect_yields_its_counterexample() {
+    let (ok, stdout) = analyze(&fixture("pipemodel-defects"), &["pipemodel"]);
+    assert!(!ok, "{stdout}");
+    for code in ["DA621", "DA622", "DA623", "DA624", "DA625", "DA626"] {
+        assert!(stdout.contains(&format!("\"code\":\"{code}\"")), "missing {code}:\n{stdout}");
+    }
+    // The unknown defect name is drift…
+    assert!(stdout.contains("\"code\":\"DA627\""), "{stdout}");
+    assert!(stdout.contains("pipe-made-up-defect"), "{stdout}");
+    // …and each counterexample is a readable numbered trace.
+    assert!(stdout.contains("counterexample"), "{stdout}");
+    assert!(stdout.contains("[1] submit"), "{stdout}");
+}
+
+#[test]
+fn justified_concurrency_waivers_pass_deny() {
+    // Seeded DA701/DA703/DA711 sites, each waived with a justifying
+    // comment: the passes must honor every waiver (no findings), see
+    // none as stale (no DA430), and accept the justifications (no
+    // DA714).
+    let (ok, stdout) = analyze(&fixture("concurrency-waived"), &["lockset", "atomics"]);
+    assert!(ok, "justified waivers must pass --deny:\n{stdout}");
+}
+
+#[test]
 fn registry_drift_fails_with_da001_and_da003() {
     let (ok, stdout) = analyze(&fixture("registry-drift"), &["registry"]);
     assert!(!ok, "{stdout}");
@@ -204,6 +263,13 @@ fn real_repo_is_clean_under_deny() {
     assert!(stdout.contains("\"code\":\"DA500\""), "{stdout}");
     assert!(stdout.contains("\"code\":\"DA409\""), "{stdout}");
     assert!(stdout.contains("\"code\":\"DA600\""), "{stdout}");
+    // …and the concurrency-soundness records: the lockset proof,
+    // the atomics census, and the pipelined model's explored-state
+    // record.
+    assert!(stdout.contains("\"code\":\"DA700\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA705\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA710\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA620\""), "{stdout}");
 }
 
 #[test]

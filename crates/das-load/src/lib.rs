@@ -438,6 +438,9 @@ pub fn run_bench(
                 }
                 true
             };
+            // The final counts come from the settling reads below, after the
+            // worker threads are joined (join is the synchronization edge).
+            // das-lint: allow(DA711) pure quiesce flag — no data rides on it
             while !stop.load(Ordering::Relaxed) {
                 read(&mut cluster, &mut seen);
                 std::thread::sleep(Duration::from_millis(25));

@@ -163,19 +163,21 @@ fn job_weight(msg: &Message) -> u32 {
     }
 }
 
-/// One connection's pending requests inside the fair queue.
-struct ConnQueue {
-    jobs: VecDeque<Job>,
+/// One connection's pending requests inside the fair queue. Each
+/// entry carries the weight its dispatch will charge, so the
+/// scheduler is generic over what a "job" is.
+struct ConnQueue<J> {
+    jobs: VecDeque<(u32, J)>,
     /// Turns this connection still owes for an earlier heavy
     /// dispatch; it is skipped until the debt is paid down.
     debt: u32,
 }
 
 /// Scheduler state behind the `sched` lock.
-struct SchedState {
+struct SchedState<J> {
     /// Pending requests per connection. Invariant: a connection id is
     /// a key here iff it appears exactly once in `order`.
-    queues: HashMap<u64, ConnQueue>,
+    queues: HashMap<u64, ConnQueue<J>>,
     /// Round-robin order over connections with pending requests.
     order: VecDeque<u64>,
     /// Total requests queued, across all connections.
@@ -187,10 +189,12 @@ struct SchedState {
 
 /// The shard→worker request scheduler: per-connection FIFOs drained
 /// by weighted deficit round-robin, with a bounded total backlog.
-struct FairQueue {
+/// Generic over the job payload so the scheduling discipline can be
+/// driven deterministically in tests with plain ids.
+struct FairQueue<J> {
     /// Scheduler lock — "sched" in the crate's lock hierarchy: taken
     /// after a shard's `inbox`, never while a `done` queue is held.
-    sched: Mutex<SchedState>,
+    sched: Mutex<SchedState<J>>,
     ready: Condvar,
     /// Admission bound: a non-exempt request arriving with this many
     /// already queued is shed with [`ErrorCode::Overloaded`].
@@ -201,8 +205,8 @@ struct FairQueue {
     shed: Arc<das_obs::Counter>,
 }
 
-impl FairQueue {
-    fn new(max_backlog: usize, n_shards: usize, metrics: &das_obs::Registry) -> FairQueue {
+impl<J> FairQueue<J> {
+    fn new(max_backlog: usize, n_shards: usize, metrics: &das_obs::Registry) -> FairQueue<J> {
         let depth = metrics.gauge("dasd_worker_queue_depth", &[]);
         depth.set(0); // registered up front so dumps always carry it
         FairQueue {
@@ -220,21 +224,21 @@ impl FairQueue {
     }
 
     /// Enqueue one decoded request, or hand it back when the backlog
-    /// is full (the caller sheds it with a typed reply). Control-plane
-    /// requests are always admitted.
-    #[allow(clippy::result_large_err)] // Err hands the whole Job back by move on the shed path
-    fn enqueue(&self, job: Job) -> Result<(), Job> {
+    /// is full (the caller sheds it with a typed reply). Exempt
+    /// (control-plane) requests are always admitted.
+    fn enqueue(&self, conn: u64, weight: u32, exempt: bool, job: J) -> Result<(), J> {
         let mut s = lock(&self.sched);
-        if s.len >= self.max_backlog && !shed_exempt(&job.msg) {
+        if s.len >= self.max_backlog && !exempt {
             drop(s);
             self.shed.inc();
             return Err(job);
         }
-        let conn = job.conn;
         match s.queues.entry(conn) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut().jobs.push_back(job),
+            std::collections::hash_map::Entry::Occupied(e) => {
+                e.into_mut().jobs.push_back((weight, job));
+            }
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(ConnQueue { jobs: VecDeque::from([job]), debt: 0 });
+                e.insert(ConnQueue { jobs: VecDeque::from([(weight, job)]), debt: 0 });
                 s.order.push_back(conn);
             }
         }
@@ -250,7 +254,7 @@ impl FairQueue {
     /// Each turn either dispatches one request or pays down one unit
     /// of a connection's debt; total debt is bounded, so the walk
     /// terminates.
-    fn dequeue(&self) -> Option<Job> {
+    fn dequeue(&self) -> Option<J> {
         let mut s = lock(&self.sched);
         loop {
             while s.len > 0 {
@@ -261,11 +265,11 @@ impl FairQueue {
                     s.order.push_back(conn);
                     continue;
                 }
-                let Some(job) = q.jobs.pop_front() else {
+                let Some((weight, job)) = q.jobs.pop_front() else {
                     s.queues.remove(&conn);
                     continue;
                 };
-                q.debt = job_weight(&job.msg).saturating_sub(1);
+                q.debt = weight.saturating_sub(1);
                 let drained = q.jobs.is_empty() && q.debt == 0;
                 if drained {
                     s.queues.remove(&conn);
@@ -319,7 +323,7 @@ pub(crate) fn spawn_event_loop(
         done: (0..n_shards).map(|_| Mutex::new(Vec::new())).collect(),
     });
 
-    let fair = Arc::new(FairQueue::new(max_backlog, n_shards, &shared.metrics));
+    let fair: Arc<FairQueue<Job>> = Arc::new(FairQueue::new(max_backlog, n_shards, &shared.metrics));
     let mut threads = Vec::with_capacity(pool + n_shards + 1);
     for _ in 0..pool {
         let fair = Arc::clone(&fair);
@@ -338,7 +342,7 @@ pub(crate) fn spawn_event_loop(
         threads.push(std::thread::spawn(move || {
             // Decrement the live-shard count even if the loop panics,
             // so idle workers are never stranded on the condvar.
-            struct Live(Arc<FairQueue>);
+            struct Live(Arc<FairQueue<Job>>);
             impl Drop for Live {
                 fn drop(&mut self) {
                     self.0.shard_done();
@@ -471,7 +475,7 @@ fn shard_loop(
     shared: &Shared,
     queues: &ShardQueues,
     shard_id: usize,
-    fair: &FairQueue,
+    fair: &FairQueue<Job>,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut next_conn_id = (shard_id as u64) << 48;
@@ -596,7 +600,7 @@ fn pump_read(
     shared: &Shared,
     c: &mut Conn,
     shard_id: usize,
-    fair: &FairQueue,
+    fair: &FairQueue<Job>,
 ) -> bool {
     let mut progressed = false;
     let mut buf = [0u8; READ_CHUNK];
@@ -664,7 +668,8 @@ fn pump_read(
                     enqueued: Instant::now(),
                     ctx,
                 };
-                match fair.enqueue(job) {
+                let (weight, exempt) = (job_weight(&job.msg), shed_exempt(&job.msg));
+                match fair.enqueue(c.id, weight, exempt, job) {
                     Ok(()) => c.inflight += 1,
                     Err(job) => {
                         // Backlog full: shed from the shard thread with
@@ -706,4 +711,171 @@ fn handle_hello(shared: &Shared, c: &mut Conn, msg: Message) {
     shared.stats.register(class, c.stream.bytes_in(), c.stream.bytes_out());
     let reply = Message::HelloOk { server_id: shared.id.0, caps: LOCAL_CAPS };
     c.queue(Outbound::frame(encode_frame_traced(&reply, None), false));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference model of the weighted deficit round-robin scheduler:
+    /// the same discipline written as straight-line single-threaded
+    /// code, with no lock, condvar, metrics, or shard accounting. The
+    /// real `FairQueue` must agree with it on every admission and
+    /// dispatch decision under a seeded interleaving.
+    struct RefModel {
+        queues: HashMap<u64, (VecDeque<(u32, u32)>, u32)>,
+        order: VecDeque<u64>,
+        len: usize,
+        max_backlog: usize,
+    }
+
+    impl RefModel {
+        fn new(max_backlog: usize) -> RefModel {
+            RefModel { queues: HashMap::new(), order: VecDeque::new(), len: 0, max_backlog }
+        }
+
+        fn enqueue(&mut self, conn: u64, weight: u32, exempt: bool, id: u32) -> bool {
+            if self.len >= self.max_backlog && !exempt {
+                return false;
+            }
+            let fresh = !self.queues.contains_key(&conn);
+            self.queues.entry(conn).or_insert_with(|| (VecDeque::new(), 0)).0.push_back((weight, id));
+            if fresh {
+                self.order.push_back(conn);
+            }
+            self.len += 1;
+            true
+        }
+
+        fn dequeue(&mut self) -> Option<u32> {
+            while self.len > 0 {
+                let conn = self.order.pop_front()?;
+                let Some(q) = self.queues.get_mut(&conn) else { continue };
+                if q.1 > 0 {
+                    q.1 -= 1;
+                    self.order.push_back(conn);
+                    continue;
+                }
+                let Some((weight, id)) = q.0.pop_front() else {
+                    self.queues.remove(&conn);
+                    continue;
+                };
+                q.1 = weight.saturating_sub(1);
+                if q.0.is_empty() && q.1 == 0 {
+                    self.queues.remove(&conn);
+                } else {
+                    self.order.push_back(conn);
+                }
+                self.len -= 1;
+                return Some(id);
+            }
+            None
+        }
+    }
+
+    fn queue_len(fair: &FairQueue<u32>) -> usize {
+        lock(&fair.sched).len
+    }
+
+    /// A heavy dispatch (weight 8) must yield the floor to the other
+    /// connection for eight turns — its natural rotation slot plus
+    /// seven debt skips — before the heavy connection is served
+    /// again: H L×8 H L×8 … exactly.
+    #[test]
+    fn drr_weights_interleave_heavy_and_light() {
+        let metrics = das_obs::Registry::new();
+        let fair: FairQueue<u32> = FairQueue::new(1024, 1, &metrics);
+        // Conn 1: four heavy jobs (ids 0..4). Conn 2: 32 light (100..).
+        for id in 0..4u32 {
+            fair.enqueue(1, 8, false, id).unwrap();
+        }
+        for id in 100..132u32 {
+            fair.enqueue(2, 1, false, id).unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..36 {
+            got.push(fair.dequeue().expect("queue is non-empty"));
+        }
+        let mut want = Vec::new();
+        for h in 0..4u32 {
+            want.push(h);
+            for l in 0..8u32 {
+                want.push(100 + h * 8 + l);
+            }
+        }
+        assert_eq!(got, want, "weighted DRR order drifted from the 1-heavy-then-8-light pattern");
+    }
+
+    /// Seeded pseudo-random interleaving: four simulated shards
+    /// enqueue (with occasional exempt control-plane jobs) and a
+    /// worker dequeues, in an order driven by a deterministic LCG.
+    /// Every admission/shed decision and every dispatched id must
+    /// match the reference model, and the backlog bound must hold for
+    /// non-exempt admissions throughout.
+    #[test]
+    fn seeded_interleaving_matches_reference_model() {
+        const MAX_BACKLOG: usize = 12;
+        let metrics = das_obs::Registry::new();
+        let fair: FairQueue<u32> = FairQueue::new(MAX_BACKLOG, 1, &metrics);
+        let mut model = RefModel::new(MAX_BACKLOG);
+
+        let mut seed = 0xDA51D_u64;
+        let mut lcg = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+
+        let mut next_id = 0u32;
+        let mut in_flight_ids: Vec<u32> = Vec::new();
+        let mut shed_count = 0usize;
+        for step in 0..20_000 {
+            let r = lcg();
+            if r % 3 != 0 {
+                // One of four shards submits for one of its two conns.
+                let shard = u64::from(r % 4);
+                let conn = shard * 2 + u64::from((r >> 8) % 2);
+                let weight = if (r >> 16) % 5 == 0 { 8 } else { 1 };
+                let exempt = (r >> 24) % 13 == 0;
+                let id = next_id;
+                next_id += 1;
+                let admitted = fair.enqueue(conn, weight, exempt, id).is_ok();
+                let model_admitted = model.enqueue(conn, weight, exempt, id);
+                assert_eq!(
+                    admitted, model_admitted,
+                    "admission decision diverged at step {step} (id {id}, exempt {exempt})"
+                );
+                if admitted {
+                    in_flight_ids.push(id);
+                } else {
+                    shed_count += 1;
+                    assert!(
+                        !exempt,
+                        "an exempt control-plane job was shed at step {step}"
+                    );
+                }
+                if !exempt && admitted {
+                    assert!(
+                        model.len <= MAX_BACKLOG,
+                        "non-exempt admission pushed the backlog past the bound at step {step}"
+                    );
+                }
+            } else if model.len > 0 {
+                let got = fair.dequeue().expect("model says the queue is non-empty");
+                let want = model.dequeue().expect("model len > 0");
+                assert_eq!(got, want, "dispatch order diverged at step {step}");
+                in_flight_ids.retain(|&i| i != got);
+            }
+            assert_eq!(queue_len(&fair), model.len, "queue length diverged at step {step}");
+        }
+        // Drain: every admitted job comes out, in model order.
+        while model.len > 0 {
+            let got = fair.dequeue().expect("drain");
+            let want = model.dequeue().expect("drain");
+            assert_eq!(got, want, "dispatch order diverged during drain");
+            in_flight_ids.retain(|&i| i != got);
+        }
+        assert!(in_flight_ids.is_empty(), "admitted jobs lost: {in_flight_ids:?}");
+        assert!(shed_count > 0, "the seed never exercised the shed path");
+        assert_eq!(queue_len(&fair), 0);
+    }
 }

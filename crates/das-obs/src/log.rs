@@ -115,6 +115,7 @@ pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
     }
     let stderr = std::io::stderr();
     let mut w = stderr.lock();
+    // das-lint: allow(DA711) format-mode flag — both branches render the same already-local data, no publication edge needed
     if JSON.load(Ordering::Relaxed) {
         let mut line = format!(
             "{{\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"",
