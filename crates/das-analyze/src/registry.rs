@@ -96,6 +96,19 @@ pub const REGISTRY: &[(&str, &str, &str)] = &[
     ("DA712", "warning", "store/load ordering strength mismatch on one atomic"),
     ("DA713", "warning", "fetch_* result discarded where siblings consume it"),
     ("DA714", "warning", "DA71x waiver lacks a justifying comment"),
+    ("DA800", "info", "hot-path proof record: engine/codec write path allocation-free"),
+    ("DA801", "error", "per-request heap copy (to_vec/clone/format!) on a request-serving path"),
+    ("DA802", "error", "allocation sized by a wire-decoded length with no visible bound"),
+    ("DA803", "error", "blocking operation reachable from the evloop shard poll loop"),
+    ("DA804", "error", "byte-copy sink fed a strip payload, defeating the Bytes zero-copy path"),
+    ("DA805", "error", "lock guard held across a dispatch/enqueue/write boundary"),
+    ("DA806", "info", "hot-path census: files, fns, reachable sets, sites examined"),
+    ("DA810", "info", "cost-model proof record: symbolic frame size verified for a message variant"),
+    ("DA811", "error", "symbolic frame-size expression diverges from the codec's measured bytes"),
+    ("DA812", "error", "composed wire-cost formula diverges from the Eqs. 1-17 predictors"),
+    ("DA813", "error", "message variant with no extractable or verifiable frame-size expression"),
+    ("DA814", "error", "frame overhead constants drifted between codec source and measured frames"),
+    ("DA815", "info", "cost-model census: variants extracted, grid cells swept"),
 ];
 
 /// Render the registry as the aligned table `das-analyze --list`

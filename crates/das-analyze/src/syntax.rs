@@ -585,9 +585,14 @@ pub fn extract_fns(lx: &Lexed) -> Vec<FnItem> {
         // closures in signatures don't occur in this workspace.
         let mut j = i + 2;
         let mut body = 0..0;
+        // A `;` terminates the signature only at paren/bracket depth
+        // zero — `fn f(hdr: [u8; 4])` carries one inside its type.
+        let mut depth = 0i64;
         while j < n {
             match toks[j].text.as_str() {
-                ";" => {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => {
                     j += 1;
                     break;
                 }
@@ -597,8 +602,9 @@ pub fn extract_fns(lx: &Lexed) -> Vec<FnItem> {
                     j = end + 1;
                     break;
                 }
-                _ => j += 1,
+                _ => {}
             }
+            j += 1;
         }
         out.push(FnItem {
             name: name_tok.text.clone(),

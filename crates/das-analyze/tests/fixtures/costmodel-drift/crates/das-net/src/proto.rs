@@ -1,0 +1,47 @@
+//! Seeded wire-cost drift: the `GetStrip` encode arm carries an
+//! extra `put_u64` the real codec never writes, so the symbolic
+//! |payload| = 20 disagrees with the linked codec's 12 B (DA811)
+//! and every composed sequence formula diverges (DA812).
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_blob(b: &mut Vec<u8>, blob: &[u8]) {
+    put_u32(b, blob.len() as u32);
+    b.extend_from_slice(blob);
+}
+
+impl Message {
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Message::GetStrip { .. } => 0x14,
+            Message::StripData { .. } => 0x15,
+            Message::PutStrip { .. } => 0x12,
+            Message::PutStripOk => 0x13,
+        }
+    }
+
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Message::GetStrip { file, strip } => {
+                put_u32(&mut b, *file);
+                put_u64(&mut b, *strip);
+                put_u64(&mut b, 0);
+            }
+            Message::StripData { payload } => put_blob(&mut b, payload),
+            Message::PutStrip { file, strip, payload } => {
+                put_u32(&mut b, *file);
+                put_u64(&mut b, *strip);
+                put_blob(&mut b, payload);
+            }
+            Message::PutStripOk => {}
+        }
+        b
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded blocking defects on the shard poll loop (DA803): a sleep
+//! and a synchronous connect, two calls deep from `shard_loop` —
+//! the inter-procedural case a per-function lint misses.
+
+fn shard_loop(q: &Queues) {
+    loop {
+        poll_once(q);
+    }
+}
+
+fn poll_once(q: &Queues) {
+    if q.is_idle() {
+        refresh_peer(q);
+    }
+}
+
+fn refresh_peer(q: &Queues) {
+    std::thread::sleep(Duration::from_millis(5));
+    let sock = TcpStream::connect(q.peer_addr);
+    q.adopt(sock);
+}
+
+fn worker_loop(q: &Queues) {
+    // Workers may block: peer fetches are blocking RPC by design.
+    let reply = q.rx.recv();
+    q.finish(reply);
+}

@@ -250,6 +250,41 @@ fn registry_drift_fails_with_da001_and_da003() {
 }
 
 #[test]
+fn seeded_hot_path_allocations_fail_with_da801_da802_da804() {
+    let (ok, stdout) = analyze(&fixture("hotpath-alloc"), &["hotpath"]);
+    assert!(!ok, "{stdout}");
+    // The reachable to_vec, the unbounded wire-sized allocation, and
+    // the payload byte-copy sink…
+    assert!(stdout.contains("\"code\":\"DA801\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA802\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA804\""), "{stdout}");
+    // …but not the copy in the unreachable admin tool.
+    assert_eq!(stdout.matches("\"code\":\"DA801\"").count(), 1, "{stdout}");
+}
+
+#[test]
+fn seeded_blocking_calls_on_the_poll_loop_fail_with_da803() {
+    let (ok, stdout) = analyze(&fixture("hotpath-blocking"), &["hotpath"]);
+    assert!(!ok, "{stdout}");
+    // The sleep and the synchronous connect, two calls deep from
+    // shard_loop — but not the worker's recv (workers may block).
+    assert_eq!(stdout.matches("\"code\":\"DA803\"").count(), 2, "{stdout}");
+    assert!(stdout.contains("sleep"), "{stdout}");
+    assert!(stdout.contains("connect"), "{stdout}");
+}
+
+#[test]
+fn doctored_encode_arm_fails_with_da811_and_da812() {
+    let (ok, stdout) = analyze(&fixture("costmodel-drift"), &["costmodel"]);
+    assert!(!ok, "{stdout}");
+    // The per-variant formula drifts from the linked codec…
+    assert!(stdout.contains("\"code\":\"DA811\""), "{stdout}");
+    assert!(stdout.contains("symbolic |payload| = 20"), "{stdout}");
+    // …and every composed sequence cost diverges with it.
+    assert!(stdout.contains("\"code\":\"DA812\""), "{stdout}");
+}
+
+#[test]
 fn real_repo_is_clean_under_deny() {
     let (ok, stdout) = analyze(&repo_root(), &[]);
     assert!(ok, "the shipped repo must pass --deny:\n{stdout}");
@@ -270,6 +305,17 @@ fn real_repo_is_clean_under_deny() {
     assert!(stdout.contains("\"code\":\"DA705\""), "{stdout}");
     assert!(stdout.contains("\"code\":\"DA710\""), "{stdout}");
     assert!(stdout.contains("\"code\":\"DA620\""), "{stdout}");
+    // …and the perfguard records: the zero-copy write-path proof and
+    // the wire-cost model with every message variant verified.
+    assert!(stdout.contains("\"code\":\"DA800\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA806\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"DA810\""), "{stdout}");
+    assert_eq!(
+        stdout.matches("\"code\":\"DA810\"").count(),
+        34,
+        "33 variants + frame overhead must each carry a proof:\n{stdout}"
+    );
+    assert!(stdout.contains("\"code\":\"DA815\""), "{stdout}");
 }
 
 #[test]

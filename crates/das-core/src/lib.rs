@@ -65,5 +65,7 @@ pub use client::{ActiveStorageClient, RequestOptions};
 pub use decide::{decide, decide_timed, Decision, DecisionInput, LinkCost, RejectReason};
 pub use features::{FeatureRegistry, KernelFeatures, OffsetExpr, ParseError};
 pub use plan::{plan_distribution, LayoutPlan, PlanOptions};
-pub use predict::{dependent_strips, DependencePrediction, NasFetchPrediction, StripingParams};
+pub use predict::{
+    dependent_strips, DependencePrediction, NasFetch, NasFetchPrediction, StripingParams,
+};
 pub use xml::parse_kernel_xml;

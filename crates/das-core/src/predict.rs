@@ -212,24 +212,42 @@ impl StripingParams {
     /// primary (and pulled **again** for the next strip that needs it —
     /// the paper's "each strip was transferred multiple times").
     pub fn predict_nas_fetches(&self, offsets: &[i64], file_len: u64) -> NasFetchPrediction {
+        let plan = self.nas_fetch_plan(offsets, file_len);
+        let mut distinct = std::collections::BTreeSet::new();
+        let mut bytes = 0u64;
+        for f in &plan {
+            bytes += f.len_bytes;
+            distinct.insert(f.u);
+        }
+        NasFetchPrediction {
+            fetches: plan.len() as u64,
+            bytes,
+            distinct_strips: distinct.len() as u64,
+        }
+    }
+
+    /// The individual strip pulls behind [`predict_nas_fetches`]: one
+    /// entry per (processed strip `t`, remote dependent strip `u`)
+    /// pair, in processing order. Exposed so a wire-cost model can map
+    /// each entry onto the RPC exchange that realises it
+    /// (`GetStrip(u)` / `StripData(len_bytes)`).
+    ///
+    /// [`predict_nas_fetches`]: StripingParams::predict_nas_fetches
+    pub fn nas_fetch_plan(&self, offsets: &[i64], file_len: u64) -> Vec<NasFetch> {
         assert_eq!(file_len % self.element_size, 0, "file length must be whole elements");
         let n = file_len / self.element_size;
         let se = self.elements_per_strip();
         let strips = n.div_ceil(se.max(1));
-        let mut fetches = 0u64;
-        let mut bytes = 0u64;
-        let mut distinct = std::collections::BTreeSet::new();
+        let mut plan = Vec::new();
 
         for t in 0..strips {
             let server = self.layout.primary(StripId(t));
             for u in self.remote_dependent_strips(server, t, offsets, n) {
-                fetches += 1;
-                bytes += self.strip_len_bytes(u, file_len);
-                distinct.insert(u);
+                plan.push(NasFetch { t, u, len_bytes: self.strip_len_bytes(u, file_len) });
             }
         }
 
-        NasFetchPrediction { fetches, bytes, distinct_strips: distinct.len() as u64 }
+        plan
     }
 
     /// [`dependent_strips`] of strip `t` under these parameters.
@@ -295,6 +313,19 @@ impl DependencePrediction {
             self.remote_fetches as f64 / total as f64
         }
     }
+}
+
+/// One strip pull from [`StripingParams::nas_fetch_plan`]: while
+/// processing strip `t`, the primary server fetches remote dependent
+/// strip `u` (`len_bytes` payload bytes on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NasFetch {
+    /// Strip being processed when the fetch is issued.
+    pub t: u64,
+    /// Remote dependent strip pulled from its primary.
+    pub u: u64,
+    /// Byte length of strip `u` (the final strip may be partial).
+    pub len_bytes: u64,
 }
 
 /// Predicted strip-fetch traffic of a naive active-storage service.

@@ -210,6 +210,7 @@ pub fn encode_frame_opts(msg: &Message, trace: Option<u64>, budget_ms: Option<u3
     if let Some(ms) = budget_ms {
         frame.extend_from_slice(&ms.to_le_bytes());
     }
+    // das-lint: allow(DA804) single-buffer encode for small control replies; blob carriers use frame_parts
     frame.extend_from_slice(&payload);
     let crc = crc32(&[&frame]);
     frame.extend_from_slice(&crc.to_le_bytes());
@@ -554,19 +555,31 @@ pub fn read_frame_ex<R: Read>(r: &mut R) -> Result<Option<Frame>, NetError> {
 pub struct IoVecCursor {
     head: Vec<u8>,
     body: bytes::Bytes,
-    tail: Vec<u8>,
+    // The tail is at most a CRC32 — an inline array avoids a
+    // per-reply heap allocation on the event-loop write path.
+    tail: [u8; 4],
+    tail_len: u8,
     written: usize,
 }
 
 impl IoVecCursor {
-    /// Wrap one frame's segments; `body`/`tail` may be empty.
-    pub fn new(head: Vec<u8>, body: bytes::Bytes, tail: Vec<u8>) -> IoVecCursor {
-        IoVecCursor { head, body, tail, written: 0 }
+    /// Wrap one frame's segments; `body`/`tail` may be empty. `tail`
+    /// is at most 4 bytes (a CRC32) and is copied inline — no
+    /// allocation.
+    pub fn new(head: Vec<u8>, body: bytes::Bytes, tail: &[u8]) -> IoVecCursor {
+        assert!(tail.len() <= 4, "frame tail exceeds CRC32 width");
+        let mut t = [0u8; 4];
+        t[..tail.len()].copy_from_slice(tail);
+        IoVecCursor { head, body, tail: t, tail_len: tail.len() as u8, written: 0 }
+    }
+
+    fn tail_slice(&self) -> &[u8] {
+        &self.tail[..self.tail_len as usize]
     }
 
     /// Total frame length in bytes.
     pub fn total(&self) -> usize {
-        self.head.len() + self.body.len() + self.tail.len()
+        self.head.len() + self.body.len() + self.tail_len as usize
     }
 
     /// Whether every byte has been accepted by the socket.
@@ -583,7 +596,7 @@ impl IoVecCursor {
         if self.is_done() {
             return Ok(0);
         }
-        let segments: [&[u8]; 3] = [&self.head, &self.body, &self.tail];
+        let segments: [&[u8]; 3] = [&self.head, &self.body, self.tail_slice()];
         let mut skip = self.written;
         let mut bufs = [IoSlice::new(&[]); 3];
         let mut n_bufs = 0;
@@ -638,6 +651,7 @@ impl FrameBuffer {
             self.buf.drain(..self.pos);
             self.pos = 0;
         }
+        // das-lint: allow(DA804) ingress reassembly buffer — bytes arrive from the socket, not the store
         self.buf.extend_from_slice(bytes);
     }
 

@@ -117,7 +117,10 @@ struct ReplyTag {
 struct Outbound {
     head: Vec<u8>,
     body: Bytes,
-    tail: Vec<u8>,
+    /// CRC tail, inline — at most 4 bytes, so carrying it by value
+    /// costs no per-reply allocation.
+    tail: [u8; 4],
+    tail_len: u8,
     /// Close the connection once (whatever exists of) this reply is
     /// flushed — mid-frame fault cuts and post-`Shutdown` closes.
     close_after: bool,
@@ -128,7 +131,14 @@ struct Outbound {
 
 impl Outbound {
     fn frame(frame: Vec<u8>, close_after: bool) -> Outbound {
-        Outbound { head: frame, body: Bytes::new(), tail: Vec::new(), close_after, tag: None }
+        Outbound {
+            head: frame,
+            body: Bytes::new(),
+            tail: [0; 4],
+            tail_len: 0,
+            close_after,
+            tag: None,
+        }
     }
 }
 
@@ -381,11 +391,12 @@ fn run_job(shared: &Shared, queues: &ShardQueues, job: Job) {
         ReplyAction::Reply(reply) => Outbound::frame(encode_frame_traced(&reply, echo), false),
         ReplyAction::ReplyStrip(bytes) => {
             // Zero-copy: head and CRC are computed over the store's
-            // bytes in place; the body segment shares the allocation.
+            // bytes in place; the body segment shares the allocation
+            // and the 4-byte CRC tail rides inline.
             let prefix = (bytes.len() as u32).to_le_bytes();
             let parts = raw_frame_parts(STRIP_DATA_OPCODE, &prefix, &bytes, echo);
-            let (head, tail) = (parts.head, parts.tail.to_vec());
-            Outbound { head, body: bytes, tail, close_after: false, tag: None }
+            let (head, tail) = (parts.head, parts.tail);
+            Outbound { head, body: bytes, tail, tail_len: 4, close_after: false, tag: None }
         }
         ReplyAction::ReplyCorrupt(reply) => {
             let mut frame = encode_frame_traced(&reply, echo);
@@ -396,6 +407,7 @@ fn run_job(shared: &Shared, queues: &ShardQueues, job: Job) {
         ReplyAction::ReplyTruncated(reply) => {
             let frame = encode_frame_traced(&reply, echo);
             let half = frame.len() / 2;
+            // das-lint: allow(DA801) fault-injection path: deliberately ships a cut frame
             Outbound::frame(frame[..half].to_vec(), true)
         }
         ReplyAction::ShutdownAfter(reply) => {
@@ -454,7 +466,7 @@ impl Conn {
             self.close_after_flush = true;
         }
         self.out.push_back((
-            IoVecCursor::new(out.head, out.body, out.tail),
+            IoVecCursor::new(out.head, out.body, &out.tail[..out.tail_len as usize]),
             out.close_after,
             out.tag,
         ));
@@ -546,6 +558,7 @@ fn shard_loop(
                 std::thread::yield_now();
             } else {
                 let step = (idle_passes - SPIN_PASSES).min(20);
+                // das-lint: allow(DA803) bounded idle backoff — no epoll, so an idle shard must sleep
                 std::thread::sleep((IDLE_SLEEP_MIN * step).min(IDLE_SLEEP_MAX));
             }
         }

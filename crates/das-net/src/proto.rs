@@ -837,6 +837,7 @@ fn put_str(b: &mut Vec<u8>, s: &str) {
 fn put_blob(b: &mut Vec<u8>, blob: &[u8]) {
     assert!(blob.len() <= u32::MAX as usize, "blob field too long");
     put_u32(b, blob.len() as u32);
+    // das-lint: allow(DA804) owned-encode path; zero-copy senders go through split_payload instead
     b.extend_from_slice(blob);
 }
 

@@ -1034,6 +1034,10 @@ fn dispatch(
             Message::PutStripOk
         }
         Message::GetStrip { file, strip } => match get_strip_bytes(shared, file, strip) {
+            // Live GetStrips short-circuit in process_request and ship
+            // zero-copy as ReplyStrip; this owned-payload arm only
+            // runs under fault injection (corrupt/truncated replies).
+            // das-lint: allow(DA801) fault-injection fallback; live reads use the ReplyStrip fast path
             Ok(data) => Message::StripData { payload: data.to_vec() },
             Err(e) => e,
         },
@@ -1414,7 +1418,8 @@ fn execute(
             out_bytes.extend_from_slice(&v.to_le_bytes());
         }
 
-        lock(&shared.inner).store.store(out_id, t, Bytes::from(out_bytes.clone()), true);
+        let out_b = Bytes::from(out_bytes);
+        lock(&shared.inner).store.store(out_id, t, out_b.clone(), true);
         for replica in layout.replicas(t) {
             if replica == shared.id {
                 continue;
@@ -1423,9 +1428,11 @@ fn execute(
             // a holder that stays down just means this output strip is
             // stored at reduced redundancy — the primary copy above is
             // the authoritative one, so the execution still succeeds.
+            // PutStrip owns its payload Vec, so each forward costs one
+            // copy of the strip — only on the (rare) replica path.
             if shared
                 .peers
-                .put_strip_traced(replica.0, out_file, t.0, out_bytes.clone(), trace)
+                .put_strip_traced(replica.0, out_file, t.0, out_b.to_vec(), trace)
                 .is_err()
             {
                 shared.metrics.counter("dasd_replica_forward_failures_total", &[]).inc();
